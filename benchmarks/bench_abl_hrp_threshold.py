@@ -1,0 +1,69 @@
+"""ABL-1 — HRP receiver design ablation (DESIGN.md §5.1).
+
+Sweeps the two receiver knobs behind the [4] claim:
+
+* the leading-edge back-search threshold — low values find weak genuine
+  first paths but admit ghost peaks on the naive receiver;
+* the integrity-check normalized-correlation threshold — the
+  security/false-positive trade-off of the defense.
+"""
+
+from repro.phy.attacks import GhostPeakAttack
+from repro.phy.channel import Channel
+from repro.phy.hrp import HrpRangingSession, HrpReceiver
+from repro.phy.pulses import HRP_CONFIG
+
+KEY = b"\xB6" * 16
+TRIALS = 8
+
+
+def _rates(receiver, label):
+    """(attack success rate, honest acceptance rate) for a receiver."""
+    session = HrpRangingSession(KEY, receiver=receiver)
+    attack_hits = 0
+    for i in range(TRIALS):
+        channel = Channel(10.0, snr_db=15.0, seed_label=f"{label}-a{i}")
+        attack = GhostPeakAttack(advance_m=6.0, power=6.0, seed_label=f"{label}-g{i}")
+        outcome = session.measure(channel,
+                                  attacker_signal=attack.waveform(channel, HRP_CONFIG))
+        if outcome.reduced and outcome.accepted:
+            attack_hits += 1
+    honest_ok = 0
+    for i in range(TRIALS):
+        channel = Channel(10.0, snr_db=12.0, seed_label=f"{label}-h{i}")
+        outcome = session.measure(channel)
+        if outcome.accepted and abs(outcome.error_m) < 1.0:
+            honest_ok += 1
+    return attack_hits / TRIALS, honest_ok / TRIALS
+
+
+def test_abl1_leading_edge_threshold(benchmark, show):
+    rows = []
+    for threshold in (0.2, 0.35, 0.5, 0.7):
+        naive = HrpReceiver(integrity_check=False, threshold_ratio=threshold)
+        attack_rate, honest_rate = _rates(naive, f"le{threshold}")
+        rows.append((threshold, f"{attack_rate:.0%}", f"{honest_rate:.0%}"))
+    benchmark(_rates, HrpReceiver(integrity_check=False, threshold_ratio=0.35), "le-b")
+    show("ABL-1a — naive receiver: leading-edge threshold vs ghost-peak success",
+         rows, header=("threshold", "attack success", "honest accept"))
+    # Lower thresholds must be at least as attackable as higher ones.
+    rates = [float(r[1].rstrip("%")) for r in rows]
+    assert rates[0] >= rates[-1]
+
+
+def test_abl1_integrity_threshold(benchmark, show):
+    rows = []
+    for min_rho in (0.15, 0.25, 0.35, 0.5, 0.65):
+        secure = HrpReceiver(integrity_check=True, threshold_ratio=0.3,
+                             min_normalized_corr=min_rho)
+        attack_rate, honest_rate = _rates(secure, f"rho{min_rho}")
+        rows.append((min_rho, f"{attack_rate:.0%}", f"{honest_rate:.0%}"))
+    benchmark(_rates, HrpReceiver(integrity_check=True), "rho-b")
+    show("ABL-1b — integrity check: min normalized correlation vs "
+         "security/false-reject trade-off",
+         rows, header=("min rho", "attack success", "honest accept"))
+    # The recommended operating point kills the attack without hurting
+    # honest acceptance.
+    mid = rows[2]
+    assert mid[1] == "0%"
+    assert mid[2] == "100%"

@@ -1,0 +1,38 @@
+"""ABL-3 — attack-surface minimization ablation (paper §V-C, DESIGN.md §5.3).
+
+"By taking away features and options that are not strictly needed, we
+enable a better understanding of possible misuse."  Sweeps every feature
+subset of the telemetry service and reports surface size and kill-chain
+viability — the measured version of the simple-designs argument.
+"""
+
+from repro.datalayer.breach import build_cariad_service
+from repro.datalayer.surface import FeatureSurfaceAnalyzer
+
+
+def test_abl3_feature_sweep(benchmark, show):
+    service, _ = build_cariad_service(n_vehicles=5, days=2)
+    analyzer = FeatureSurfaceAnalyzer(service)
+
+    reports = benchmark(analyzer.sweep)
+    rows = [
+        ("{" + ",".join(r.features) + "}" if r.features else "{}",
+         r.exposed_endpoints, r.unauthenticated_endpoints,
+         r.debug_endpoints, r.kill_chain_depth,
+         "VIABLE" if r.kill_chain_viable else "dead")
+        for r in reports
+    ]
+    show("ABL-3 — feature subsets vs attack surface and kill-chain viability",
+         rows, header=("features", "endpoints", "unauth", "debug",
+                       "chain depth", "kill chain"))
+
+    viable = [r for r in reports if r.kill_chain_viable]
+    assert viable
+    assert all("debug" in r.features for r in viable)
+
+    minimal = analyzer.minimal_safe_surface({"core"})
+    show("ABL-3 — minimal safe surface containing 'core'",
+         [(("{" + ",".join(minimal.features) + "}"),
+           minimal.exposed_endpoints, minimal.kill_chain_depth)],
+         header=("features", "endpoints", "chain depth"))
+    assert not minimal.kill_chain_viable

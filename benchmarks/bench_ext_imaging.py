@@ -1,0 +1,38 @@
+"""EXT-7 — camera image-pipeline security ([49], §VIII).
+
+Extension experiment: residual attacks per pipeline stage as defenses
+are deployed, and the cheapest full-coverage defense set — the
+sensor-scale instance of the paper's layered-synergy argument.
+"""
+
+from repro.phy.imaging import IMAGE_ATTACKS, PIPELINE_STAGES, ImagePipeline
+
+
+def test_ext7_pipeline_coverage(benchmark, show):
+    pipeline = ImagePipeline()
+    deployments = [
+        ("none", set()),
+        ("transport security only", {"authenticated-frame-transport"}),
+        ("+ perception hardening", {"authenticated-frame-transport",
+                                    "adversarial-training"}),
+        ("+ sensor & optics", {"authenticated-frame-transport",
+                               "adversarial-training", "optical-filtering",
+                               "shielding-and-plausibility",
+                               "global-shutter-or-randomized-exposure"}),
+    ]
+    rows = []
+    for label, deployed in deployments:
+        residual = pipeline.residual_by_stage(deployed)
+        rows.append((label, f"{pipeline.coverage(deployed):.0%}",
+                     *[residual[stage] for stage in PIPELINE_STAGES]))
+    show("EXT-7 / [49] — image pipeline: residual attacks per stage",
+         rows, header=("deployed defenses", "coverage", *PIPELINE_STAGES))
+
+    cheapest = benchmark(pipeline.cheapest_full_coverage)
+    cost = sum(pipeline.defenses[n].cost for n in cheapest)
+    show("EXT-7 — cheapest full-coverage defense set",
+         [(", ".join(sorted(cheapest)), cost, f"{len(IMAGE_ATTACKS)} attacks covered")],
+         header=("defenses", "total cost", "note"))
+    assert pipeline.residual_attacks(cheapest) == []
+    # Transport security alone covers < half the pipeline.
+    assert pipeline.coverage({"authenticated-frame-transport"}) < 0.5

@@ -1,0 +1,69 @@
+"""FIG3 — the simplified zonal IVN (paper Fig. 3) measured.
+
+Regenerates the figure as numbers: the topology's endpoint→CC latency
+per attachment medium, and the attack-surface comparison between the
+unsecured architecture and one with every link authenticated.
+"""
+
+from repro.core.metrics import attack_surface
+from repro.ivn.topology import ZonalArchitecture
+
+
+def test_fig3_latency_matrix(benchmark, show):
+    arch = ZonalArchitecture.figure3()
+    matrix = benchmark(arch.latency_matrix, 8)
+
+    rows = []
+    for endpoint in ("ecu-can-1", "ecu-t1s-1", "ecu-can-3", "ecu-t1s-3"):
+        to_cc = matrix[(endpoint, "cc")] * 1e6
+        cross = matrix[(endpoint, "ecu-can-1" if endpoint != "ecu-can-1" else "ecu-can-3")] * 1e6
+        rows.append((endpoint, f"{to_cc:9.1f}", f"{cross:9.1f}"))
+    show("Fig. 3 — zonal IVN: end-to-end latency (us, 8-byte payload)",
+         rows, header=("endpoint", "to CC", "cross-zone"))
+    # CAN edge must dominate the T1S edge.
+    assert matrix[("ecu-can-1", "cc")] > matrix[("ecu-t1s-1", "cc")]
+
+
+def test_fig3_plca_scaling(benchmark, show):
+    """10BASE-T1S multidrop: latency vs node count (the cabling-weight
+    trade-off's performance cost)."""
+    from repro.core.events import Simulator
+    from repro.ivn.frames import EthernetFrame
+    from repro.ivn.t1s import T1sSegment
+
+    def worst_latency(n_nodes: int) -> float:
+        sim = Simulator()
+        segment = T1sSegment(sim)
+        for i in range(n_nodes):
+            segment.attach(f"ecu-{i}")
+        for i in range(n_nodes):
+            segment.send(f"ecu-{i}", EthernetFrame("x", f"ecu-{i}", b"\x00" * 100))
+        sim.run()
+        return max(d.latency_s for d in segment.delivered)
+
+    rows = [(n, f"{worst_latency(n) * 1e6:8.1f}") for n in (2, 4, 8, 16)]
+    benchmark(worst_latency, 8)
+    show("Fig. 3 — 10BASE-T1S PLCA: worst-case latency vs multidrop size "
+         "(100-byte frames, all nodes loaded)",
+         rows, header=("nodes", "worst latency (us)"))
+    latencies = [float(r[1]) for r in rows]
+    assert latencies == sorted(latencies)
+
+
+def test_fig3_attack_surface(benchmark, show):
+    arch = ZonalArchitecture.figure3()
+    unsecured = benchmark(lambda: attack_surface(arch.system_model()))
+    secured = attack_surface(arch.system_model(secured_links=True))
+    rows = [
+        ("entry points", unsecured.entry_points, secured.entry_points),
+        ("unsecured interfaces", unsecured.unsecured_interfaces,
+         secured.unsecured_interfaces),
+        ("components reachable", unsecured.reachable_components,
+         secured.reachable_components),
+        ("critical components reachable", unsecured.reachable_critical,
+         secured.reachable_critical),
+    ]
+    show("Fig. 3 — attack surface: unsecured vs authenticated links",
+         rows, header=("metric", "unsecured", "secured"))
+    assert secured.reachable_critical == 0
+    assert unsecured.reachable_critical >= 1

@@ -1,0 +1,36 @@
+"""FIG4 — scenario S1: SECOC over CAN + MACsec on the backbone.
+
+Regenerates Fig. 4's scenario with measured numbers, and quantifies the
+three disadvantages the paper lists: authentication-only edge (no
+confidentiality), key storage in the zone controller, and the software
+load of gateway security termination.
+"""
+
+from repro.ivn.scenarios import run_s1, run_s2_end_to_end
+
+PAYLOAD = b"\x11" * 16
+
+
+def test_fig4_s1_properties(benchmark, show):
+    report = benchmark(run_s1, PAYLOAD)
+    reference = run_s2_end_to_end(PAYLOAD)  # the no-ZC-processing baseline
+
+    rows = [
+        ("delivered end-to-end (crypto verified)", report.delivered),
+        ("edge wire bits (CAN, segmented)", report.wire_bits_edge),
+        ("backbone wire bits (ETH+MACsec)", report.wire_bits_backbone),
+        ("end-to-end latency", f"{report.latency_s * 1e6:.1f} us"),
+        ("latency vs MACsec-e2e baseline",
+         f"{report.latency_s / reference.latency_s:.1f}x"),
+        ("confidentiality on CAN edge", report.confidentiality_on_edge),
+        ("zone controller sees plaintext", report.zc_sees_plaintext),
+        ("session keys stored in zone controller", report.keys_at_zc),
+        ("goodput (payload bits / wire bits)", f"{report.goodput_ratio:.3f}"),
+    ]
+    show("Fig. 4 — scenario S1: AUTOSAR SECOC + MACsec", rows,
+         header=("property", "value"))
+
+    assert report.delivered
+    assert not report.confidentiality_on_edge       # authentication-only
+    assert report.keys_at_zc > 0                    # ZC key storage
+    assert report.latency_s > reference.latency_s   # AUTOSAR gateway load

@@ -1,0 +1,34 @@
+"""FIG5 — scenario S2: MACsec end-to-end vs point-to-point.
+
+Regenerates Fig. 5's two variants with measured numbers, pinning the
+paper's trade-off: end-to-end "avoids key storage in the intermediate
+zone controller and security processing", but "communication mechanisms
+restrict the modification of header information".
+"""
+
+from repro.ivn.scenarios import run_s2_end_to_end, run_s2_point_to_point
+
+PAYLOAD = b"\x22" * 16
+
+
+def test_fig5_s2_variants(benchmark, show):
+    e2e = benchmark(run_s2_end_to_end, PAYLOAD)
+    p2p = run_s2_point_to_point(PAYLOAD)
+
+    rows = [
+        ("delivered (crypto verified)", e2e.delivered, p2p.delivered),
+        ("latency (us)", f"{e2e.latency_s * 1e6:.1f}", f"{p2p.latency_s * 1e6:.1f}"),
+        ("keys at ECU", e2e.keys_at_ecu, p2p.keys_at_ecu),
+        ("keys at zone controller", e2e.keys_at_zc, p2p.keys_at_zc),
+        ("keys at CC", e2e.keys_at_cc, p2p.keys_at_cc),
+        ("ZC sees plaintext", e2e.zc_sees_plaintext, p2p.zc_sees_plaintext),
+        ("ZC can modify headers", e2e.zc_can_modify_headers, p2p.zc_can_modify_headers),
+        ("goodput", f"{e2e.goodput_ratio:.3f}", f"{p2p.goodput_ratio:.3f}"),
+    ]
+    show("Fig. 5 — scenario S2: MACsec end-to-end (1) vs point-to-point (2)",
+         rows, header=("property", "S2 end-to-end", "S2 point-to-point"))
+
+    assert e2e.delivered and p2p.delivered
+    assert e2e.keys_at_zc == 0 and p2p.keys_at_zc > 0
+    assert not e2e.zc_can_modify_headers and p2p.zc_can_modify_headers
+    assert e2e.latency_s < p2p.latency_s

@@ -1,0 +1,95 @@
+"""FIG7 — SDV cloud connections and trust relations (paper Fig. 7).
+
+Regenerates the figure's trust story as measurements:
+
+* multi-anchor SSI: reconfiguration authorization across stakeholders
+  (HW vendor anchor + SW vendor anchor), success/denial matrix;
+* plug-and-charge: ISO 15118 single-root PKI vs SSI — anchor count,
+  message count, offline capability, roaming cost.
+"""
+
+from repro.ssi.charging import CHARGING_CONTRACT, Iso15118Pki, SsiChargingFlow
+from repro.ssi.registry import VerifiableDataRegistry
+from repro.ssi.sdv import HW_CREDENTIAL, SW_CREDENTIAL, ReconfigurationController
+from repro.ssi.trust import TrustPolicy
+from repro.ssi.wallet import Wallet
+
+NOW = 1_750_000_000.0
+
+
+def _sdv_world():
+    registry = VerifiableDataRegistry()
+    policy = TrustPolicy(registry)
+    hw_vendor = Wallet.create("hw-vendor", registry)
+    sw_vendor = Wallet.create("sw-vendor", registry)
+    rogue = Wallet.create("rogue-vendor", registry)
+    policy.add_anchor(HW_CREDENTIAL, str(hw_vendor.did))
+    policy.add_anchor(SW_CREDENTIAL, str(sw_vendor.did))
+
+    platform = Wallet.create("adas-ecu", registry)
+    platform.store(hw_vendor.issue(
+        credential_type=HW_CREDENTIAL, subject=platform.did,
+        claims={"platformType": "adas-gen3"}, issued_at=NOW))
+
+    good_sw = Wallet.create("lane-keeping", registry)
+    good_sw.store(sw_vendor.issue(
+        credential_type=SW_CREDENTIAL, subject=good_sw.did,
+        claims={"approvedPlatforms": ["adas-gen3"]}, issued_at=NOW))
+
+    bad_sw = Wallet.create("unapproved-app", registry)
+    bad_sw.store(rogue.issue(
+        credential_type=SW_CREDENTIAL, subject=bad_sw.did,
+        claims={"approvedPlatforms": ["adas-gen3"]}, issued_at=NOW))
+    return policy, platform, good_sw, bad_sw
+
+
+def test_fig7_reconfiguration_trust(benchmark, show):
+    policy, platform, good_sw, bad_sw = _sdv_world()
+    controller = ReconfigurationController(policy)
+
+    good = benchmark(controller.authorize_placement, good_sw, platform, now=NOW + 10)
+    bad = controller.authorize_placement(bad_sw, platform, now=NOW + 10)
+
+    rows = [
+        ("accredited software -> compatible HW", good.authorized,
+         good.verification_steps, good.reason),
+        ("rogue-vendor software -> same HW", bad.authorized,
+         bad.verification_steps, bad.reason[:48]),
+    ]
+    show("Fig. 7 — SDV reconfiguration under multi-anchor zero trust",
+         rows, header=("placement", "authorized", "verif. steps", "reason"))
+    assert good.authorized and not bad.authorized
+
+
+def test_fig7_pki_vs_ssi_charging(benchmark, show):
+    pki = Iso15118Pki()
+    pki.issue("cpo-sub-ca", "v2g-root")
+    pki.issue("emsp-sub-ca", "v2g-root")
+    pki.issue("contract-1", "emsp-sub-ca")
+
+    registry = VerifiableDataRegistry()
+    policy = TrustPolicy(registry)
+    flow = SsiChargingFlow(registry, policy)
+    provider_a = Wallet.create("emsp-a", registry)
+    provider_b = Wallet.create("emsp-b", registry)
+    vehicle = Wallet.create("ev", registry)
+    policy.add_anchor(CHARGING_CONTRACT, str(provider_a.did))
+    policy.add_anchor(CHARGING_CONTRACT, str(provider_b.did))
+    flow.subscribe(vehicle, provider_a, now=NOW)
+    flow.cache_for_offline([str(vehicle.did), str(provider_a.did)])
+
+    online = benchmark(flow.authorize, vehicle, now=NOW + 60)
+    offline = flow.authorize(vehicle, now=NOW + 60, offline=True)
+
+    rows = [
+        ("trust anchors", pki.trust_anchor_count, len(policy.anchors_for(CHARGING_CONTRACT))),
+        ("verification chain length", len(pki.chain_to_root("contract-1")), 1),
+        ("protocol messages", pki.message_count(), flow.message_count()),
+        ("offline authorization", "no (OCSP needed)",
+         "yes" if offline.authorized else "no"),
+        ("add roaming partner", "re-root / cross-sign", "one add_anchor call"),
+    ]
+    show("Fig. 7 / §IV-C — plug-and-charge: ISO 15118 PKI vs SSI",
+         rows, header=("property", "ISO 15118 PKI", "SSI"))
+    assert online.authorized and offline.authorized
+    assert len(policy.anchors_for(CHARGING_CONTRACT)) > pki.trust_anchor_count

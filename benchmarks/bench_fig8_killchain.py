@@ -1,0 +1,75 @@
+"""FIG8 — the CARIAD data-extraction kill chain (paper Fig. 8).
+
+Regenerates the figure as a stage-by-stage execution with measured
+damage, the per-mitigation ablation (where does the chain snap), and the
+privacy analysis of the exfiltrated geolocation data (§V-A's "we know
+where your car is" problem).
+"""
+
+from repro.datalayer.breach import run_breach
+from repro.datalayer.killchain import MITIGATIONS
+from repro.datalayer.privacy import reidentification_rate
+from repro.datalayer.telemetry import FleetTelemetryGenerator
+
+N_VEHICLES = 40
+DAYS = 30
+
+
+def test_fig8_kill_chain_execution(benchmark, show):
+    report = benchmark(run_breach, n_vehicles=N_VEHICLES, days=DAYS)
+    rows = [(i + 1, r.stage, "OK" if r.succeeded else "FAILED", r.detail[:52])
+            for i, r in enumerate(report.stage_results)]
+    rows.append(("-", "TOTAL", f"{report.stages_completed}/{report.total_stages}",
+                 f"{report.records_exfiltrated} records, "
+                 f"{report.distinct_vehicles_exposed} vehicles, "
+                 f"{report.sensitive_vehicles_exposed} sensitive"))
+    show("Fig. 8 — CARIAD kill chain, unmitigated", rows,
+         header=("#", "stage", "result", "detail"))
+    assert report.chain_completed
+    assert report.records_exfiltrated == N_VEHICLES * DAYS * 8
+
+
+def test_fig8_mitigation_ablation(benchmark, show):
+    def ablate():
+        return {
+            mitigation: run_breach(n_vehicles=10, days=5, mitigations={mitigation})
+            for mitigation in sorted(MITIGATIONS)
+        }
+
+    results = benchmark(ablate)
+    rows = [
+        (mitigation, f"{r.stages_completed}/{r.total_stages}",
+         r.records_exfiltrated, MITIGATIONS[mitigation][:44])
+        for mitigation, r in results.items()
+    ]
+    show("Fig. 8 — single-mitigation ablation (where the chain snaps)",
+         rows, header=("mitigation", "depth", "records", "description"))
+    assert all(r.records_exfiltrated == 0 for r in results.values())
+
+
+def test_fig8_privacy_damage(benchmark, show):
+    fleet = FleetTelemetryGenerator(N_VEHICLES, seed_label="fig8-privacy")
+    records = fleet.generate(days=DAYS)
+    anonymized = [r.anonymized() for r in records]
+
+    rate_precise = benchmark(reidentification_rate, anonymized, fleet.vehicles)
+    rate_coarse = reidentification_rate(
+        [r.coarsened(1) for r in anonymized], fleet.vehicles, cell_decimals=1)
+
+    from repro.datalayer.privacy import trajectory_uniqueness
+
+    uniqueness = trajectory_uniqueness(anonymized, n_points=4,
+                                       trials_per_vehicle=5)
+    rows = [
+        ("records leaked", len(records), ""),
+        ("re-identification of 'anonymized' traces", f"{rate_precise:.0%}",
+         "home inference vs address directory"),
+        ("after coarsening to ~11 km cells", f"{rate_coarse:.0%}",
+         "the data-minimization mitigation"),
+        ("uniqueness from 4 coarse points", f"{uniqueness:.0%}",
+         "de-Montjoye-style side-knowledge attack"),
+    ]
+    show("Fig. 8 / §V — privacy damage of the leaked geolocation data",
+         rows, header=("metric", "value", "note"))
+    assert rate_precise > 0.9
+    assert rate_coarse < rate_precise

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (figure/table) as printed
+rows — visible in the ``pytest benchmarks/ --benchmark-only`` output —
+and times a representative kernel with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print a titled table uncaptured, so it lands in the bench log."""
+
+    def _show(title: str, rows: list[tuple], header: tuple | None = None) -> None:
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            table = ([header] if header else []) + list(rows)
+            widths = [
+                max(len(str(row[i])) for row in table)
+                for i in range(len(table[0]))
+            ]
+            for idx, row in enumerate(table):
+                line = "  ".join(str(cell).ljust(width)
+                                 for cell, width in zip(row, widths))
+                print(line)
+                if header and idx == 0:
+                    print("  ".join("-" * width for width in widths))
+
+    return _show

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Example: forensic replay of the CARIAD telemetry breach (paper §V).
+
+Reproduces the Fig. 8 kill chain against the modeled backend, quantifies
+the privacy damage of the leaked geolocation data, and then answers the
+defender's question: which single fix would have stopped it, and what is
+the minimal feature surface that keeps the service alive but the chain
+dead (§V-C).
+
+    python examples/cariad_breach_forensics.py
+"""
+
+from repro.datalayer import (
+    MITIGATIONS,
+    FeatureSurfaceAnalyzer,
+    FleetTelemetryGenerator,
+    build_cariad_service,
+    reidentification_rate,
+    run_breach,
+)
+
+N_VEHICLES = 40
+DAYS = 30
+
+
+def step1_replay() -> None:
+    print("\n--- 1. replaying the kill chain ---")
+    report = run_breach(n_vehicles=N_VEHICLES, days=DAYS)
+    for i, result in enumerate(report.stage_results, 1):
+        marker = "OK " if result.succeeded else "FAIL"
+        print(f"  stage {i} [{marker}] {result.stage:24s} {result.detail}")
+    print(f"=> {report.records_exfiltrated} telemetry records for "
+          f"{report.distinct_vehicles_exposed} vehicles exfiltrated "
+          f"({report.sensitive_vehicles_exposed} flagged sensitive)")
+
+
+def step2_privacy() -> None:
+    print("\n--- 2. what the geolocation data gives away ---")
+    fleet = FleetTelemetryGenerator(N_VEHICLES, seed_label="cariad")
+    records = fleet.generate(days=DAYS)
+    anonymized = [r.anonymized() for r in records]
+    rate = reidentification_rate(anonymized, fleet.vehicles)
+    print(f"  re-identification of PII-stripped traces via home inference: {rate:.0%}")
+    coarse = reidentification_rate([r.coarsened(1) for r in anonymized],
+                                   fleet.vehicles, cell_decimals=1)
+    print(f"  after coarsening locations to ~11 km cells              : {coarse:.0%}")
+    print("=> stripping names does not anonymize movement data")
+
+
+def step3_mitigations() -> None:
+    print("\n--- 3. which single fix stops the chain? ---")
+    for mitigation, description in sorted(MITIGATIONS.items()):
+        report = run_breach(n_vehicles=10, days=5, mitigations={mitigation})
+        print(f"  {mitigation:28s} chain depth {report.stages_completed}/"
+              f"{report.total_stages}  ({description})")
+    print("=> every single mitigation kills the chain at a different stage")
+
+
+def step4_minimal_surface() -> None:
+    print("\n--- 4. §V-C: the minimal-surface answer ---")
+    service, _ = build_cariad_service(n_vehicles=5, days=2)
+    analyzer = FeatureSurfaceAnalyzer(service)
+    full = analyzer.analyze(set(analyzer.all_features))
+    minimal = analyzer.minimal_safe_surface({"core"})
+    print(f"  full feature set : {full.exposed_endpoints} endpoints, "
+          f"kill chain viable = {full.kill_chain_viable}")
+    print(f"  minimal safe set {set(minimal.features)}: "
+          f"{minimal.exposed_endpoints} endpoints, "
+          f"kill chain viable = {minimal.kill_chain_viable}")
+    print("=> removing the debug feature (not adding defenses) ends the attack")
+
+
+def main() -> None:
+    print("CARIAD breach forensics (paper §V, Fig. 8)")
+    step1_replay()
+    step2_privacy()
+    step3_mitigations()
+    step4_minimal_surface()
+
+
+if __name__ == "__main__":
+    main()

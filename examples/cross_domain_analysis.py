@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Example: the framework beyond road vehicles (paper §I).
+
+"Autonomous functionality is emerging in many other domains, from
+passenger trains and UAVs to production systems and robots in Industry
+4.0 ... all such challenges equally exist in other application domains."
+
+Runs the same layered security analysis over four domain profiles —
+automotive, rail, UAV, Industry 4.0 — and prints a comparable
+attack-surface and hardening table for each, demonstrating that the
+framework (and the tooling) is domain-agnostic.
+
+    python examples/cross_domain_analysis.py
+"""
+
+from repro.core.domains import DOMAIN_PROFILES, build_domain_model
+from repro.core.layers import LAYER_INFO
+from repro.core.metrics import attack_surface, criticality_weighted_exposure
+
+
+def main() -> None:
+    print("cross-domain layered security analysis (paper §I)")
+    print(f"\n{'domain':12s} {'components':>10s} {'entry pts':>9s} "
+          f"{'reachable':>9s} {'critical!':>9s} {'exposure':>9s} "
+          f"{'-> secured':>10s}")
+    for name, profile in DOMAIN_PROFILES.items():
+        model = build_domain_model(profile)
+        report = attack_surface(model)
+        exposure = criticality_weighted_exposure(model)
+        hardened = attack_surface(build_domain_model(profile, secured=True))
+        print(f"{name:12s} {len(model.components()):10d} "
+              f"{report.entry_points:9d} {report.reachable_components:9d} "
+              f"{report.reachable_critical:9d} {exposure:9.0f} "
+              f"{hardened.reachable_components:10d}")
+
+    print("\nper-domain layer instantiation:")
+    for name, profile in DOMAIN_PROFILES.items():
+        print(f"\n  {name}:")
+        by_layer: dict = {}
+        for component in profile.components:
+            by_layer.setdefault(component.layer, []).append(component.name)
+        for layer, names in sorted(by_layer.items()):
+            print(f"    {LAYER_INFO[layer].title:30s} {', '.join(names)}")
+
+    print("\n=> the same analyzer, metrics, and hardening counterfactual run")
+    print("   unchanged on every domain — the paper's generality claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Example: a full-stack attack story, red team vs blue team (paper §VIII).
+
+The paper's closing demand is a security posture that is "holistic and
+multi-layered ... able to detect attacks at their earliest stages and
+respond effectively across the multiple levels".  This walkthrough plays
+one incident across four layers of the reproduction:
+
+1. [data]     the attacker breaches the telemetry backend (Fig. 8 chain);
+2. [sos]      from that foothold, how far could the breach cascade?
+3. [network]  the attacker pivots into the vehicle and injects CAN
+              frames; the IDS detects and the response engine isolates;
+4. [holistic] the cross-layer assessment: which defenses mattered.
+
+    python examples/full_stack_attack_story.py
+"""
+
+from repro.core import (
+    LayeredSecurityAnalyzer,
+    Layer,
+    ResponseEngine,
+    SecurityAlert,
+    Severity,
+    default_catalog,
+)
+from repro.core.attackgraph import AttackGraph
+from repro.datalayer import run_breach
+from repro.ivn import FrequencyIds, SenderFingerprintIds
+from repro.ivn.streams import run_dos_response_experiment
+from repro.sos import CascadeSimulator, build_maas_sos
+
+
+def act1_the_breach() -> None:
+    print("\n--- act 1 [data layer]: the backend falls (Fig. 8) ---")
+    report = run_breach(n_vehicles=25, days=14)
+    for i, stage in enumerate(report.stage_results, 1):
+        print(f"  {i}. {stage.stage:24s} {'OK' if stage.succeeded else 'FAIL'}")
+    print(f"  => {report.records_exfiltrated} records exfiltrated; the "
+          f"attacker now holds backend credentials")
+
+
+def act2_the_stakes() -> None:
+    print("\n--- act 2 [system of systems]: what is now at stake (Fig. 9) ---")
+    model = build_maas_sos()
+    cascade = CascadeSimulator(model, seed_label="story").run(
+        "cloud-backend", trials=300)
+    print(f"  cascade from the breached backend: mean blast radius "
+          f"{cascade.mean_blast_radius:.1f}/{len(model.systems())} systems")
+    print(f"  P[safety-critical subsystem hit] = {cascade.p_safety_critical_hit:.0%}")
+    graph = AttackGraph(model.to_system_model())
+    path = graph.most_likely_path("safety-functions", source="cloud-backend")
+    if path:
+        print(f"  most likely path to the brakes: {' -> '.join(path.nodes)} "
+              f"(p={path.probability:.2f})")
+
+
+def act3_the_pivot() -> None:
+    print("\n--- act 3 [network layer]: the pivot into the vehicle ---")
+    # The attacker reaches a zone and floods / masquerades; the blue
+    # team's IDS + response engine close the loop.
+    report = run_dos_response_experiment(duration_s=1.0)
+    print(f"  flood begins at t=300 ms; detection at "
+          f"t={report.detection_time_s * 1e3:.0f} ms, isolation at "
+          f"t={report.isolation_time_s * 1e3:.0f} ms")
+    print(f"  deadline misses: {report.miss_rate_attack_no_response:.0%} "
+          f"without response -> {report.miss_rate_attack_with_response:.0%} with")
+
+    easi = SenderFingerprintIds(seed_label="story")
+    easi.register_node("brake-ecu", 1.0)
+    easi.register_node("compromised-tcu", 2.8)
+    easi.register_id(0x0A0, "brake-ecu")
+    alert = easi.observe(0x0A0, "compromised-tcu", 0.5)
+    print(f"  masquerade attempt on the brake id: "
+          f"{'flagged — ' + alert.reason if alert else 'missed'}")
+
+    engine = ResponseEngine(critical_components={"brake-ecu"})
+    decision = engine.handle(SecurityAlert(0.5, Layer.NETWORK,
+                                           "compromised-tcu", "can-masquerade",
+                                           Severity.CRITICAL))
+    print(f"  response engine: {decision.action.name} on the offending unit")
+
+
+def act4_the_postmortem() -> None:
+    print("\n--- act 4 [holistic]: the postmortem (§VIII) ---")
+    catalog = default_catalog()
+    analyzer = LayeredSecurityAnalyzer(catalog)
+    network_only = {d.name for d in catalog.defenses_on_layer(Layer.NETWORK)}
+    partial = analyzer.assess(network_only)
+    full = analyzer.assess()
+    print(f"  with network-layer defenses only: "
+          f"{len(partial.residual_attacks)} of {len(catalog.attacks)} attacks "
+          f"remain (weakest layer: {partial.weakest_layer.name})")
+    print(f"  with every layer defended        : "
+          f"{len(full.residual_attacks)} attacks remain")
+    print("  => the incident crossed data, SoS, and network layers; only the")
+    print("     multi-layer posture the paper argues for covers all of it.")
+
+
+def main() -> None:
+    print("full-stack attack story (red team vs blue team, paper §VIII)")
+    act1_the_breach()
+    act2_the_stakes()
+    act3_the_pivot()
+    act4_the_postmortem()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Example: SDV fleet reconfiguration with SSI trust (paper §IV, Fig. 7).
+
+Plays the fleet operator's day: an ADAS control unit fails mid-service
+and its software must move to another platform. The walkthrough covers
+the zero-trust placement check, the failover flow, evidence-chain
+creation for the incident, and the revocation of a bad software release.
+
+    python examples/sdv_fleet_reconfiguration.py
+"""
+
+from repro.ssi import (
+    HW_CREDENTIAL,
+    SW_CREDENTIAL,
+    DocumentStore,
+    ReconfigurationController,
+    SignedDocument,
+    TrustPolicy,
+    VerifiableDataRegistry,
+    Wallet,
+)
+
+NOW = 1_750_000_000.0
+
+
+def build_fleet():
+    registry = VerifiableDataRegistry()
+    policy = TrustPolicy(registry)
+    hw_vendor = Wallet.create("tier1-hw", registry)
+    sw_vendor = Wallet.create("adas-sw-vendor", registry)
+    policy.add_anchor(HW_CREDENTIAL, str(hw_vendor.did))
+    policy.add_anchor(SW_CREDENTIAL, str(sw_vendor.did))
+
+    platforms = []
+    for name, ptype in (("ecu-front", "adas-gen3"), ("ecu-rear", "adas-gen3"),
+                        ("ecu-infotainment", "infotainment-gen1")):
+        wallet = Wallet.create(name, registry)
+        wallet.store(hw_vendor.issue(
+            credential_type=HW_CREDENTIAL, subject=wallet.did,
+            claims={"platformType": ptype}, issued_at=NOW))
+        platforms.append(wallet)
+
+    software = Wallet.create("lane-keeping-v3", registry)
+    software.store(sw_vendor.issue(
+        credential_type=SW_CREDENTIAL, subject=software.did,
+        claims={"approvedPlatforms": ["adas-gen3"]}, issued_at=NOW))
+    return registry, policy, sw_vendor, platforms, software
+
+
+def main() -> None:
+    print("SDV fleet reconfiguration (paper §IV, Fig. 7)")
+    registry, policy, sw_vendor, platforms, software = build_fleet()
+    front, rear, infotainment = platforms
+    controller = ReconfigurationController(policy)
+
+    print("\n--- 1. initial placement ---")
+    decision = controller.authorize_placement(software, front, now=NOW + 10)
+    print(f"  lane-keeping-v3 -> ecu-front: authorized={decision.authorized} "
+          f"({decision.verification_steps} verification steps)")
+
+    print("\n--- 2. ecu-front fails; failover across candidates ---")
+    decision = controller.failover(software, [infotainment, rear], now=NOW + 100)
+    print(f"  tried infotainment first: placement landed on "
+          f"{decision.hardware} (authorized={decision.authorized})")
+    for entry in controller.audit_log[-2:]:
+        print(f"    audit: {entry.hardware:28s} {entry.reason}")
+
+    print("\n--- 3. signed evidence chain for the incident (§IV-B) ---")
+    store = DocumentStore(registry)
+    failure_log = SignedDocument.create(
+        author_did=str(front.did), author_key=front.keypair,
+        doc_type="failure-log", content={"component": "ecu-front", "code": "E42"})
+    log_hash = store.add(failure_log)
+    incident = SignedDocument.create(
+        author_did=str(rear.did), author_key=rear.keypair,
+        doc_type="reconfiguration-report",
+        content={"moved": "lane-keeping-v3", "to": "ecu-rear"},
+        links=[log_hash])
+    incident_hash = store.add(incident)
+    print(f"  evidence chain verifies end-to-end: {store.verify_chain(incident_hash)}")
+
+    print("\n--- 4. the release turns out bad: revoke it ---")
+    release = software.find(SW_CREDENTIAL)[0]
+    registry.revoke_credential(release.credential_id, release.issuer)
+    decision = controller.authorize_placement(software, rear, now=NOW + 200)
+    print(f"  re-authorization after revocation: authorized={decision.authorized} "
+          f"({decision.reason})")
+
+    print("\n--- 5. vendor ships a fixed release; service resumes ---")
+    software.store(sw_vendor.issue(
+        credential_type=SW_CREDENTIAL, subject=software.did,
+        claims={"approvedPlatforms": ["adas-gen3"], "fixes": "E42"},
+        issued_at=NOW + 300))
+    decision = controller.authorize_placement(software, rear, now=NOW + 310)
+    print(f"  placement with the new release: authorized={decision.authorized}")
+
+
+if __name__ == "__main__":
+    main()

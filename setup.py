@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so editable installs fall back to `setup.py develop` via --no-use-pep517."""
+
+from setuptools import setup
+
+setup()

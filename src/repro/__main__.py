@@ -1,0 +1,61 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro list                 # enumerate all experiments
+    python -m repro run FIG2             # regenerate one figure/table
+    python -m repro run all              # the full reproduction sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+
+from repro.experiments import EXPERIMENTS, benchmarks_dir, find
+
+
+def _cmd_list() -> int:
+    width = max(len(e.exp_id) for e in EXPERIMENTS)
+    print(f"{'id'.ljust(width)}  artifact   description")
+    print(f"{'-' * width}  ---------  {'-' * 50}")
+    for experiment in EXPERIMENTS:
+        print(f"{experiment.exp_id.ljust(width)}  {experiment.paper_artifact:9s}  "
+              f"{experiment.description}")
+    return 0
+
+
+def _cmd_run(exp_id: str) -> int:
+    directory = benchmarks_dir()
+    if exp_id.lower() == "all":
+        targets = [str(directory)]
+    else:
+        try:
+            experiment = find(exp_id)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        targets = [str(directory / experiment.bench_file)]
+    command = [sys.executable, "-m", "pytest", *targets, "--benchmark-only", "-q"]
+    return subprocess.call(command)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's figures and tables.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="enumerate experiments")
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("exp_id", help="experiment id from `list`, or 'all'")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_run(args.exp_id)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Collaboration layer (paper §VII): collaborative perception security and
+resource competition.
+
+* :mod:`repro.collab.perception` — ground-truth world, local sensing,
+  V2V detection sharing ([47]).
+* :mod:`repro.collab.attacks` — external injector vs credentialed
+  internal fabricator ([48]).
+* :mod:`repro.collab.detection` — authentication, redundancy
+  cross-validation, trust scoring (§VII-B).
+* :mod:`repro.collab.intersection` — competing-policy intersection game
+  with optional regulation (§VII-A).
+"""
+
+from repro.collab.attacks import ExternalInjector, InternalFabricator, PositionOffsetAttacker
+from repro.collab.detection import (
+    CollabFusionReport,
+    member_bias_estimates,
+    FusedObject,
+    FusionConfig,
+    SecureCollabFusion,
+    TrustManager,
+)
+from repro.collab.intersection import Arrival, IntersectionResult, IntersectionSim
+from repro.collab.v2v import SignedShare, V2vChannel
+from repro.collab.perception import (
+    CollabVehicle,
+    PerceptionWorld,
+    SharedDetection,
+    WorldObject,
+)
+
+__all__ = [
+    "WorldObject",
+    "SharedDetection",
+    "CollabVehicle",
+    "PerceptionWorld",
+    "ExternalInjector",
+    "InternalFabricator",
+    "FusionConfig",
+    "FusedObject",
+    "CollabFusionReport",
+    "SecureCollabFusion",
+    "TrustManager",
+    "Arrival",
+    "IntersectionResult",
+    "IntersectionSim",
+    "SignedShare",
+    "V2vChannel",
+    "PositionOffsetAttacker",
+    "member_bias_estimates",
+]

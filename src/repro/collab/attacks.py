@@ -1,0 +1,108 @@
+"""Collaboration-layer attackers: external injection and internal
+fabrication (paper §VII-B, ref [48]).
+
+Two adversaries with fundamentally different power:
+
+* :class:`ExternalInjector` — no credentials. Its messages fail channel
+  authentication and never reach fusion when a secure V2V channel is
+  deployed ("addressing this issue might seem straightforward by
+  implementing secure communication protocols").
+* :class:`InternalFabricator` — a *credentialed* member vehicle that
+  lies: injects ghost objects, suppresses real ones, or both.  "Secure
+  communication alone is insufficient, as the malicious node may possess
+  legitimate credentials" — this is the adversary the redundancy-based
+  detector in :mod:`repro.collab.detection` exists for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.rng import numpy_rng
+from repro.collab.perception import CollabVehicle, SharedDetection, WorldObject
+
+__all__ = ["ExternalInjector", "InternalFabricator", "PositionOffsetAttacker"]
+
+
+@dataclass
+class ExternalInjector:
+    """Uncredentialed attacker injecting forged shares over the air."""
+
+    name: str = "external-attacker"
+    n_ghosts: int = 3
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_ghosts < 1:
+            raise ValueError("n_ghosts must be positive")
+        self._rng = numpy_rng(f"external:{self.name}")
+
+    def forge_shares(self, area: float = 100.0) -> list[SharedDetection]:
+        """Forged detections claiming to come from a fake reporter."""
+        return [
+            SharedDetection(self.name,
+                            float(self._rng.uniform(-area, area)),
+                            float(self._rng.uniform(-area, area)))
+            for _ in range(self.n_ghosts)
+        ]
+
+
+@dataclass
+class PositionOffsetAttacker:
+    """A *subtle* credentialed insider: shifts reported positions.
+
+    Instead of inventing or hiding objects (which redundancy catches
+    quickly), this attacker biases its honest detections by a constant
+    offset — enough to corrupt fused positions toward, e.g., a lane
+    shift, while staying inside or near the association gate.  The
+    countermeasure is residual-bias analysis
+    (:func:`repro.collab.detection.member_bias_estimates`): an honest
+    member's detections scatter around the fused consensus with zero
+    mean, the offset attacker's do not.
+    """
+
+    vehicle: CollabVehicle
+    offset_x: float = 0.0
+    offset_y: float = 0.0
+
+    def malicious_shares(self, objects: list[WorldObject]) -> list[SharedDetection]:
+        return [
+            SharedDetection(d.reporter, d.x + self.offset_x, d.y + self.offset_y)
+            for d in self.vehicle.sense(objects)
+        ]
+
+
+@dataclass
+class InternalFabricator:
+    """A credentialed member that fabricates its *own* shares.
+
+    Args:
+        vehicle: the compromised member (its credentials are valid).
+        ghost_positions: fake objects to inject.
+        suppress_radius_m: real objects within this radius of a
+            suppression target are omitted from the vehicle's shares.
+        suppress_targets: positions whose surroundings to hide.
+    """
+
+    vehicle: CollabVehicle
+    ghost_positions: tuple[tuple[float, float], ...] = ()
+    suppress_radius_m: float = 5.0
+    suppress_targets: tuple[tuple[float, float], ...] = ()
+
+    def malicious_shares(self, objects: list[WorldObject]) -> list[SharedDetection]:
+        """The compromised vehicle's dishonest broadcast."""
+        honest = self.vehicle.sense(objects)
+        kept = [
+            d for d in honest
+            if not any(
+                np.hypot(d.x - tx, d.y - ty) <= self.suppress_radius_m
+                for tx, ty in self.suppress_targets
+            )
+        ]
+        ghosts = [
+            SharedDetection(self.vehicle.name, gx, gy)
+            for gx, gy in self.ghost_positions
+        ]
+        return kept + ghosts

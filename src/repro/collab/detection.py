@@ -1,0 +1,258 @@
+"""Fusion with authentication, consistency checking, and trust scoring
+(paper §VII-B).
+
+The defense pipeline mirrors the paper's argument structure:
+
+1. **channel authentication** — shares from non-members are dropped
+   (defeats the external injector, :class:`repro.collab.attacks.ExternalInjector`);
+2. **redundancy cross-validation** — a credentialed share that no other
+   member corroborates is *suspicious*; "addressing this threat requires
+   more comprehensive intrusion detection methods, which rely on
+   redundant sources of information to validate received data";
+3. **trust scoring** — members accumulate penalties for uncorroborated
+   claims and for missing objects everyone else sees; below a threshold
+   a member's shares are excluded.
+
+The paper's caveat — "such redundancy may not always be available,
+making detection and mitigation even more challenging" — is exactly the
+EXP-C2 bench: detection quality as a function of how many honest
+vehicles cover the contested spot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.collab.perception import PerceptionWorld, SharedDetection
+
+__all__ = ["FusionConfig", "FusedObject", "CollabFusionReport",
+           "SecureCollabFusion", "TrustManager", "member_bias_estimates"]
+
+
+def member_bias_estimates(shares_by_round: list[list[SharedDetection]],
+                          gate_m: float = 3.0) -> dict[str, tuple[float, float]]:
+    """Per-member mean residual against the per-cluster consensus.
+
+    For every round, detections are clustered (greedy, ``gate_m``); a
+    member's residual at a cluster is its detection minus the mean of
+    the *other* members' detections.  Honest members' residuals average
+    near zero; a :class:`~repro.collab.attacks.PositionOffsetAttacker`
+    shows its offset.  Returns ``{member: (bias_x, bias_y)}`` for
+    members with at least one multi-reporter cluster.
+    """
+    residuals: dict[str, list[tuple[float, float]]] = {}
+    for shares in shares_by_round:
+        clusters: list[list[SharedDetection]] = []
+        for share in sorted(shares, key=lambda s: (s.x, s.y)):
+            for cluster in clusters:
+                cx = float(np.mean([s.x for s in cluster]))
+                cy = float(np.mean([s.y for s in cluster]))
+                if np.hypot(share.x - cx, share.y - cy) <= 2 * gate_m:
+                    cluster.append(share)
+                    break
+            else:
+                clusters.append([share])
+        for cluster in clusters:
+            if len({s.reporter for s in cluster}) < 2:
+                continue
+            for share in cluster:
+                others = [s for s in cluster if s.reporter != share.reporter]
+                if not others:
+                    continue
+                ox = float(np.mean([s.x for s in others]))
+                oy = float(np.mean([s.y for s in others]))
+                residuals.setdefault(share.reporter, []).append(
+                    (share.x - ox, share.y - oy))
+    return {
+        member: (float(np.mean([r[0] for r in rs])),
+                 float(np.mean([r[1] for r in rs])))
+        for member, rs in residuals.items()
+    }
+
+
+@dataclass(frozen=True)
+class FusionConfig:
+    """Fusion and detection parameters."""
+
+    gate_m: float = 3.0              # association gate for clustering
+    quorum: int = 2                  # reporters needed to confirm a cluster
+    authenticate: bool = True        # drop non-member shares
+    cross_validate: bool = True      # flag uncorroborated member claims
+    trust_threshold: float = 0.3     # members below are excluded
+
+    def __post_init__(self) -> None:
+        if self.quorum < 1 or self.gate_m <= 0:
+            raise ValueError("invalid fusion parameters")
+
+
+@dataclass(frozen=True)
+class FusedObject:
+    """A confirmed fused object."""
+
+    x: float
+    y: float
+    reporters: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CollabFusionReport:
+    """One fusion round's outcome vs ground truth."""
+
+    confirmed: tuple[FusedObject, ...]
+    dropped_unauthenticated: int
+    flagged_shares: int
+    ghosts_accepted: int
+    objects_missed: int
+
+
+class TrustManager:
+    """Per-member trust scores in [0, 1]."""
+
+    def __init__(self, members: list[str], *, penalty: float = 0.2,
+                 reward: float = 0.05) -> None:
+        self._scores = {m: 1.0 for m in members}
+        self.penalty = penalty
+        self.reward = reward
+
+    def score(self, member: str) -> float:
+        return self._scores.get(member, 0.0)
+
+    def penalize(self, member: str) -> None:
+        if member in self._scores:
+            self._scores[member] = max(0.0, self._scores[member] - self.penalty)
+
+    def reward_member(self, member: str) -> None:
+        if member in self._scores:
+            self._scores[member] = min(1.0, self._scores[member] + self.reward)
+
+    def trusted_members(self, threshold: float) -> set[str]:
+        return {m for m, s in self._scores.items() if s >= threshold}
+
+
+class SecureCollabFusion:
+    """The fused perception pipeline with the three defense stages."""
+
+    def __init__(self, world: PerceptionWorld,
+                 config: FusionConfig | None = None) -> None:
+        self.world = world
+        self.config = config or FusionConfig()
+        self.members = {v.name for v in world.vehicles}
+        self.trust = TrustManager(sorted(self.members))
+
+    def _cluster(self, shares: list[SharedDetection]) -> list[list[SharedDetection]]:
+        """Greedy 2-D clustering with the association gate."""
+        clusters: list[list[SharedDetection]] = []
+        for share in shares:
+            placed = False
+            for cluster in clusters:
+                cx = float(np.mean([s.x for s in cluster]))
+                cy = float(np.mean([s.y for s in cluster]))
+                if np.hypot(share.x - cx, share.y - cy) <= self.config.gate_m:
+                    cluster.append(share)
+                    placed = True
+                    break
+            if not placed:
+                clusters.append([share])
+        return clusters
+
+    def fuse(self, shares: list[SharedDetection]) -> CollabFusionReport:
+        """Run one fusion round over the given broadcast set."""
+        config = self.config
+
+        dropped = 0
+        if config.authenticate:
+            authenticated = [s for s in shares if s.reporter in self.members]
+            dropped = len(shares) - len(authenticated)
+        else:
+            authenticated = list(shares)
+
+        trusted = self.trust.trusted_members(config.trust_threshold)
+        # Trust scores exist only for members; with authentication off,
+        # non-member shares slipped past the gate and cannot be filtered
+        # by (nonexistent) trust state — they count as usable.
+        usable = [
+            s for s in authenticated
+            if s.reporter in trusted or s.reporter not in self.members
+        ]
+        # Probation: excluded members' shares are withheld from fusion
+        # but kept aside — if they corroborate what the trusted fleet
+        # confirms, the member slowly earns its way back (rehabilitation
+        # after a false accusation or a cleaned compromise).
+        probation = [
+            s for s in authenticated
+            if s.reporter in self.members and s.reporter not in trusted
+        ]
+
+        clusters = self._cluster(usable)
+        confirmed: list[FusedObject] = []
+        flagged = 0
+        for cluster in clusters:
+            reporters = {s.reporter for s in cluster}
+            cx = float(np.mean([s.x for s in cluster]))
+            cy = float(np.mean([s.y for s in cluster]))
+            # Redundancy available at this spot: how many trusted members
+            # could have seen it.
+            coverage = sum(
+                1 for v in self.world.vehicles
+                if v.name in trusted
+                and np.hypot(cx - v.x, cy - v.y) <= v.sensing_range_m
+            )
+            required = min(config.quorum, max(coverage, 1))
+            if len(reporters) >= required:
+                confirmed.append(FusedObject(cx, cy, tuple(sorted(reporters))))
+                for reporter in reporters:
+                    self.trust.reward_member(reporter)
+            elif config.cross_validate and coverage >= 2:
+                # Claim contradicted by available redundancy: flag it.
+                flagged += len(cluster)
+                for reporter in reporters:
+                    self.trust.penalize(reporter)
+            else:
+                # No redundancy to judge with — the paper's hard case:
+                # accept provisionally.
+                confirmed.append(FusedObject(cx, cy, tuple(sorted(reporters))))
+
+        for share in probation:
+            if any(np.hypot(share.x - fused.x, share.y - fused.y) <= config.gate_m
+                   for fused in confirmed):
+                self.trust.reward_member(share.reporter)
+
+        ghosts = sum(
+            1 for fused in confirmed
+            if not any(np.hypot(fused.x - o.x, fused.y - o.y) <= config.gate_m
+                       for o in self.world.objects)
+        )
+        missed = sum(
+            1 for obj in self.world.objects
+            if self.world.coverage_of(obj) > 0
+            and not any(np.hypot(obj.x - f.x, obj.y - f.y) <= config.gate_m
+                        for f in confirmed)
+        )
+        return CollabFusionReport(
+            confirmed=tuple(confirmed),
+            dropped_unauthenticated=dropped,
+            flagged_shares=flagged,
+            ghosts_accepted=ghosts,
+            objects_missed=missed,
+        )
+
+    def run_rounds(self, n_rounds: int,
+                   malicious_shares_fn=None) -> list[CollabFusionReport]:
+        """Repeated rounds (trust accumulates).
+
+        ``malicious_shares_fn(objects) -> list[SharedDetection]`` replaces
+        the compromised members' honest broadcasts; honest members'
+        shares are generated by the world each round.
+        """
+        reports = []
+        for _ in range(n_rounds):
+            shares = self.world.collect_shares()
+            if malicious_shares_fn is not None:
+                malicious = malicious_shares_fn(self.world.objects)
+                bad_reporters = {s.reporter for s in malicious}
+                shares = [s for s in shares if s.reporter not in bad_reporters]
+                shares.extend(malicious)
+            reports.append(self.fuse(shares))
+        return reports

@@ -1,0 +1,166 @@
+"""Competing collaborative systems at an intersection (paper §VII-A).
+
+"Assuming these systems will 'honestly' collaborate is overly
+simplistic ... they will also compete for resources, as each system is
+programmed to optimize resource usage ... Such a situation would require
+strict national and international legislation."
+
+The model is a four-way intersection as a shared resource: vehicles
+arrive on four approaches, and per time step the intersection grants
+crossing to one approach. Vehicle *policies*:
+
+* ``cooperative`` — yields per the first-come-first-served norm;
+* ``selfish`` — claims priority whenever possible (legal-but-unethical
+  nosing in), preempting cooperative traffic;
+* ``deadlock-prone`` — over-polite: yields even when it has right of
+  way, which with four such vehicles at once reproduces the paper's
+  "different cars stuck at an intersection, each waiting for the other".
+
+A ``regulated`` flag imposes the common-directive arbiter (strict FCFS
+with anti-starvation), modeling the legislation the paper calls for.
+The EXP-C1 bench compares throughput, fairness (per-approach wait), and
+deadlock occurrence across policy mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.rng import python_rng
+
+__all__ = ["Arrival", "IntersectionResult", "IntersectionSim"]
+
+_POLICIES = ("cooperative", "selfish", "deadlock-prone")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One vehicle arriving at the intersection."""
+
+    time: int
+    approach: int          # 0..3
+    policy: str
+
+    def __post_init__(self) -> None:
+        if self.policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}")
+        if not 0 <= self.approach <= 3:
+            raise ValueError("approach must be 0..3")
+
+
+@dataclass(frozen=True)
+class IntersectionResult:
+    """Aggregate outcome of one simulation."""
+
+    crossed: int
+    mean_wait: float
+    max_wait: int
+    waits_by_policy: dict
+    deadlock_steps: int
+    preemptions: int
+
+    @property
+    def deadlocked(self) -> bool:
+        return self.deadlock_steps > 0
+
+
+@dataclass
+class IntersectionSim:
+    """Discrete-time four-way intersection simulation.
+
+    Args:
+        regulated: impose the common-directive arbiter (strict FCFS +
+            anti-starvation); without it, selfish vehicles preempt and
+            over-polite clusters can deadlock.
+        crossing_time: steps one crossing occupies the box.
+    """
+
+    regulated: bool = False
+    crossing_time: int = 2
+    seed_label: str = "intersection"
+    _rng: object = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = python_rng(self.seed_label)
+
+    def generate_arrivals(self, n_vehicles: int, *, horizon: int = 200,
+                          policy_mix: dict | None = None) -> list[Arrival]:
+        """Random arrivals with the given policy mix (fractions sum to 1)."""
+        mix = policy_mix or {"cooperative": 1.0}
+        if abs(sum(mix.values()) - 1.0) > 1e-9:
+            raise ValueError("policy mix must sum to 1")
+        policies = list(mix)
+        weights = [mix[p] for p in policies]
+        arrivals = []
+        for _ in range(n_vehicles):
+            policy = self._rng.choices(policies, weights=weights)[0]
+            arrivals.append(Arrival(
+                time=self._rng.randrange(horizon),
+                approach=self._rng.randrange(4),
+                policy=policy,
+            ))
+        return sorted(arrivals, key=lambda a: (a.time, a.approach))
+
+    def run(self, arrivals: list[Arrival], *, max_steps: int = 10_000) -> IntersectionResult:
+        """Simulate until everyone crossed or ``max_steps`` elapse."""
+        queues: list[list[Arrival]] = [[], [], [], []]
+        pending = sorted(arrivals, key=lambda a: a.time)
+        waits: list[tuple[str, int]] = []
+        box_free_at = 0
+        deadlock_steps = 0
+        preemptions = 0
+        crossed = 0
+        step = 0
+        idx = 0
+        while step < max_steps and (idx < len(pending) or any(queues)):
+            while idx < len(pending) and pending[idx].time <= step:
+                queues[pending[idx].approach].append(pending[idx])
+                idx += 1
+            if step >= box_free_at:
+                heads = [(q[0], approach) for approach, q in enumerate(queues) if q]
+                if heads:
+                    chosen = self._arbitrate(heads)
+                    if chosen is None:
+                        deadlock_steps += 1
+                    else:
+                        vehicle, approach = chosen
+                        fcfs = min(heads, key=lambda h: (h[0].time, h[1]))
+                        if (vehicle, approach) != fcfs:
+                            preemptions += 1
+                        queues[approach].pop(0)
+                        waits.append((vehicle.policy, step - vehicle.time))
+                        crossed += 1
+                        box_free_at = step + self.crossing_time
+            step += 1
+
+        by_policy: dict[str, list[int]] = {}
+        for policy, wait in waits:
+            by_policy.setdefault(policy, []).append(wait)
+        return IntersectionResult(
+            crossed=crossed,
+            mean_wait=sum(w for _, w in waits) / len(waits) if waits else 0.0,
+            max_wait=max((w for _, w in waits), default=0),
+            waits_by_policy={
+                policy: sum(ws) / len(ws) for policy, ws in by_policy.items()
+            },
+            deadlock_steps=deadlock_steps,
+            preemptions=preemptions,
+        )
+
+    def _arbitrate(self, heads: list[tuple[Arrival, int]]) -> tuple[Arrival, int] | None:
+        """Decide who crosses this step; None models a deadlock step."""
+        if self.regulated:
+            # Common directive: strict FCFS, ties by approach index.
+            return min(heads, key=lambda h: (h[0].time, h[1]))
+        selfish = [h for h in heads if h[0].policy == "selfish"]
+        if selfish:
+            # A selfish vehicle noses in ahead of the FCFS order.
+            return min(selfish, key=lambda h: (h[0].time, h[1]))
+        assertive = [h for h in heads if h[0].policy != "deadlock-prone"]
+        if assertive:
+            return min(assertive, key=lambda h: (h[0].time, h[1]))
+        # Everyone is over-polite: if several deadlock-prone vehicles
+        # face each other, they all wait (the paper's stuck intersection).
+        if len(heads) >= 2:
+            return None
+        return heads[0]

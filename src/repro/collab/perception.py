@@ -1,0 +1,109 @@
+"""Collaborative perception world and V2V sharing (paper §VII, ref [47]).
+
+"Sensor data (e.g., from cameras and LiDAR) collected by one autonomous
+vehicle can be shared with other autonomous vehicles to achieve
+collaborative perception, enhancing overall efficiency and safety."
+
+The model is a 2-D world with point objects and vehicles that each see
+objects within sensing range (noisy, with occasional misses), broadcast
+their detections, and fuse everyone's shares.  The security layer —
+credentials, attackers, and detection — builds on top in
+:mod:`repro.collab.attacks` and :mod:`repro.collab.detection`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.rng import numpy_rng
+
+__all__ = ["WorldObject", "SharedDetection", "CollabVehicle", "PerceptionWorld"]
+
+
+@dataclass(frozen=True)
+class WorldObject:
+    """A ground-truth object (pedestrian, vehicle, obstacle)."""
+
+    object_id: int
+    x: float
+    y: float
+
+
+@dataclass(frozen=True)
+class SharedDetection:
+    """One detection as broadcast over V2V."""
+
+    reporter: str
+    x: float
+    y: float
+
+
+@dataclass
+class CollabVehicle:
+    """A vehicle with local sensing that shares detections.
+
+    Args:
+        name: vehicle identity (its V2V credential subject).
+        x, y: position.
+        sensing_range_m: local perception radius.
+        noise_sigma_m: position noise of local detections.
+        miss_prob: probability a true in-range object is missed locally.
+    """
+
+    name: str
+    x: float
+    y: float
+    sensing_range_m: float = 60.0
+    noise_sigma_m: float = 0.5
+    miss_prob: float = 0.05
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = numpy_rng(f"collab-vehicle:{self.name}")
+
+    def sense(self, objects: list[WorldObject]) -> list[SharedDetection]:
+        """Locally detect in-range objects (noisy, with misses)."""
+        detections = []
+        for obj in objects:
+            distance = float(np.hypot(obj.x - self.x, obj.y - self.y))
+            if distance > self.sensing_range_m:
+                continue
+            if self._rng.random() < self.miss_prob:
+                continue
+            detections.append(SharedDetection(
+                self.name,
+                obj.x + float(self._rng.normal(0.0, self.noise_sigma_m)),
+                obj.y + float(self._rng.normal(0.0, self.noise_sigma_m)),
+            ))
+        return detections
+
+
+class PerceptionWorld:
+    """Ground truth + a fleet of collaborating vehicles."""
+
+    def __init__(self, objects: list[WorldObject],
+                 vehicles: list[CollabVehicle]) -> None:
+        ids = [o.object_id for o in objects]
+        if len(ids) != len(set(ids)):
+            raise ValueError("duplicate object ids")
+        names = [v.name for v in vehicles]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate vehicle names")
+        self.objects = list(objects)
+        self.vehicles = list(vehicles)
+
+    def collect_shares(self) -> list[SharedDetection]:
+        """One perception round: every vehicle senses and broadcasts."""
+        shares: list[SharedDetection] = []
+        for vehicle in self.vehicles:
+            shares.extend(vehicle.sense(self.objects))
+        return shares
+
+    def coverage_of(self, obj: WorldObject) -> int:
+        """How many vehicles have the object in sensing range (redundancy)."""
+        return sum(
+            1 for v in self.vehicles
+            if np.hypot(obj.x - v.x, obj.y - v.y) <= v.sensing_range_m
+        )

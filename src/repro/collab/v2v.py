@@ -1,0 +1,78 @@
+"""Cryptographically authenticated V2V sharing (paper §VII-B + §IV).
+
+Ties the SSI layer into collaborative perception: each vehicle holds an
+SSI wallet (:mod:`repro.ssi.wallet`), signs every broadcast detection
+with its Ed25519 key, and receivers verify against the DID registry.
+This replaces the membership-list abstraction of
+:class:`repro.collab.detection.SecureCollabFusion` with real signatures,
+so the §VII-B dichotomy is enforced by mathematics:
+
+* the **external injector** has no registered DID — its messages fail
+  signature verification;
+* the **internal fabricator** signs its lies correctly — they verify,
+  and only redundancy cross-validation catches them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.collab.perception import SharedDetection
+from repro.ssi.registry import VerifiableDataRegistry
+from repro.ssi.wallet import Wallet
+
+__all__ = ["SignedShare", "V2vChannel"]
+
+
+@dataclass(frozen=True)
+class SignedShare:
+    """A detection share with its sender's signature."""
+
+    reporter_did: str
+    x: float
+    y: float
+    round_index: int
+    signature: bytes
+
+    def signing_input(self) -> bytes:
+        body = {"r": self.reporter_did, "x": round(self.x, 6),
+                "y": round(self.y, 6), "i": self.round_index}
+        return json.dumps(body, sort_keys=True).encode()
+
+
+class V2vChannel:
+    """Sign-and-verify layer over shared detections."""
+
+    def __init__(self, registry: VerifiableDataRegistry) -> None:
+        self.registry = registry
+        self.stats = {"verified": 0, "rejected": 0}
+
+    @staticmethod
+    def sign(wallet: Wallet, detection: SharedDetection,
+             round_index: int) -> SignedShare:
+        draft = SignedShare(str(wallet.did), detection.x, detection.y,
+                            round_index, b"")
+        return SignedShare(draft.reporter_did, draft.x, draft.y,
+                           round_index, wallet.keypair.sign(draft.signing_input()))
+
+    def verify(self, share: SignedShare) -> SharedDetection | None:
+        """Registry-backed verification; returns the plain detection."""
+        try:
+            document = self.registry.resolve(share.reporter_did)
+        except KeyError:
+            self.stats["rejected"] += 1
+            return None
+        if not document.verify(share.signing_input(), share.signature):
+            self.stats["rejected"] += 1
+            return None
+        self.stats["verified"] += 1
+        return SharedDetection(share.reporter_did, share.x, share.y)
+
+    def verify_batch(self, shares: list[SignedShare]) -> list[SharedDetection]:
+        detections = []
+        for share in shares:
+            detection = self.verify(share)
+            if detection is not None:
+                detections.append(detection)
+        return detections

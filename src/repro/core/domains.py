@@ -1,0 +1,137 @@
+"""Domain generality: the framework beyond road vehicles (paper §I).
+
+"We also witness autonomous functionality emerging in many other
+domains, from passenger trains and Unmanned Aerial Vehicles to
+production systems and robots in Industry 4.0 applications ... All such
+challenges equally exist in other application domains."
+
+A :class:`DomainProfile` instantiates the layered architecture for one
+domain: representative components per layer and the communication
+substrate each uses. :func:`build_domain_model` converts a profile into
+the core :class:`~repro.core.entities.SystemModel`, so the same
+attack-surface and analyzer machinery runs unchanged on a train, a UAV
+fleet, or a production cell — the executable form of §I's generality
+claim (asserted by the tests: every cataloged attack layer has a
+component to land on in every domain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.entities import Component, Interface, SystemModel
+from repro.core.layers import Layer
+from repro.core.threats import AccessLevel
+
+__all__ = ["DomainComponent", "DomainProfile", "DOMAIN_PROFILES", "build_domain_model"]
+
+
+@dataclass(frozen=True)
+class DomainComponent:
+    """One representative component in a domain profile."""
+
+    name: str
+    layer: Layer
+    criticality: int
+    exposed: bool = False
+    connects_to: tuple[str, ...] = ()
+    protocol: str = "internal"
+
+
+@dataclass(frozen=True)
+class DomainProfile:
+    """A domain instantiation of the Fig. 1 layers."""
+
+    name: str
+    components: tuple[DomainComponent, ...]
+
+    def layers_covered(self) -> set[Layer]:
+        return {c.layer for c in self.components}
+
+
+DOMAIN_PROFILES: dict[str, DomainProfile] = {
+    "automotive": DomainProfile("automotive", (
+        DomainComponent("uwb-anchor", Layer.PHYSICAL, 4,
+                        connects_to=("gateway",), protocol="uwb"),
+        DomainComponent("lidar", Layer.PHYSICAL, 4,
+                        connects_to=("ad-stack",), protocol="sensor"),
+        DomainComponent("gateway", Layer.NETWORK, 4,
+                        connects_to=("ad-stack",), protocol="ethernet"),
+        DomainComponent("telematics", Layer.NETWORK, 2, exposed=True,
+                        connects_to=("gateway",), protocol="cellular"),
+        DomainComponent("ad-stack", Layer.SOFTWARE_PLATFORM, 5,
+                        connects_to=("telemetry-backend",), protocol="telematics"),
+        DomainComponent("telemetry-backend", Layer.DATA, 3, exposed=True,
+                        protocol="https"),
+        DomainComponent("maas-platform", Layer.SYSTEM_OF_SYSTEMS, 3, exposed=True,
+                        connects_to=("telemetry-backend",), protocol="api"),
+        DomainComponent("v2x-stack", Layer.COLLABORATION, 4,
+                        connects_to=("ad-stack",), protocol="v2x"),
+    )),
+    "rail": DomainProfile("rail", (
+        DomainComponent("balise-reader", Layer.PHYSICAL, 5,
+                        connects_to=("train-control",), protocol="balise"),
+        DomainComponent("obstacle-radar", Layer.PHYSICAL, 5,
+                        connects_to=("train-control",), protocol="sensor"),
+        DomainComponent("train-bus", Layer.NETWORK, 4,
+                        connects_to=("train-control",), protocol="mvb"),
+        DomainComponent("gsm-r-modem", Layer.NETWORK, 3, exposed=True,
+                        connects_to=("train-bus",), protocol="gsm-r"),
+        DomainComponent("train-control", Layer.SOFTWARE_PLATFORM, 5,
+                        connects_to=("fleet-backend",), protocol="gsm-r"),
+        DomainComponent("fleet-backend", Layer.DATA, 3, exposed=True,
+                        protocol="https"),
+        DomainComponent("traffic-management", Layer.SYSTEM_OF_SYSTEMS, 4, exposed=True,
+                        connects_to=("fleet-backend",), protocol="api"),
+        DomainComponent("convoy-coordination", Layer.COLLABORATION, 4,
+                        connects_to=("train-control",), protocol="radio"),
+    )),
+    "uav": DomainProfile("uav", (
+        DomainComponent("gnss-receiver", Layer.PHYSICAL, 5,
+                        connects_to=("flight-controller",), protocol="gnss"),
+        DomainComponent("rc-link", Layer.NETWORK, 4, exposed=True,
+                        connects_to=("flight-controller",), protocol="radio"),
+        DomainComponent("flight-controller", Layer.SOFTWARE_PLATFORM, 5,
+                        connects_to=("ground-station",), protocol="radio"),
+        DomainComponent("mission-logs", Layer.DATA, 2, exposed=True,
+                        protocol="https"),
+        DomainComponent("ground-station", Layer.SYSTEM_OF_SYSTEMS, 4, exposed=True,
+                        connects_to=("mission-logs",), protocol="api"),
+        DomainComponent("swarm-link", Layer.COLLABORATION, 4,
+                        connects_to=("flight-controller",), protocol="mesh"),
+    )),
+    "industry40": DomainProfile("industry40", (
+        DomainComponent("proximity-sensor", Layer.PHYSICAL, 4,
+                        connects_to=("plc",), protocol="io-link"),
+        DomainComponent("field-bus", Layer.NETWORK, 4,
+                        connects_to=("plc",), protocol="profinet"),
+        DomainComponent("ot-gateway", Layer.NETWORK, 3, exposed=True,
+                        connects_to=("field-bus",), protocol="opc-ua"),
+        DomainComponent("plc", Layer.SOFTWARE_PLATFORM, 5,
+                        connects_to=("historian",), protocol="opc-ua"),
+        DomainComponent("historian", Layer.DATA, 3, exposed=True,
+                        protocol="https"),
+        DomainComponent("mes", Layer.SYSTEM_OF_SYSTEMS, 3, exposed=True,
+                        connects_to=("historian",), protocol="api"),
+        DomainComponent("agv-fleet-coordination", Layer.COLLABORATION, 4,
+                        connects_to=("plc",), protocol="wifi"),
+    )),
+}
+
+
+def build_domain_model(profile: DomainProfile, *,
+                       secured: bool = False) -> SystemModel:
+    """Instantiate a profile as a SystemModel ready for analysis."""
+    model = SystemModel(f"domain:{profile.name}")
+    for component in profile.components:
+        model.add_component(Component(
+            component.name, component.layer, criticality=component.criticality,
+            exposed=component.exposed,
+        ))
+    for component in profile.components:
+        for target in component.connects_to:
+            model.connect(Interface(component.name, target, component.protocol,
+                                    AccessLevel.LOCAL_BUS, authenticated=secured))
+            model.connect(Interface(target, component.name, component.protocol,
+                                    AccessLevel.LOCAL_BUS, authenticated=secured))
+    return model

@@ -1,0 +1,102 @@
+"""Deterministic discrete-event simulation kernel.
+
+Shared substrate for the timed simulators in this reproduction: the CAN
+bus and Ethernet switch models (:mod:`repro.ivn`), the 10BASE-T1S PLCA
+round-robin, and the collaborative-perception world (:mod:`repro.collab`).
+
+The kernel is a plain priority queue of ``(time, seq, callback)`` entries.
+``seq`` makes ordering total and deterministic: two events scheduled for
+the same instant fire in scheduling order, so repeated runs of a seeded
+simulation are bit-identical — a prerequisite for reproducible security
+experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordered by ``(time, seq)``."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    canceled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.canceled = True
+
+
+class Simulator:
+    """Minimal deterministic event loop.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print("fired at", sim.now))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._processed = 0
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including canceled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self.now + delay, self._seq, action)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at an absolute simulation time."""
+        return self.schedule(time - self.now, action)
+
+    def step(self) -> bool:
+        """Execute the next event. Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.canceled:
+                continue
+            self.now = event.time
+            event.action()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``max_events`` fire."""
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            next_time = self._queue[0].time
+            if until is not None and next_time > until:
+                self.now = until
+                return
+            if not self.step():
+                return
+            executed += 1
+        if until is not None and until > self.now:
+            self.now = until

@@ -1,0 +1,132 @@
+"""The paper's layered architecture of an autonomous system (Fig. 1).
+
+The paper structures its entire discussion around five architectural
+layers — physical, network, software & platform, data, and system of
+systems — plus the cross-cutting collaboration dimension (§VII).  This
+module encodes that taxonomy as an enum with ordering (lower layers are
+"closer to the physics") and attaches to each layer the section of the
+paper it comes from and the subpackage of this reproduction that
+operationalizes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+__all__ = ["Layer", "LayerInfo", "LAYER_INFO", "adjacent_layers"]
+
+
+class Layer(IntEnum):
+    """Abstraction layers of an autonomous system, ordered bottom-up.
+
+    The integer values encode the stacking order of Fig. 1; comparisons
+    like ``Layer.PHYSICAL < Layer.NETWORK`` read as "further from the
+    system-of-systems boundary".
+    """
+
+    PHYSICAL = 1
+    NETWORK = 2
+    SOFTWARE_PLATFORM = 3
+    DATA = 4
+    SYSTEM_OF_SYSTEMS = 5
+    COLLABORATION = 6
+
+
+@dataclass(frozen=True)
+class LayerInfo:
+    """Descriptive record for one layer of the architecture."""
+
+    layer: Layer
+    title: str
+    paper_section: str
+    example_mechanisms: tuple[str, ...]
+    subpackage: str
+
+
+LAYER_INFO: dict[Layer, LayerInfo] = {
+    Layer.PHYSICAL: LayerInfo(
+        Layer.PHYSICAL,
+        "Physical Layer",
+        "II",
+        (
+            "UWB secure ranging (HRP/LRP)",
+            "distance bounding & distance commitment",
+            "sensor spoofing resilience",
+            "PKES relay-attack mitigation",
+        ),
+        "repro.phy",
+    ),
+    Layer.NETWORK: LayerInfo(
+        Layer.NETWORK,
+        "Network Layer",
+        "III",
+        (
+            "SECOC", "MACsec", "CANsec", "CANAL",
+            "zonal E/E architecture", "intrusion detection",
+        ),
+        "repro.ivn",
+    ),
+    Layer.SOFTWARE_PLATFORM: LayerInfo(
+        Layer.SOFTWARE_PLATFORM,
+        "Software and Platform Layer",
+        "IV",
+        (
+            "software-defined vehicle reconfiguration",
+            "self-sovereign identity",
+            "verifiable credentials",
+            "plug-and-charge authentication",
+        ),
+        "repro.ssi",
+    ),
+    Layer.DATA: LayerInfo(
+        Layer.DATA,
+        "Data Layer",
+        "V",
+        (
+            "telemetry data protection",
+            "kill-chain analysis",
+            "attack-surface minimization",
+            "geolocation privacy",
+        ),
+        "repro.datalayer",
+    ),
+    Layer.SYSTEM_OF_SYSTEMS: LayerInfo(
+        Layer.SYSTEM_OF_SYSTEMS,
+        "System of Systems Layer",
+        "VI",
+        (
+            "MaaS platform architecture",
+            "STRIDE threat enumeration",
+            "risk cascades",
+            "responsibility mapping",
+        ),
+        "repro.sos",
+    ),
+    Layer.COLLABORATION: LayerInfo(
+        Layer.COLLABORATION,
+        "Collaboration Layer",
+        "VII",
+        (
+            "collaborative perception",
+            "internal-attacker detection",
+            "resource-competition governance",
+        ),
+        "repro.collab",
+    ),
+}
+
+
+def adjacent_layers(layer: Layer) -> tuple[Layer, ...]:
+    """Return the layers directly above/below ``layer`` in the Fig. 1 stack.
+
+    Cross-layer attack paths in the analyzer propagate only between
+    adjacent layers unless an explicit bridge (e.g. a telematics gateway)
+    links distant layers.
+    """
+    neighbours = []
+    if layer.value > Layer.PHYSICAL.value:
+        neighbours.append(Layer(layer.value - 1))
+    if layer.value < Layer.COLLABORATION.value:
+        neighbours.append(Layer(layer.value + 1))
+    return tuple(neighbours)

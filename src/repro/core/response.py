@@ -1,0 +1,152 @@
+"""Intrusion response engine (paper §VIII, modeled after REACT [56]).
+
+The paper closes by requiring systems that "detect attacks at their
+earliest stages and respond effectively across the multiple levels of the
+system of systems".  This module implements that loop:
+
+1. per-layer detectors raise :class:`SecurityAlert` records;
+2. the :class:`ResponseEngine` classifies each alert against a response
+   policy and selects the least-disruptive adequate response;
+3. escalation: repeated alerts for the same component escalate the
+   response level (isolate → degrade → safe-stop), mirroring how an
+   autonomous vehicle must stay *safe* while under attack (no human
+   fallback, §I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.core.layers import Layer
+
+__all__ = ["Severity", "ResponseAction", "SecurityAlert", "ResponseDecision", "ResponseEngine"]
+
+
+class Severity(IntEnum):
+    """Alert severity, ordered."""
+
+    INFO = 1
+    WARNING = 2
+    CRITICAL = 3
+
+
+class ResponseAction(IntEnum):
+    """Responses ordered by how disruptive they are to the mission."""
+
+    LOG_ONLY = 0
+    RATE_LIMIT = 1
+    REKEY = 2
+    ISOLATE_COMPONENT = 3
+    DEGRADE_FUNCTION = 4
+    SAFE_STOP = 5
+
+
+@dataclass(frozen=True)
+class SecurityAlert:
+    """An alert emitted by a per-layer detector."""
+
+    time: float
+    layer: Layer
+    component: str
+    attack_name: str
+    severity: Severity
+    confidence: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError("confidence must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ResponseDecision:
+    """The engine's decision for one alert."""
+
+    alert: SecurityAlert
+    action: ResponseAction
+    escalation_level: int
+    rationale: str
+
+
+@dataclass
+class _ComponentState:
+    alert_count: int = 0
+    last_action: ResponseAction = ResponseAction.LOG_ONLY
+
+
+class ResponseEngine:
+    """Stateful multi-layer intrusion response.
+
+    The base policy maps (severity, safety-criticality) to a response;
+    repeat offenses against the same component escalate one level per
+    ``escalation_threshold`` alerts, capped at SAFE_STOP.
+    """
+
+    #: Default mapping severity -> base action for non-critical components.
+    BASE_POLICY = {
+        Severity.INFO: ResponseAction.LOG_ONLY,
+        Severity.WARNING: ResponseAction.RATE_LIMIT,
+        Severity.CRITICAL: ResponseAction.ISOLATE_COMPONENT,
+    }
+
+    def __init__(self, *, escalation_threshold: int = 3,
+                 critical_components: set[str] | None = None,
+                 min_confidence: float = 0.5) -> None:
+        if escalation_threshold < 1:
+            raise ValueError("escalation_threshold must be >= 1")
+        self.escalation_threshold = escalation_threshold
+        self.critical_components = critical_components or set()
+        self.min_confidence = min_confidence
+        self._state: dict[str, _ComponentState] = {}
+        self.decisions: list[ResponseDecision] = []
+
+    def handle(self, alert: SecurityAlert) -> ResponseDecision:
+        """Process one alert and return (and record) the response decision."""
+        state = self._state.setdefault(alert.component, _ComponentState())
+
+        if alert.confidence < self.min_confidence:
+            decision = ResponseDecision(
+                alert, ResponseAction.LOG_ONLY, 0,
+                f"confidence {alert.confidence:.2f} below threshold; logging only",
+            )
+            self.decisions.append(decision)
+            return decision
+
+        state.alert_count += 1
+        base = self.BASE_POLICY[alert.severity]
+        # Safety-critical components respond one level harder (the vehicle
+        # cannot rely on a human to compensate, paper §I).
+        if alert.component in self.critical_components and base < ResponseAction.SAFE_STOP:
+            base = ResponseAction(base + 1)
+
+        escalation = (state.alert_count - 1) // self.escalation_threshold
+        action_value = min(int(base) + escalation, int(ResponseAction.SAFE_STOP))
+        action = ResponseAction(action_value)
+        # Never de-escalate below a previously taken action for this component.
+        if action < state.last_action:
+            action = state.last_action
+        state.last_action = action
+
+        decision = ResponseDecision(
+            alert, action, escalation,
+            f"severity={alert.severity.name}, repeat={state.alert_count}, "
+            f"critical={alert.component in self.critical_components}",
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def component_status(self, component: str) -> ResponseAction:
+        """The strongest action currently applied to ``component``."""
+        state = self._state.get(component)
+        return state.last_action if state else ResponseAction.LOG_ONLY
+
+    def isolated_components(self) -> set[str]:
+        """Components currently isolated or stronger."""
+        return {
+            name for name, state in self._state.items()
+            if state.last_action >= ResponseAction.ISOLATE_COMPONENT
+        }
+
+    def reset(self, component: str) -> None:
+        """Clear state for a component (e.g. after forensic clearance)."""
+        self._state.pop(component, None)

@@ -1,0 +1,307 @@
+"""Threat taxonomy: attacks, defenses, and security properties.
+
+This module gives every per-layer simulator in the reproduction a common
+vocabulary, so the cross-layer analyzer (:mod:`repro.core.analysis`) can
+reason about heterogeneous attacks — a UWB distance-reduction attack and
+a cloud heap-dump exfiltration are both :class:`Attack` records with a
+layer, violated security properties, and prerequisites.
+
+The taxonomy follows the paper's framing:
+
+* security *properties* are the classic CIA triad extended with
+  authenticity and freshness (the properties SECOC/MACsec provide) and
+  availability (DoS in §VI-B);
+* an *attack* names the property it violates, the layer it lives on, and
+  the access it needs (remote/adjacent/physical — mirroring how §III
+  distinguishes bus access from remote Bluetooth entry);
+* a *defense* names the attacks it mitigates and the layer it operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.layers import Layer
+
+__all__ = [
+    "SecurityProperty",
+    "AccessLevel",
+    "Attack",
+    "Defense",
+    "ThreatCatalog",
+    "default_catalog",
+]
+
+
+class SecurityProperty(Enum):
+    """Security properties an attack can violate / a defense can protect."""
+
+    CONFIDENTIALITY = "confidentiality"
+    INTEGRITY = "integrity"
+    AVAILABILITY = "availability"
+    AUTHENTICITY = "authenticity"
+    FRESHNESS = "freshness"
+    PRIVACY = "privacy"
+
+
+class AccessLevel(Enum):
+    """Attacker position required to mount an attack (ordered by difficulty)."""
+
+    REMOTE = "remote"          # Internet / cloud access only
+    ADJACENT = "adjacent"      # wireless proximity (V2X, UWB, Bluetooth range)
+    LOCAL_BUS = "local_bus"    # access to an in-vehicle network segment
+    PHYSICAL = "physical"      # hands on the hardware
+    INSIDER = "insider"        # legitimate credentials (paper §VII-B)
+
+    @property
+    def difficulty(self) -> int:
+        """Rough ordering: higher is harder for an attacker to obtain."""
+        order = {
+            AccessLevel.REMOTE: 0,
+            AccessLevel.ADJACENT: 1,
+            AccessLevel.LOCAL_BUS: 2,
+            AccessLevel.PHYSICAL: 3,
+            AccessLevel.INSIDER: 4,
+        }
+        return order[self]
+
+
+@dataclass(frozen=True)
+class Attack:
+    """A named attack technique at a specific architectural layer."""
+
+    name: str
+    layer: Layer
+    violates: frozenset[SecurityProperty]
+    access: AccessLevel
+    paper_ref: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.violates:
+            raise ValueError(f"attack {self.name!r} must violate at least one property")
+
+
+@dataclass(frozen=True)
+class Defense:
+    """A named defense and the attack names it mitigates."""
+
+    name: str
+    layer: Layer
+    protects: frozenset[SecurityProperty]
+    mitigates: frozenset[str]
+    paper_ref: str = ""
+    description: str = ""
+
+    def covers(self, attack: Attack) -> bool:
+        """True if this defense mitigates ``attack``.
+
+        A defense covers an attack when it names it explicitly and
+        operates on the same layer (the paper's §VIII point: measures at
+        different layers do not substitute for one another).
+        """
+        return attack.name in self.mitigates and attack.layer == self.layer
+
+
+@dataclass
+class ThreatCatalog:
+    """A registry of attacks and defenses usable by the analyzer."""
+
+    attacks: dict[str, Attack] = field(default_factory=dict)
+    defenses: dict[str, Defense] = field(default_factory=dict)
+
+    def add_attack(self, attack: Attack) -> None:
+        if attack.name in self.attacks:
+            raise ValueError(f"duplicate attack {attack.name!r}")
+        self.attacks[attack.name] = attack
+
+    def add_defense(self, defense: Defense) -> None:
+        if defense.name in self.defenses:
+            raise ValueError(f"duplicate defense {defense.name!r}")
+        unknown = defense.mitigates - self.attacks.keys()
+        if unknown:
+            raise ValueError(f"defense {defense.name!r} mitigates unknown attacks {sorted(unknown)}")
+        self.defenses[defense.name] = defense
+
+    def attacks_on_layer(self, layer: Layer) -> list[Attack]:
+        return [a for a in self.attacks.values() if a.layer == layer]
+
+    def defenses_on_layer(self, layer: Layer) -> list[Defense]:
+        return [d for d in self.defenses.values() if d.layer == layer]
+
+    def uncovered_attacks(self, enabled_defenses: set[str] | None = None) -> list[Attack]:
+        """Attacks not mitigated by any (enabled) defense in the catalog."""
+        defenses = [
+            d for name, d in self.defenses.items()
+            if enabled_defenses is None or name in enabled_defenses
+        ]
+        return [
+            a for a in self.attacks.values()
+            if not any(d.covers(a) for d in defenses)
+        ]
+
+
+def default_catalog() -> ThreatCatalog:
+    """The paper's attack/defense inventory as a ready-made catalog.
+
+    One entry per attack/defense the paper discusses, tagged with the
+    section or reference it comes from. Used by the FIG1 bench and the
+    holistic-defense experiment (EXP-R1).
+    """
+    cat = ThreatCatalog()
+    a = cat.add_attack
+    d = cat.add_defense
+
+    # --- Physical layer (§II) ---
+    a(Attack("pkes-relay", Layer.PHYSICAL,
+             frozenset({SecurityProperty.AUTHENTICITY}), AccessLevel.ADJACENT,
+             "[1]", "Relay attack on passive keyless entry"))
+    a(Attack("uwb-distance-reduction", Layer.PHYSICAL,
+             frozenset({SecurityProperty.INTEGRITY}), AccessLevel.ADJACENT,
+             "[4],[8]", "Early-peak injection against HRP cross-correlation"))
+    a(Attack("uwb-distance-enlargement", Layer.PHYSICAL,
+             frozenset({SecurityProperty.INTEGRITY, SecurityProperty.AVAILABILITY}),
+             AccessLevel.ADJACENT, "[13],[14]",
+             "Signal annihilation/distortion to hide nearby objects"))
+    a(Attack("sensor-spoofing", Layer.PHYSICAL,
+             frozenset({SecurityProperty.INTEGRITY}), AccessLevel.ADJACENT,
+             "[9]-[12]", "LiDAR/radar/camera spoofing or object removal"))
+    d(Defense("uwb-secure-ranging", Layer.PHYSICAL,
+              frozenset({SecurityProperty.AUTHENTICITY, SecurityProperty.INTEGRITY}),
+              frozenset({"pkes-relay", "uwb-distance-reduction"}),
+              "[4]-[8]", "Two-way ToF with STS integrity checks / distance bounding"))
+    d(Defense("uwb-ed-detector", Layer.PHYSICAL,
+              frozenset({SecurityProperty.INTEGRITY}),
+              frozenset({"uwb-distance-enlargement"}),
+              "[13]", "Distance-enlargement detection via energy/variance analysis"))
+    d(Defense("multi-sensor-plausibility", Layer.PHYSICAL,
+              frozenset({SecurityProperty.INTEGRITY}),
+              frozenset({"sensor-spoofing"}),
+              "[12],[13]", "Cross-checking sensors with secure ranging"))
+
+    # --- Network layer (§III) ---
+    a(Attack("can-masquerade", Layer.NETWORK,
+             frozenset({SecurityProperty.AUTHENTICITY}), AccessLevel.LOCAL_BUS,
+             "§III", "Impersonating safety-critical ECUs via legitimate CAN IDs"))
+    a(Attack("can-replay", Layer.NETWORK,
+             frozenset({SecurityProperty.FRESHNESS}), AccessLevel.LOCAL_BUS,
+             "§III-A", "Replaying previously captured authentic frames"))
+    a(Attack("remote-wireless-entry", Layer.NETWORK,
+             frozenset({SecurityProperty.AUTHENTICITY, SecurityProperty.INTEGRITY}),
+             AccessLevel.REMOTE, "[21]-[23]",
+             "Remote exploitation via Bluetooth/cellular interfaces"))
+    a(Attack("bus-flood-dos", Layer.NETWORK,
+             frozenset({SecurityProperty.AVAILABILITY}), AccessLevel.LOCAL_BUS,
+             "§VI-B", "Flooding a bus segment with top-priority frames"))
+    d(Defense("secoc", Layer.NETWORK,
+              frozenset({SecurityProperty.AUTHENTICITY, SecurityProperty.FRESHNESS}),
+              frozenset({"can-masquerade", "can-replay"}),
+              "[18]", "AUTOSAR Secure Onboard Communication (truncated CMAC + freshness)"))
+    d(Defense("macsec", Layer.NETWORK,
+              frozenset({SecurityProperty.AUTHENTICITY, SecurityProperty.CONFIDENTIALITY,
+                         SecurityProperty.FRESHNESS}),
+              frozenset({"can-masquerade", "can-replay", "remote-wireless-entry"}),
+              "[20]", "IEEE 802.1AE hop/end-to-end authenticated encryption"))
+    d(Defense("network-ids", Layer.NETWORK,
+              frozenset({SecurityProperty.AVAILABILITY, SecurityProperty.AUTHENTICITY}),
+              frozenset({"bus-flood-dos", "can-masquerade"}),
+              "[51]-[53]", "In-vehicle intrusion detection & sender identification"))
+
+    # --- Software & platform layer (§IV) ---
+    a(Attack("malicious-software-update", Layer.SOFTWARE_PLATFORM,
+             frozenset({SecurityProperty.INTEGRITY, SecurityProperty.AUTHENTICITY}),
+             AccessLevel.REMOTE, "§IV-A",
+             "Unauthorized software placed during SDV reconfiguration"))
+    a(Attack("incompatible-reconfiguration", Layer.SOFTWARE_PLATFORM,
+             frozenset({SecurityProperty.INTEGRITY}), AccessLevel.REMOTE,
+             "§IV-A", "Software deployed to unapproved hardware"))
+    a(Attack("forged-evidence-data", Layer.SOFTWARE_PLATFORM,
+             frozenset({SecurityProperty.AUTHENTICITY}), AccessLevel.INSIDER,
+             "§IV-B", "Tampered crash reports / scenario data"))
+    a(Attack("charging-contract-fraud", Layer.SOFTWARE_PLATFORM,
+             frozenset({SecurityProperty.AUTHENTICITY}), AccessLevel.ADJACENT,
+             "§IV-C", "Impersonation in plug-and-charge negotiation"))
+    d(Defense("ssi-mutual-authentication", Layer.SOFTWARE_PLATFORM,
+              frozenset({SecurityProperty.AUTHENTICITY, SecurityProperty.INTEGRITY}),
+              frozenset({"malicious-software-update", "incompatible-reconfiguration"}),
+              "[29],[30]", "Zero-trust mutual authentication with verifiable credentials"))
+    d(Defense("signed-linked-documents", Layer.SOFTWARE_PLATFORM,
+              frozenset({SecurityProperty.AUTHENTICITY, SecurityProperty.INTEGRITY}),
+              frozenset({"forged-evidence-data"}),
+              "§IV-B", "Digitally signed, linked evidence documents"))
+    d(Defense("ssi-charging", Layer.SOFTWARE_PLATFORM,
+              frozenset({SecurityProperty.AUTHENTICITY}),
+              frozenset({"charging-contract-fraud"}),
+              "[32]", "SSI-based plug-and-charge authentication"))
+
+    # --- Data layer (§V) ---
+    a(Attack("cloud-endpoint-exposure", Layer.DATA,
+             frozenset({SecurityProperty.CONFIDENTIALITY}), AccessLevel.REMOTE,
+             "§V-A", "Directory enumeration reveals debug endpoints (gobuster)"))
+    a(Attack("heap-dump-key-extraction", Layer.DATA,
+             frozenset({SecurityProperty.CONFIDENTIALITY}), AccessLevel.REMOTE,
+             "§V-A", "Production heap dump leaks cloud master keys"))
+    a(Attack("telemetry-mass-exfiltration", Layer.DATA,
+             frozenset({SecurityProperty.CONFIDENTIALITY, SecurityProperty.PRIVACY}),
+             AccessLevel.REMOTE, "§V-A", "Bulk extraction of geolocation/PII records"))
+    d(Defense("attack-surface-minimization", Layer.DATA,
+              frozenset({SecurityProperty.CONFIDENTIALITY}),
+              frozenset({"cloud-endpoint-exposure", "heap-dump-key-extraction"}),
+              "§V-C", "Removing non-essential features/endpoints (simple designs)"))
+    d(Defense("data-minimization-and-access-control", Layer.DATA,
+              frozenset({SecurityProperty.PRIVACY, SecurityProperty.CONFIDENTIALITY}),
+              frozenset({"telemetry-mass-exfiltration"}),
+              "[54],[55]", "Owner-controlled access, coarsened/minimized storage"))
+
+    # --- System-of-systems layer (§VI) ---
+    a(Attack("subsystem-cascade-breach", Layer.SYSTEM_OF_SYSTEMS,
+             frozenset({SecurityProperty.INTEGRITY, SecurityProperty.AVAILABILITY}),
+             AccessLevel.REMOTE, "§VI-B",
+             "Breach in one subsystem cascading across the SoS"))
+    a(Attack("third-party-component-compromise", Layer.SYSTEM_OF_SYSTEMS,
+             frozenset({SecurityProperty.INTEGRITY}), AccessLevel.REMOTE,
+             "§VI-B", "Vulnerable third-party software/hardware integration"))
+    a(Attack("realtime-data-dos", Layer.SYSTEM_OF_SYSTEMS,
+             frozenset({SecurityProperty.AVAILABILITY}), AccessLevel.REMOTE,
+             "§VI-B", "DoS on real-time data feeds affecting decisions"))
+    a(Attack("adversarial-ml", Layer.SYSTEM_OF_SYSTEMS,
+             frozenset({SecurityProperty.INTEGRITY}), AccessLevel.ADJACENT,
+             "[46]", "Adversarial inputs manipulating AI/ML decision-making"))
+    d(Defense("sos-segmentation", Layer.SYSTEM_OF_SYSTEMS,
+              frozenset({SecurityProperty.INTEGRITY, SecurityProperty.AVAILABILITY}),
+              frozenset({"subsystem-cascade-breach", "third-party-component-compromise"}),
+              "§VI-B", "Unified security framework + subsystem isolation"))
+    d(Defense("redundant-realtime-feeds", Layer.SYSTEM_OF_SYSTEMS,
+              frozenset({SecurityProperty.AVAILABILITY}),
+              frozenset({"realtime-data-dos"}),
+              "§VI-B", "Redundancy and rate protection for real-time data"))
+    d(Defense("ml-robustness-monitoring", Layer.SYSTEM_OF_SYSTEMS,
+              frozenset({SecurityProperty.INTEGRITY}),
+              frozenset({"adversarial-ml"}),
+              "[45],[46]", "Adversarial-robustness checks on ML components"))
+
+    # --- Collaboration layer (§VII) ---
+    a(Attack("v2x-external-injection", Layer.COLLABORATION,
+             frozenset({SecurityProperty.AUTHENTICITY}), AccessLevel.ADJACENT,
+             "§VII-B", "Uncredentialed injection into collaborative channels"))
+    a(Attack("collab-internal-fabrication", Layer.COLLABORATION,
+             frozenset({SecurityProperty.INTEGRITY}), AccessLevel.INSIDER,
+             "[48]", "Credentialed node injecting fabricated perception data"))
+    a(Attack("selfish-resource-exploitation", Layer.COLLABORATION,
+             frozenset({SecurityProperty.AVAILABILITY}), AccessLevel.INSIDER,
+             "§VII-A", "Legal-but-unethical optimization against shared resources"))
+    d(Defense("secure-v2x-channel", Layer.COLLABORATION,
+              frozenset({SecurityProperty.AUTHENTICITY, SecurityProperty.CONFIDENTIALITY}),
+              frozenset({"v2x-external-injection"}),
+              "§VII-B", "Authenticated V2X messaging"))
+    d(Defense("redundancy-cross-validation", Layer.COLLABORATION,
+              frozenset({SecurityProperty.INTEGRITY}),
+              frozenset({"collab-internal-fabrication"}),
+              "§VII-B", "Intrusion detection via redundant information sources"))
+    d(Defense("collaboration-regulation", Layer.COLLABORATION,
+              frozenset({SecurityProperty.AVAILABILITY}),
+              frozenset({"selfish-resource-exploitation"}),
+              "§VII-A", "Common directives / legislation for competing systems"))
+
+    return cat

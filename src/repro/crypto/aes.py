@@ -1,0 +1,194 @@
+"""Pure-Python AES block cipher (FIPS 197).
+
+This module provides the raw 128-bit block transform for AES-128, AES-192,
+and AES-256.  It exists because the reproduction environment has no binary
+crypto libraries; the cipher modes built on top of it (CTR, CMAC, GCM) live
+in :mod:`repro.crypto.modes`.
+
+The S-box and its inverse are derived programmatically from the GF(2^8)
+multiplicative inverse plus the FIPS 197 affine transform, which avoids
+transcription errors in a 256-entry table.  Correctness is pinned to the
+FIPS 197 appendix test vectors in the test suite.
+
+This implementation favours clarity over speed and is **not** constant-time;
+it is a simulation substrate, not a production cipher.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AES", "xor_bytes"]
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Return the byte-wise XOR of two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"xor_bytes length mismatch: {len(a)} != {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= 0x11B
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    """Construct the AES S-box and inverse S-box from first principles."""
+    # Multiplicative inverses via exponentiation tables over generator 3.
+    exp = [0] * 256
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x = _gf_mul(x, 3)
+    exp[255] = exp[0]
+
+    def inv(a: int) -> int:
+        if a == 0:
+            return 0
+        return exp[255 - log[a]]
+
+    sbox = bytearray(256)
+    for a in range(256):
+        b = inv(a)
+        # Affine transform: b XOR rot(b,1..4) XOR 0x63
+        s = b
+        for shift in (1, 2, 3, 4):
+            s ^= ((b << shift) | (b >> (8 - shift))) & 0xFF
+        sbox[a] = s ^ 0x63
+
+    inv_sbox = bytearray(256)
+    for a, s in enumerate(sbox):
+        inv_sbox[s] = a
+    return bytes(sbox), bytes(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D]
+
+# Precomputed GF(2^8) multiply-by-constant tables used by (Inv)MixColumns.
+_MUL = {c: bytes(_gf_mul(x, c) for x in range(256)) for c in (2, 3, 9, 11, 13, 14)}
+
+
+class AES:
+    """AES block cipher supporting 128-, 192-, and 256-bit keys.
+
+    Usage::
+
+        cipher = AES(b"\\x00" * 16)
+        ct = cipher.encrypt_block(b"\\x00" * 16)
+        pt = cipher.decrypt_block(ct)
+    """
+
+    block_size = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise ValueError(f"AES key must be 16, 24, or 32 bytes, got {len(key)}")
+        self.key = bytes(key)
+        self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(self.key)
+
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        nk = len(key) // 4
+        nr = self._rounds
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        for i in range(nk, 4 * (nr + 1)):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+        # Group words into 16-byte round keys (flat lists for speed).
+        return [
+            [b for w in words[4 * r : 4 * r + 4] for b in w]
+            for r in range(nr + 1)
+        ]
+
+    # The state is a flat 16-element list in column-major order, matching the
+    # byte order of the input block (FIPS 197 s[r][c] = in[r + 4c]).
+
+    @staticmethod
+    def _shift_rows(s: list[int]) -> list[int]:
+        return [
+            s[0], s[5], s[10], s[15],
+            s[4], s[9], s[14], s[3],
+            s[8], s[13], s[2], s[7],
+            s[12], s[1], s[6], s[11],
+        ]
+
+    @staticmethod
+    def _inv_shift_rows(s: list[int]) -> list[int]:
+        return [
+            s[0], s[13], s[10], s[7],
+            s[4], s[1], s[14], s[11],
+            s[8], s[5], s[2], s[15],
+            s[12], s[9], s[6], s[3],
+        ]
+
+    @staticmethod
+    def _mix_columns(s: list[int]) -> list[int]:
+        m2, m3 = _MUL[2], _MUL[3]
+        out = [0] * 16
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = s[c], s[c + 1], s[c + 2], s[c + 3]
+            out[c] = m2[a0] ^ m3[a1] ^ a2 ^ a3
+            out[c + 1] = a0 ^ m2[a1] ^ m3[a2] ^ a3
+            out[c + 2] = a0 ^ a1 ^ m2[a2] ^ m3[a3]
+            out[c + 3] = m3[a0] ^ a1 ^ a2 ^ m2[a3]
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(s: list[int]) -> list[int]:
+        m9, m11, m13, m14 = _MUL[9], _MUL[11], _MUL[13], _MUL[14]
+        out = [0] * 16
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = s[c], s[c + 1], s[c + 2], s[c + 3]
+            out[c] = m14[a0] ^ m11[a1] ^ m13[a2] ^ m9[a3]
+            out[c + 1] = m9[a0] ^ m14[a1] ^ m11[a2] ^ m13[a3]
+            out[c + 2] = m13[a0] ^ m9[a1] ^ m14[a2] ^ m11[a3]
+            out[c + 3] = m11[a0] ^ m13[a1] ^ m9[a2] ^ m14[a3]
+        return out
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt a single 16-byte block."""
+        if len(block) != 16:
+            raise ValueError("AES block must be exactly 16 bytes")
+        rk = self._round_keys
+        s = [b ^ k for b, k in zip(block, rk[0])]
+        for rnd in range(1, self._rounds):
+            s = [_SBOX[b] for b in s]
+            s = self._shift_rows(s)
+            s = self._mix_columns(s)
+            s = [b ^ k for b, k in zip(s, rk[rnd])]
+        s = [_SBOX[b] for b in s]
+        s = self._shift_rows(s)
+        s = [b ^ k for b, k in zip(s, rk[self._rounds])]
+        return bytes(s)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt a single 16-byte block."""
+        if len(block) != 16:
+            raise ValueError("AES block must be exactly 16 bytes")
+        rk = self._round_keys
+        s = [b ^ k for b, k in zip(block, rk[self._rounds])]
+        for rnd in range(self._rounds - 1, 0, -1):
+            s = self._inv_shift_rows(s)
+            s = [_INV_SBOX[b] for b in s]
+            s = [b ^ k for b, k in zip(s, rk[rnd])]
+            s = self._inv_mix_columns(s)
+        s = self._inv_shift_rows(s)
+        s = [_INV_SBOX[b] for b in s]
+        s = [b ^ k for b, k in zip(s, rk[0])]
+        return bytes(s)

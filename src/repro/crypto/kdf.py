@@ -1,0 +1,45 @@
+"""Key derivation: HMAC-SHA256 and HKDF (RFC 5869).
+
+The zonal-network key hierarchy (MACsec CAK → SAK derivation, SECOC
+per-PDU keys) and SSI session establishment both derive working keys from
+master secrets via HKDF, mirroring how MKA and AUTOSAR KeyM structure key
+material.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+__all__ = ["hmac_sha256", "hkdf_extract", "hkdf_expand", "hkdf"]
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 of ``message`` under ``key``."""
+    return _hmac.new(key, message, hashlib.sha256).digest()
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """RFC 5869 extract step: PRK = HMAC(salt, IKM)."""
+    if not salt:
+        salt = b"\x00" * 32
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """RFC 5869 expand step producing ``length`` bytes of output key material."""
+    if length > 255 * 32:
+        raise ValueError("HKDF-SHA256 output limited to 8160 bytes")
+    okm = b""
+    block = b""
+    counter = 1
+    while len(okm) < length:
+        block = hmac_sha256(prk, block + info + bytes([counter]))
+        okm += block
+        counter += 1
+    return okm[:length]
+
+
+def hkdf(ikm: bytes, *, salt: bytes = b"", info: bytes = b"", length: int = 32) -> bytes:
+    """One-shot HKDF-SHA256."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

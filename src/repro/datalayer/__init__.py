@@ -1,0 +1,79 @@
+"""Data layer (paper §V, Fig. 8): cloud telemetry security and privacy.
+
+* :mod:`repro.datalayer.cloud` — cloud service model (endpoints,
+  secrets, IAM, buckets).
+* :mod:`repro.datalayer.telemetry` — synthetic fleet geolocation data.
+* :mod:`repro.datalayer.killchain` — the generic kill-chain engine and
+  the six Fig. 8 stages with per-stage mitigations.
+* :mod:`repro.datalayer.breach` — the CARIAD-style scenario end to end.
+* :mod:`repro.datalayer.privacy` — home inference, re-identification,
+  k-anonymity of the leaked traces.
+* :mod:`repro.datalayer.surface` — §V-C attack-surface minimization.
+"""
+
+from repro.datalayer.access import (
+    AccessGrant,
+    DataConsumer,
+    DataOwner,
+    KeyTrustee,
+    ProtectedDataset,
+)
+from repro.datalayer.breach import BreachReport, build_cariad_service, run_breach
+from repro.datalayer.cloud import (
+    AccessDenied,
+    CloudService,
+    Endpoint,
+    Secret,
+    StorageBucket,
+)
+from repro.datalayer.killchain import (
+    MITIGATIONS,
+    AttackContext,
+    KillChain,
+    Stage,
+    StageResult,
+    cariad_stages,
+)
+from repro.datalayer.privacy import (
+    infer_home_locations,
+    location_k_anonymity,
+    reidentification_rate,
+    trajectory_uniqueness,
+)
+from repro.datalayer.surface import FeatureSurfaceAnalyzer, SurfaceReport
+from repro.datalayer.telemetry import (
+    FleetTelemetryGenerator,
+    TelemetryRecord,
+    VehicleProfile,
+)
+
+__all__ = [
+    "CloudService",
+    "Endpoint",
+    "Secret",
+    "StorageBucket",
+    "AccessDenied",
+    "FleetTelemetryGenerator",
+    "TelemetryRecord",
+    "VehicleProfile",
+    "KillChain",
+    "Stage",
+    "StageResult",
+    "AttackContext",
+    "MITIGATIONS",
+    "cariad_stages",
+    "BreachReport",
+    "build_cariad_service",
+    "run_breach",
+    "infer_home_locations",
+    "reidentification_rate",
+    "location_k_anonymity",
+    "trajectory_uniqueness",
+    "DataOwner",
+    "DataConsumer",
+    "KeyTrustee",
+    "AccessGrant",
+    "ProtectedDataset",
+    "FeatureSurfaceAnalyzer",
+    "SurfaceReport",
+]

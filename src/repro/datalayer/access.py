@@ -1,0 +1,171 @@
+"""Owner-controlled data access with trust delegation (paper §VIII, [54], [55]).
+
+"The widespread distribution of data within such systems necessitates
+controlled access mechanisms that allow data owners to retain the rights
+to grant or restrict access. Achieving such access control is
+particularly challenging in ecosystems involving multiple owners and
+stakeholders."
+
+The design follows the paper's reference [54] (SeEMQTT: secret sharing
+and trust delegation for end-to-end mobile-IoT data):
+
+* a data owner encrypts each record set under a fresh content key
+  (AES-GCM) and **splits the key across independent key trustees**
+  (Shamir, :mod:`repro.crypto.shamir`) — no broker or single trustee can
+  read the data;
+* the owner publishes a **grant** (consumer, dataset, expiry) to the
+  trustees; a consumer collects key shares from ``threshold`` trustees,
+  each of which independently checks the grant;
+* the owner can **revoke** a grant at any time; trustees that learned of
+  the revocation refuse their share, so a consumer that cannot reach a
+  threshold of honest trustees loses access — even though the ciphertext
+  is already in its hands the *key* never materializes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.rng import python_rng
+from repro.crypto.modes import AuthenticationError, Gcm
+from repro.crypto.shamir import Share, reconstruct_secret, split_secret
+
+__all__ = ["AccessGrant", "KeyTrustee", "ProtectedDataset", "DataOwner", "DataConsumer"]
+
+
+@dataclass(frozen=True)
+class AccessGrant:
+    """An owner's authorization for one consumer on one dataset."""
+
+    grant_id: str
+    dataset: str
+    consumer: str
+    expires_at: float
+
+
+@dataclass
+class KeyTrustee:
+    """An independent share holder enforcing grants.
+
+    Trustees are the delegation targets of [54]: the owner trusts each
+    with only a share, and each enforces the owner's grant/revocation
+    state as it knows it.
+    """
+
+    name: str
+    _shares: dict[str, Share] = field(default_factory=dict)
+    _grants: dict[str, AccessGrant] = field(default_factory=dict)
+    _revoked: set[str] = field(default_factory=set)
+
+    def hold_share(self, dataset: str, share: Share) -> None:
+        self._shares[dataset] = share
+
+    def register_grant(self, grant: AccessGrant) -> None:
+        self._grants[grant.grant_id] = grant
+
+    def revoke(self, grant_id: str) -> None:
+        self._revoked.add(grant_id)
+
+    def request_share(self, grant_id: str, consumer: str, dataset: str, *,
+                      now: float) -> Share | None:
+        """Release this trustee's share iff the grant checks out."""
+        grant = self._grants.get(grant_id)
+        if grant is None or grant_id in self._revoked:
+            return None
+        if grant.consumer != consumer or grant.dataset != dataset:
+            return None
+        if now > grant.expires_at:
+            return None
+        return self._shares.get(dataset)
+
+
+@dataclass(frozen=True)
+class ProtectedDataset:
+    """Ciphertext + AEAD metadata as distributed (e.g. via a broker)."""
+
+    name: str
+    nonce: bytes
+    ciphertext: bytes
+    tag: bytes
+
+
+class DataOwner:
+    """The data owner: encrypts, distributes shares, grants, revokes."""
+
+    def __init__(self, name: str, trustees: list[KeyTrustee], *,
+                 threshold: int) -> None:
+        if threshold < 1 or threshold > len(trustees):
+            raise ValueError("threshold must be in 1..len(trustees)")
+        self.name = name
+        self.trustees = list(trustees)
+        self.threshold = threshold
+        self._rng = python_rng(f"owner:{name}")
+        self._grant_counter = 0
+
+    def publish(self, dataset: str, plaintext: bytes) -> ProtectedDataset:
+        """Encrypt a dataset and distribute key shares to the trustees."""
+        key = self._rng.randbytes(16)
+        nonce = self._rng.randbytes(12)
+        ciphertext, tag = Gcm(key).encrypt(nonce, plaintext,
+                                           aad=dataset.encode())
+        shares = split_secret(key, threshold=self.threshold,
+                              n_shares=len(self.trustees),
+                              seed_label=f"{self.name}:{dataset}")
+        for trustee, share in zip(self.trustees, shares):
+            trustee.hold_share(dataset, share)
+        return ProtectedDataset(dataset, nonce, ciphertext, tag)
+
+    def grant(self, consumer: str, dataset: str, *, now: float,
+              validity_s: float = 3600.0) -> AccessGrant:
+        """Authorize ``consumer`` and inform every trustee."""
+        self._grant_counter += 1
+        grant = AccessGrant(
+            grant_id=f"{self.name}-g{self._grant_counter}",
+            dataset=dataset,
+            consumer=consumer,
+            expires_at=now + validity_s,
+        )
+        for trustee in self.trustees:
+            trustee.register_grant(grant)
+        return grant
+
+    def revoke(self, grant: AccessGrant,
+               reachable_trustees: list[KeyTrustee] | None = None) -> None:
+        """Revoke a grant at the (reachable) trustees.
+
+        ``reachable_trustees`` models partial revocation propagation —
+        the multi-stakeholder reality of [55]: access survives only if
+        the consumer can still assemble a threshold from *unaware*
+        trustees.
+        """
+        targets = self.trustees if reachable_trustees is None else reachable_trustees
+        for trustee in targets:
+            trustee.revoke(grant.grant_id)
+
+
+class DataConsumer:
+    """A consumer assembling shares and decrypting."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def access(self, protected: ProtectedDataset, grant: AccessGrant,
+               trustees: list[KeyTrustee], *, threshold: int,
+               now: float) -> bytes | None:
+        """Collect shares, reconstruct the key, decrypt. None on failure."""
+        shares: list[Share] = []
+        for trustee in trustees:
+            share = trustee.request_share(grant.grant_id, self.name,
+                                          protected.name, now=now)
+            if share is not None:
+                shares.append(share)
+            if len(shares) >= threshold:
+                break
+        if len(shares) < threshold:
+            return None
+        key = reconstruct_secret(shares)
+        try:
+            return Gcm(key).decrypt(protected.nonce, protected.ciphertext,
+                                    protected.tag, aad=protected.name.encode())
+        except AuthenticationError:
+            return None

@@ -1,0 +1,116 @@
+"""The CARIAD-style breach scenario, end to end (paper §V-A/B).
+
+Wires a telemetry backend configured like the incident (Spring-style
+framework, unauthenticated heap-dump actuator, master keys resident in
+heap, mintable per-user access keys, months of fleet geolocation in a
+bucket) and runs the Fig. 8 kill chain against it.
+
+:func:`run_breach` returns a :class:`BreachReport` with stage-by-stage
+results, the exfiltrated record count, and how many *sensitive* vehicles
+(the incident's intelligence-linked drivers) are among the victims —
+quantifying the paper's "clear national security implications" remark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalayer.cloud import CloudService, Endpoint, Secret, StorageBucket
+from repro.datalayer.killchain import KillChain, StageResult, cariad_stages
+from repro.datalayer.telemetry import FleetTelemetryGenerator, TelemetryRecord
+
+__all__ = ["BreachReport", "build_cariad_service", "run_breach"]
+
+
+@dataclass(frozen=True)
+class BreachReport:
+    """Outcome of one kill-chain run against the scenario."""
+
+    stage_results: tuple[StageResult, ...]
+    stages_completed: int
+    total_stages: int
+    records_exfiltrated: int
+    sensitive_vehicles_exposed: int
+    distinct_vehicles_exposed: int
+
+    @property
+    def chain_completed(self) -> bool:
+        return self.stages_completed == self.total_stages
+
+
+def build_cariad_service(*, n_vehicles: int = 40, days: int = 30,
+                         mitigations: set[str] | None = None,
+                         seed_label: str = "cariad") -> tuple[CloudService, list[TelemetryRecord]]:
+    """Construct the telemetry backend with incident-faithful misconfig.
+
+    ``mitigations`` that change the *deployment* (rather than blocking a
+    stage at run time) are applied here: ``encrypt-at-rest-per-user``
+    stores ciphertext records, ``disable-debug-endpoints`` removes the
+    actuator feature, ``scrub-secrets-from-memory`` keeps the master key
+    out of heap, ``least-privilege-keys`` strips the mint scope.
+    """
+    mitigations = mitigations or set()
+    fleet = FleetTelemetryGenerator(n_vehicles, seed_label=seed_label)
+    records = fleet.generate(days=days)
+
+    service = CloudService("telemetry-backend", framework="spring")
+    service.enabled_features = {"core", "metrics"}
+    if "disable-debug-endpoints" not in mitigations:
+        service.enabled_features.add("debug")
+
+    service.add_endpoint(Endpoint("/api", response_tag="api-root", feature="core"))
+    service.add_endpoint(Endpoint("/api/v1", response_tag="api-v1", feature="core"))
+    service.add_endpoint(Endpoint("/health", auth_required=False,
+                                  response_tag="ok", feature="core"))
+    service.add_endpoint(Endpoint("/metrics", response_tag="metrics", feature="metrics"))
+    service.add_endpoint(Endpoint("/actuator", auth_required=False, debug=True,
+                                  response_tag="actuator-index", feature="debug"))
+    service.add_endpoint(Endpoint("/actuator/heapdump", auth_required=False, debug=True,
+                                  response_tag="heapdump", feature="debug"))
+
+    master_scopes = {"iam:mint"} if "least-privilege-keys" not in mitigations else {"logs:read"}
+    service.add_secret(Secret(
+        "aws-master", frozenset(master_scopes),
+        in_process_memory="scrub-secrets-from-memory" not in mitigations,
+    ))
+
+    encrypted = "encrypt-at-rest-per-user" in mitigations
+    bucket = StorageBucket("telemetry-records", required_scope="telemetry:read")
+    for record in records:
+        bucket.records.append({
+            "vin": record.vin,
+            "owner": record.owner_name,
+            "email": record.owner_email,
+            "ts": record.timestamp,
+            "lat": record.lat,
+            "lon": record.lon,
+            "encrypted": encrypted,
+        })
+    service.add_bucket(bucket)
+    return service, records
+
+
+def run_breach(*, mitigations: set[str] | None = None,
+               n_vehicles: int = 40, days: int = 30,
+               seed_label: str = "cariad") -> BreachReport:
+    """Run the Fig. 8 chain against the scenario and report the damage."""
+    mitigations = mitigations or set()
+    service, _ = build_cariad_service(
+        n_vehicles=n_vehicles, days=days,
+        mitigations=mitigations, seed_label=seed_label,
+    )
+    fleet = FleetTelemetryGenerator(n_vehicles, seed_label=seed_label)
+    sensitive_vins = {v.vin for v in fleet.vehicles if v.sensitive}
+
+    chain = KillChain(cariad_stages())
+    results = chain.run(service, mitigations=mitigations)
+    exfiltrated = chain.last_context.exfiltrated_records
+    vins = {r["vin"] for r in exfiltrated}
+    return BreachReport(
+        stage_results=tuple(results),
+        stages_completed=chain.depth_reached(results),
+        total_stages=len(chain.stages),
+        records_exfiltrated=len(exfiltrated),
+        sensitive_vehicles_exposed=len(vins & sensitive_vins),
+        distinct_vehicles_exposed=len(vins),
+    )

@@ -1,0 +1,141 @@
+"""Cloud service model: endpoints, secrets, storage, IAM (paper §V-A).
+
+The CARIAD breach ran entirely against a cloud telemetry backend: a web
+API whose directory structure leaked a debug endpoint, whose heap dump
+contained AWS master keys, and whose IAM then minted access to the data
+store.  This module models exactly those moving parts:
+
+* :class:`Endpoint` — a URL path with auth requirements and optional
+  *debug* status (the Spring heap-dump actuator class of problem);
+* :class:`Secret` — a key with IAM scopes; secrets can be *resident in
+  process memory* (and therefore in a heap dump);
+* :class:`StorageBucket` — record storage gated by IAM scope;
+* :class:`CloudService` — binds it all together and exposes the
+  operations the kill chain drives (probe paths, fetch endpoints, mint
+  keys, read buckets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Endpoint", "Secret", "StorageBucket", "CloudService", "AccessDenied"]
+
+
+class AccessDenied(Exception):
+    """Raised when an operation lacks the required scope."""
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One HTTP endpoint of the service."""
+
+    path: str
+    auth_required: bool = True
+    debug: bool = False
+    response_tag: str = ""      # what a GET returns, symbolically
+    feature: str = "core"       # feature flag that enables this endpoint
+
+    def __post_init__(self) -> None:
+        if not self.path.startswith("/"):
+            raise ValueError("endpoint paths start with /")
+
+
+@dataclass(frozen=True)
+class Secret:
+    """An IAM credential with scopes."""
+
+    key_id: str
+    scopes: frozenset[str]
+    in_process_memory: bool = False  # ends up in heap dumps
+
+    def allows(self, scope: str) -> bool:
+        return scope in self.scopes or "admin" in self.scopes
+
+
+@dataclass
+class StorageBucket:
+    """A record store requiring a scope to read."""
+
+    name: str
+    required_scope: str
+    records: list[dict] = field(default_factory=list)
+
+    def read_all(self, secret: Secret) -> list[dict]:
+        if not secret.allows(self.required_scope):
+            raise AccessDenied(f"{secret.key_id} lacks scope {self.required_scope!r}")
+        return list(self.records)
+
+
+@dataclass
+class CloudService:
+    """A deployed cloud application with its (mis)configuration."""
+
+    name: str
+    framework: str = "spring"
+    endpoints: dict[str, Endpoint] = field(default_factory=dict)
+    secrets: dict[str, Secret] = field(default_factory=dict)
+    buckets: dict[str, StorageBucket] = field(default_factory=dict)
+    enabled_features: set[str] = field(default_factory=lambda: {"core"})
+    access_log: list[str] = field(default_factory=list)
+
+    def add_endpoint(self, endpoint: Endpoint) -> None:
+        if endpoint.path in self.endpoints:
+            raise ValueError(f"duplicate endpoint {endpoint.path!r}")
+        self.endpoints[endpoint.path] = endpoint
+
+    def add_secret(self, secret: Secret) -> None:
+        self.secrets[secret.key_id] = secret
+
+    def add_bucket(self, bucket: StorageBucket) -> None:
+        self.buckets[bucket.name] = bucket
+
+    # -- the operations an external party can drive ---------------------------
+
+    def active_endpoints(self) -> list[Endpoint]:
+        """Endpoints reachable given the enabled feature set."""
+        return [e for e in self.endpoints.values()
+                if e.feature in self.enabled_features]
+
+    def probe(self, path: str) -> bool:
+        """Does a request to ``path`` get any response (even 401/403)?
+
+        Directory enumeration tools (gobuster) distinguish existing from
+        non-existing paths regardless of auth, which is exactly what
+        leaked the CARIAD structure.
+        """
+        self.access_log.append(f"PROBE {path}")
+        endpoint = self.endpoints.get(path)
+        return endpoint is not None and endpoint.feature in self.enabled_features
+
+    def fetch(self, path: str, *, secret: Secret | None = None) -> str | None:
+        """GET an endpoint; returns its response tag or None.
+
+        Unauthenticated fetches succeed only on endpoints with
+        ``auth_required=False`` — the heap-dump actuator in the incident
+        was exactly such an endpoint in production.
+        """
+        self.access_log.append(f"GET {path}")
+        endpoint = self.endpoints.get(path)
+        if endpoint is None or endpoint.feature not in self.enabled_features:
+            return None
+        if endpoint.auth_required and secret is None:
+            return None
+        return endpoint.response_tag
+
+    def heap_dump_contents(self) -> list[Secret]:
+        """Secrets recoverable from a process memory dump."""
+        return [s for s in self.secrets.values() if s.in_process_memory]
+
+    def mint_access_key(self, master: Secret, scope: str) -> Secret:
+        """The incident's API: master keys could generate per-user keys."""
+        if not master.allows("iam:mint"):
+            raise AccessDenied(f"{master.key_id} cannot mint keys")
+        minted = Secret(f"minted-{len(self.secrets)}", frozenset({scope}))
+        self.add_secret(minted)
+        self.access_log.append(f"MINT {minted.key_id} scope={scope}")
+        return minted
+
+    def read_bucket(self, name: str, secret: Secret) -> list[dict]:
+        self.access_log.append(f"READ {name} key={secret.key_id}")
+        return self.buckets[name].read_all(secret)

@@ -1,0 +1,193 @@
+"""Kill-chain engine (paper Fig. 8).
+
+Fig. 8 decomposes the CARIAD data extraction into six stages::
+
+    traffic analysis → directory enumeration → supply-chain
+    identification → heap dump → key extraction → data extraction
+
+The engine is generic: a :class:`KillChain` is an ordered list of
+:class:`Stage` objects, each of which attempts to advance an
+:class:`AttackContext` against a :class:`CloudService`.  A stage can be
+blocked by a **mitigation** (named after §V's lessons: disable debug
+endpoints, scrub secrets from memory, scope keys minimally, rate-limit
+enumeration).  The FIG8 bench runs the chain under every mitigation
+subset to show where the chain snaps — the quantitative version of
+"the issue is that it is only trivial once you know about it".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datalayer.cloud import AccessDenied, CloudService, Secret
+
+__all__ = ["AttackContext", "StageResult", "Stage", "KillChain",
+           "MITIGATIONS", "cariad_stages"]
+
+#: Mitigations the §V discussion implies, keyed by the stage they break.
+MITIGATIONS = {
+    "rate-limit-enumeration": "throttle unauthenticated path probing",
+    "disable-debug-endpoints": "no actuator/heap-dump endpoints in production",
+    "scrub-secrets-from-memory": "keys held in an HSM/KMS, not process heap",
+    "least-privilege-keys": "no key can mint broader access",
+    "encrypt-at-rest-per-user": "bulk reads yield ciphertext only",
+}
+
+
+@dataclass
+class AttackContext:
+    """What the attacker knows/holds as the chain progresses."""
+
+    discovered_paths: list[str] = field(default_factory=list)
+    identified_framework: str | None = None
+    dumped_secrets: list[Secret] = field(default_factory=list)
+    working_keys: list[Secret] = field(default_factory=list)
+    exfiltrated_records: list[dict] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """Outcome of one stage attempt."""
+
+    stage: str
+    succeeded: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A named kill-chain stage.
+
+    ``blocked_by`` names the mitigations (any one suffices) that defeat
+    it; ``attempt`` is implemented by the stage callables registered in
+    :func:`cariad_stages`.
+    """
+
+    name: str
+    blocked_by: tuple[str, ...]
+    attempt: "callable"
+
+    def run(self, service: CloudService, context: AttackContext,
+            mitigations: set[str]) -> StageResult:
+        blockers = set(self.blocked_by) & mitigations
+        if blockers:
+            return StageResult(self.name, False,
+                               f"blocked by mitigation {sorted(blockers)[0]!r}")
+        return self.attempt(service, context)
+
+
+class KillChain:
+    """Ordered stages; execution stops at the first failure."""
+
+    def __init__(self, stages: list[Stage]) -> None:
+        if not stages:
+            raise ValueError("a kill chain needs at least one stage")
+        self.stages = list(stages)
+
+    def run(self, service: CloudService, *,
+            mitigations: set[str] | None = None) -> list[StageResult]:
+        """Run the chain; returns results up to and including the first failure."""
+        mitigations = mitigations or set()
+        unknown = mitigations - MITIGATIONS.keys()
+        if unknown:
+            raise ValueError(f"unknown mitigations {sorted(unknown)}")
+        context = AttackContext()
+        self.last_context = context
+        results: list[StageResult] = []
+        for stage in self.stages:
+            result = stage.run(service, context, mitigations)
+            results.append(result)
+            if not result.succeeded:
+                break
+        return results
+
+    def depth_reached(self, results: list[StageResult]) -> int:
+        """Number of successful stages."""
+        return sum(1 for r in results if r.succeeded)
+
+
+# --- the six Fig. 8 stages ----------------------------------------------------
+
+def _traffic_analysis(service: CloudService, context: AttackContext) -> StageResult:
+    """Observe the telemetry interface exists (the whistleblower hint)."""
+    if not service.active_endpoints():
+        return StageResult("traffic-analysis", False, "no reachable service")
+    return StageResult("traffic-analysis", True,
+                       f"telemetry API at {service.name!r} identified")
+
+
+def _directory_enumeration(service: CloudService, context: AttackContext) -> StageResult:
+    """gobuster-style probing over a wordlist of common paths."""
+    wordlist = ["/api", "/api/v1", "/actuator", "/actuator/heapdump",
+                "/admin", "/metrics", "/health", "/login", "/debug"]
+    found = [p for p in wordlist if service.probe(p)]
+    context.discovered_paths = found
+    if not found:
+        return StageResult("directory-enumeration", False, "no paths discovered")
+    return StageResult("directory-enumeration", True, f"found {found}")
+
+
+def _supply_chain_identification(service: CloudService, context: AttackContext) -> StageResult:
+    """Infer the web framework from the discovered structure."""
+    if any("/actuator" in p for p in context.discovered_paths):
+        context.identified_framework = service.framework
+        return StageResult("supply-chain-id", True,
+                           f"framework identified: {service.framework}")
+    return StageResult("supply-chain-id", False, "framework not identifiable")
+
+
+def _heap_dump(service: CloudService, context: AttackContext) -> StageResult:
+    """Fetch the unauthenticated heap-dump endpoint."""
+    response = service.fetch("/actuator/heapdump")
+    if response != "heapdump":
+        return StageResult("heap-dump", False, "heap dump not retrievable")
+    context.dumped_secrets = service.heap_dump_contents()
+    return StageResult("heap-dump", True,
+                       f"dump contains {len(context.dumped_secrets)} secrets")
+
+
+def _key_extraction(service: CloudService, context: AttackContext) -> StageResult:
+    """Extract master keys from the dump and mint data-access keys."""
+    masters = [s for s in context.dumped_secrets if s.allows("iam:mint")]
+    if not masters:
+        return StageResult("key-extraction", False, "no usable keys in dump")
+    try:
+        key = service.mint_access_key(masters[0], "telemetry:read")
+    except AccessDenied as exc:
+        return StageResult("key-extraction", False, str(exc))
+    context.working_keys.append(key)
+    return StageResult("key-extraction", True, f"minted {key.key_id}")
+
+
+def _data_extraction(service: CloudService, context: AttackContext) -> StageResult:
+    """Bulk-read every telemetry bucket with the minted key."""
+    if not context.working_keys:
+        return StageResult("data-extraction", False, "no working keys")
+    key = context.working_keys[0]
+    total = 0
+    for bucket in service.buckets.values():
+        try:
+            records = service.read_bucket(bucket.name, key)
+        except AccessDenied:
+            continue
+        if any(r.get("encrypted") for r in records):
+            continue  # ciphertext-only: the encrypt-at-rest mitigation
+        context.exfiltrated_records.extend(records)
+        total += len(records)
+    if total == 0:
+        return StageResult("data-extraction", False, "no readable records")
+    return StageResult("data-extraction", True, f"exfiltrated {total} records")
+
+
+def cariad_stages() -> list[Stage]:
+    """The Fig. 8 chain with its per-stage mitigations."""
+    return [
+        Stage("traffic-analysis", (), _traffic_analysis),
+        Stage("directory-enumeration", ("rate-limit-enumeration",), _directory_enumeration),
+        Stage("supply-chain-id", ("disable-debug-endpoints",), _supply_chain_identification),
+        Stage("heap-dump", ("disable-debug-endpoints",), _heap_dump),
+        Stage("key-extraction", ("scrub-secrets-from-memory",), _key_extraction),
+        Stage("data-extraction",
+              ("least-privilege-keys", "encrypt-at-rest-per-user"),
+              _data_extraction),
+    ]

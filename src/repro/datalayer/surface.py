@@ -1,0 +1,101 @@
+"""Attack-surface minimization analysis (paper §V-C).
+
+"The answer is to reduce attack surfaces. That is, instead of creating
+more and more complexity and then adding increasingly complex defense
+mechanisms, we need to start aiming for simple designs. By taking away
+features and options that are not strictly needed, we enable a better
+understanding of possible misuse and even the ability to reason formally
+about security properties."
+
+:class:`FeatureSurfaceAnalyzer` makes that paragraph executable: each
+service *feature* enables endpoints; the analyzer measures, for any
+feature subset, (a) exposed endpoint count, (b) unauthenticated endpoint
+count, and (c) whether the Fig. 8 kill chain is still *viable* — the
+formal-reasoning flavour: the chain is provably dead once no enabled
+feature exposes the heap-dump dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.datalayer.cloud import CloudService
+from repro.datalayer.killchain import KillChain, cariad_stages
+
+__all__ = ["SurfaceReport", "FeatureSurfaceAnalyzer"]
+
+
+@dataclass(frozen=True)
+class SurfaceReport:
+    """Surface metrics for one feature subset."""
+
+    features: tuple[str, ...]
+    exposed_endpoints: int
+    unauthenticated_endpoints: int
+    debug_endpoints: int
+    kill_chain_viable: bool
+    kill_chain_depth: int
+
+
+class FeatureSurfaceAnalyzer:
+    """Sweeps feature subsets of a service and reports surface metrics."""
+
+    def __init__(self, service: CloudService) -> None:
+        self.service = service
+        self._all_features = sorted({e.feature for e in service.endpoints.values()})
+
+    @property
+    def all_features(self) -> list[str]:
+        return list(self._all_features)
+
+    def analyze(self, features: set[str]) -> SurfaceReport:
+        """Measure the surface with exactly ``features`` enabled."""
+        unknown = features - set(self._all_features)
+        if unknown:
+            raise ValueError(f"unknown features {sorted(unknown)}")
+        original = set(self.service.enabled_features)
+        try:
+            self.service.enabled_features = set(features)
+            active = self.service.active_endpoints()
+            chain = KillChain(cariad_stages())
+            results = chain.run(self.service)
+            depth = chain.depth_reached(results)
+            return SurfaceReport(
+                features=tuple(sorted(features)),
+                exposed_endpoints=len(active),
+                unauthenticated_endpoints=sum(1 for e in active if not e.auth_required),
+                debug_endpoints=sum(1 for e in active if e.debug),
+                kill_chain_viable=depth == len(chain.stages),
+                kill_chain_depth=depth,
+            )
+        finally:
+            self.service.enabled_features = original
+
+    def sweep(self, *, max_subset_size: int | None = None) -> list[SurfaceReport]:
+        """Analyze every feature subset (ordered by size).
+
+        The ABL-3 bench uses this to show the monotone relationship
+        between enabled features and both surface size and kill-chain
+        viability.
+        """
+        features = self._all_features
+        limit = len(features) if max_subset_size is None else max_subset_size
+        reports = []
+        for size in range(0, limit + 1):
+            for subset in combinations(features, size):
+                reports.append(self.analyze(set(subset)))
+        return reports
+
+    def minimal_safe_surface(self, required_features: set[str]) -> SurfaceReport | None:
+        """Smallest superset of ``required_features`` with a dead kill chain.
+
+        Returns None if even the required set leaves the chain viable.
+        """
+        optional = [f for f in self._all_features if f not in required_features]
+        for size in range(0, len(optional) + 1):
+            for extra in combinations(optional, size):
+                report = self.analyze(required_features | set(extra))
+                if not report.kill_chain_viable:
+                    return report
+        return None

@@ -1,0 +1,164 @@
+"""CAN bus simulator with priority arbitration (paper §III, Fig. 3).
+
+Models the shared-medium behaviour that matters for the network-layer
+security discussion: non-destructive bitwise arbitration (lowest ID
+wins), which is simultaneously CAN's real-time strength and its
+masquerade/DoS weakness — *any* node can transmit *any* identifier
+(:mod:`repro.ivn.attacks` exploits exactly this).
+
+Runs on the deterministic event kernel (:mod:`repro.core.events`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.core.events import Simulator
+
+__all__ = ["BusFrame", "CanBus", "BusNode"]
+
+
+class _TimedFrame(Protocol):
+    can_id: int
+
+    def transmission_time_s(self, *args: float) -> float: ...
+
+
+@dataclass(frozen=True)
+class BusFrame:
+    """A frame queued on the bus, tagged with its sender."""
+
+    sender: str
+    frame: object            # CanFrame / CanFdFrame / CanXlFrame
+    enqueued_at: float
+    priority: int            # arbitration id (lower wins)
+
+
+@dataclass
+class DeliveryRecord:
+    """Bookkeeping for a completed transmission."""
+
+    sender: str
+    frame: object
+    enqueued_at: float
+    started_at: float
+    completed_at: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.completed_at - self.enqueued_at
+
+    @property
+    def queueing_delay_s(self) -> float:
+        return self.started_at - self.enqueued_at
+
+
+class BusNode:
+    """A CAN node: receives every frame on the bus (broadcast medium)."""
+
+    def __init__(self, name: str,
+                 on_receive: Callable[[DeliveryRecord], None] | None = None) -> None:
+        self.name = name
+        self.received: list[DeliveryRecord] = []
+        self._on_receive = on_receive
+
+    def deliver(self, record: DeliveryRecord) -> None:
+        self.received.append(record)
+        if self._on_receive is not None:
+            self._on_receive(record)
+
+
+class CanBus:
+    """A single CAN segment with priority arbitration.
+
+    Frames queued while the bus is busy contend at the next idle instant;
+    the lowest arbitration id wins (FIFO among same-priority frames).
+    The model transmits whole frames (no mid-frame preemption), matching
+    CAN's non-destructive arbitration semantics.
+
+    Args:
+        sim: shared event kernel.
+        bitrate_bps: nominal bitrate (classic CAN) — for FD/XL frames the
+            frame's own dual-rate timing is used with this as the
+            nominal-phase rate.
+        data_bitrate_bps: data-phase rate for FD/XL frames.
+    """
+
+    def __init__(self, sim: Simulator, *, name: str = "can0",
+                 bitrate_bps: float = 500e3,
+                 data_bitrate_bps: float = 2e6) -> None:
+        self.sim = sim
+        self.name = name
+        self.bitrate_bps = bitrate_bps
+        self.data_bitrate_bps = data_bitrate_bps
+        self.nodes: dict[str, BusNode] = {}
+        self.delivered: list[DeliveryRecord] = []
+        self._queue: list[BusFrame] = []
+        self._busy = False
+
+    def attach(self, node: BusNode) -> BusNode:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def send(self, sender: str, frame: object) -> None:
+        """Queue ``frame`` for transmission by ``sender``."""
+        if sender not in self.nodes:
+            raise KeyError(f"node {sender!r} not attached to {self.name}")
+        priority = getattr(frame, "can_id", None)
+        if priority is None:
+            priority = getattr(frame, "priority_id", None)
+        if priority is None:
+            raise TypeError("frame must carry can_id or priority_id")
+        self._queue.append(BusFrame(sender, frame, self.sim.now, priority))
+        if not self._busy:
+            self._start_next()
+
+    def _frame_time(self, frame: object) -> float:
+        from repro.ivn.frames import CanFdFrame, CanFrame, CanXlFrame
+
+        if isinstance(frame, CanFrame):
+            return frame.transmission_time_s(self.bitrate_bps)
+        if isinstance(frame, (CanFdFrame, CanXlFrame)):
+            return frame.transmission_time_s(self.bitrate_bps, self.data_bitrate_bps)
+        raise TypeError(f"unsupported frame type {type(frame).__name__}")
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            return
+        # Arbitration: lowest priority id wins; FIFO among equals.
+        winner_idx = min(
+            range(len(self._queue)),
+            key=lambda i: (self._queue[i].priority, self._queue[i].enqueued_at, i),
+        )
+        queued = self._queue.pop(winner_idx)
+        self._busy = True
+        started = self.sim.now
+        duration = self._frame_time(queued.frame)
+
+        def complete() -> None:
+            record = DeliveryRecord(
+                sender=queued.sender,
+                frame=queued.frame,
+                enqueued_at=queued.enqueued_at,
+                started_at=started,
+                completed_at=self.sim.now,
+            )
+            self.delivered.append(record)
+            for node in self.nodes.values():
+                if node.name != queued.sender:
+                    node.deliver(record)
+            self._busy = False
+            self._start_next()
+
+        self.sim.schedule(duration, complete)
+
+    @property
+    def utilization_window(self) -> float:
+        """Fraction of elapsed time the bus spent transmitting."""
+        if self.sim.now <= 0:
+            return 0.0
+        busy_time = sum(r.completed_at - r.started_at for r in self.delivered)
+        return busy_time / self.sim.now

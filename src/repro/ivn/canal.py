@@ -1,0 +1,135 @@
+"""CAN Adaptation Layer (CANAL) — paper Fig. 6, scenario S3.
+
+CANAL is the paper's own proposal sketch: "inspired by the ATM
+Adaptation Layer [24], the CAN Adaptation Layer enables the deployment
+of higher-layer Ethernet protocols and MACsec on CAN nodes."  The point
+is that a CAN endpoint can then terminate **end-to-end MACsec** with the
+central computing unit — no key storage or security processing in the
+zone controller (the S1 disadvantage), and no Ethernet-only restriction
+(the S2 limitation).
+
+The adaptation layer does two jobs:
+
+* **encapsulation** — carry a full Ethernet frame (here: a serialized
+  MACsec frame) as the payload of CAN XL frames (whose 2048-byte payload
+  usually fits a whole frame; SDT 0x03 marks tunneled Ethernet), or
+  segmented across classic CAN / CAN FD frames with a small
+  segmentation header (AAL5-style: index + total + length);
+* **reassembly** — rebuild the Ethernet frame on the other side,
+  tolerating loss (incomplete groups are discarded, like AAL5 CPCS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ivn.frames import CanFdFrame, CanFrame, CanXlFrame
+
+__all__ = ["CanalSegment", "CanalCodec", "SDT_TUNNELED_ETHERNET"]
+
+SDT_TUNNELED_ETHERNET = 0x03
+
+_HEADER_BYTES = 5  # stream id (1) + segment index (1) + total segments (1) + length (2)
+
+
+@dataclass(frozen=True)
+class CanalSegment:
+    """One segment of an encapsulated frame (pre-CAN representation)."""
+
+    stream_id: int
+    index: int
+    total: int
+    chunk: bytes
+
+    def encode(self) -> bytes:
+        if not 0 <= self.stream_id < 256 or not 0 <= self.index < 256:
+            raise ValueError("stream id / index out of range")
+        if not 1 <= self.total <= 256 or len(self.chunk) > 0xFFFF:
+            raise ValueError("invalid segment geometry")
+        return (bytes([self.stream_id, self.index, self.total - 1])
+                + len(self.chunk).to_bytes(2, "big") + self.chunk)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CanalSegment":
+        if len(data) < _HEADER_BYTES:
+            raise ValueError("segment too short")
+        stream_id, index, total_minus_1 = data[:3]
+        length = int.from_bytes(data[3:5], "big")
+        chunk = data[5 : 5 + length]
+        if len(chunk) != length:
+            raise ValueError("truncated segment")
+        return cls(stream_id, index, total_minus_1 + 1, chunk)
+
+
+class CanalCodec:
+    """Encapsulate/reassemble byte blobs over CAN frames.
+
+    Args:
+        mode: "can-xl" (single-frame tunneling when it fits), "can-fd"
+            (64-byte frames), or "can" (8-byte classic frames).
+        can_id: arbitration id / priority used for the emitted frames.
+    """
+
+    _MODES = ("can", "can-fd", "can-xl")
+
+    def __init__(self, *, mode: str = "can-xl", can_id: int = 0x200) -> None:
+        if mode not in self._MODES:
+            raise ValueError(f"mode must be one of {self._MODES}")
+        self.mode = mode
+        self.can_id = can_id
+        self._next_stream = 0
+        self._partial: dict[int, dict[int, CanalSegment]] = {}
+
+    @property
+    def segment_payload_capacity(self) -> int:
+        """Usable bytes per CAN frame after the CANAL header."""
+        capacity = {"can": 8, "can-fd": 64, "can-xl": 2048}[self.mode]
+        return capacity - _HEADER_BYTES
+
+    def encapsulate(self, blob: bytes) -> list[CanFrame | CanFdFrame | CanXlFrame]:
+        """Split ``blob`` into CAN frames carrying CANAL segments."""
+        if not blob:
+            raise ValueError("cannot encapsulate an empty blob")
+        stream_id = self._next_stream
+        self._next_stream = (self._next_stream + 1) % 256
+        cap = self.segment_payload_capacity
+        chunks = [blob[i : i + cap] for i in range(0, len(blob), cap)]
+        if len(chunks) > 256:
+            raise ValueError("blob too large for 8-bit segment index")
+        frames: list[CanFrame | CanFdFrame | CanXlFrame] = []
+        for index, chunk in enumerate(chunks):
+            data = CanalSegment(stream_id, index, len(chunks), chunk).encode()
+            if self.mode == "can":
+                frames.append(CanFrame(self.can_id, data))
+            elif self.mode == "can-fd":
+                frames.append(CanFdFrame(self.can_id, data))
+            else:
+                frames.append(CanXlFrame(
+                    priority_id=self.can_id,
+                    payload=data,
+                    sdu_type=SDT_TUNNELED_ETHERNET,
+                ))
+        return frames
+
+    def reassemble(self, frame: CanFrame | CanFdFrame | CanXlFrame) -> bytes | None:
+        """Feed one received frame; returns the blob when complete.
+
+        Incomplete streams are held until all segments arrive; segments
+        of a new stream with a recycled id replace stale state.
+        """
+        segment = CanalSegment.decode(frame.payload)
+        bucket = self._partial.setdefault(segment.stream_id, {})
+        if bucket and next(iter(bucket.values())).total != segment.total:
+            bucket.clear()  # stale stream with recycled id
+        bucket[segment.index] = segment
+        if len(bucket) == segment.total:
+            blob = b"".join(bucket[i].chunk for i in range(segment.total))
+            del self._partial[segment.stream_id]
+            return blob
+        return None
+
+    def overhead_bytes(self, blob_len: int) -> int:
+        """CANAL header bytes added to carry ``blob_len`` bytes."""
+        cap = self.segment_payload_capacity
+        n_segments = (blob_len + cap - 1) // cap
+        return n_segments * _HEADER_BYTES

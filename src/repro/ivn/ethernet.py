@@ -1,0 +1,64 @@
+"""Point-to-point automotive Ethernet links and a store-and-forward switch.
+
+The zonal architecture (Fig. 3) connects zone controllers to the central
+computing unit "via point-to-point Ethernet".  The model provides:
+
+* :class:`EthernetLink` — a full-duplex link with serialization +
+  propagation delay;
+* :class:`ZonalSwitch` — store-and-forward relaying with a fixed
+  processing latency per hop, used by the zone controllers when
+  forwarding between their CAN/T1S edge and the Ethernet backbone.
+
+Latency accounting is analytic (serialization + propagation +
+processing), which is exact for an unloaded full-duplex link and keeps
+the scenario comparisons (Figs. 4–6) deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ivn.frames import EthernetFrame
+
+__all__ = ["EthernetLink", "ZonalSwitch"]
+
+_PROPAGATION_MPS = 2.0e8  # signal speed in copper, ~0.66 c
+
+
+@dataclass(frozen=True)
+class EthernetLink:
+    """A full-duplex point-to-point Ethernet link."""
+
+    name: str
+    bitrate_bps: float = 1e9
+    length_m: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.bitrate_bps <= 0 or self.length_m < 0:
+            raise ValueError("invalid link parameters")
+
+    def transfer_time_s(self, frame: EthernetFrame) -> float:
+        """Serialization plus propagation for one frame."""
+        return (frame.transmission_time_s(self.bitrate_bps)
+                + self.length_m / _PROPAGATION_MPS)
+
+
+@dataclass(frozen=True)
+class ZonalSwitch:
+    """Store-and-forward switching element (zone controller data plane).
+
+    ``processing_s`` covers lookup + queueing under nominal load;
+    ``security_processing_s`` is added per frame when the switch must
+    terminate/re-originate a security protocol (the S1 gateway
+    translation cost the paper calls the "software load imposed by the
+    relatively 'heavy' AUTOSAR stack").
+    """
+
+    name: str
+    processing_s: float = 5e-6
+    security_processing_s: float = 20e-6
+
+    def forward_time_s(self, frame: EthernetFrame, *,
+                       security_termination: bool = False) -> float:
+        extra = self.security_processing_s if security_termination else 0.0
+        return self.processing_s + extra

@@ -1,0 +1,246 @@
+"""On-wire frame models: CAN 2.0, CAN FD, CAN XL, Ethernet (paper §III).
+
+Scenario comparisons S1–S3 (Figs. 4–6) and the Table I protocol overhead
+analysis all reduce to *how many bits cross which wire* — so this module
+models frame sizes bit-accurately for classic CAN and closely (documented
+below) for CAN FD / CAN XL, whose specs interleave dual-bitrate phases:
+
+* **CAN 2.0 A/B** — exact field layout per the Bosch spec, including
+  worst-case bit stuffing over the stuffable region.
+* **CAN FD** — dual bitrate (arbitration vs data phase); CRC17/CRC21
+  with fixed stuff bits, per the Bosch CAN FD spec 1.0 [17]. The
+  arbitration/data phase split is modeled at field granularity.
+* **CAN XL** — payloads up to 2048 bytes, priority + acceptance-field
+  addressing, the SEC bit marking CANsec protection, and a 32-bit CRC.
+  Field sizes follow CiA 610-1; the handful of transition bits (ADS/DAS)
+  are aggregated into the phase constants.
+* **Ethernet** — 802.3 with optional 802.1Q tag and MACsec SecTAG/ICV
+  expansion, minimum-payload padding, preamble and IFG accounted.
+
+All sizes are per-frame *wire* costs, which is what the benchmarks
+aggregate into goodput/overhead tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CanFrame",
+    "CanFdFrame",
+    "CanXlFrame",
+    "EthernetFrame",
+    "MACSEC_SECTAG_BYTES",
+    "MACSEC_SECTAG_SCI_BYTES",
+    "MACSEC_ICV_BYTES",
+    "can_fd_dlc_for",
+]
+
+MACSEC_SECTAG_BYTES = 8        # 802.1AE SecTAG without SCI
+MACSEC_SECTAG_SCI_BYTES = 16   # SecTAG with explicit SCI
+MACSEC_ICV_BYTES = 16          # GCM-AES ICV
+
+_CAN_FD_PAYLOADS = (0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 20, 24, 32, 48, 64)
+
+
+def can_fd_dlc_for(length: int) -> int:
+    """Smallest valid CAN FD payload size >= ``length`` (DLC coding)."""
+    for size in _CAN_FD_PAYLOADS:
+        if size >= length:
+            return size
+    raise ValueError(f"CAN FD payload limited to 64 bytes, got {length}")
+
+
+@dataclass(frozen=True)
+class CanFrame:
+    """Classic CAN 2.0 data frame (11-bit base or 29-bit extended ID)."""
+
+    can_id: int
+    payload: bytes
+    extended: bool = False
+
+    def __post_init__(self) -> None:
+        limit = 1 << (29 if self.extended else 11)
+        if not 0 <= self.can_id < limit:
+            raise ValueError(f"CAN id {self.can_id:#x} out of range")
+        if len(self.payload) > 8:
+            raise ValueError("classic CAN payload limited to 8 bytes")
+
+    @property
+    def stuffable_bits(self) -> int:
+        """Bits subject to stuffing: SOF through CRC (exclusive of delimiters)."""
+        base = 34 if not self.extended else 54
+        return base + 8 * len(self.payload)
+
+    def wire_bits(self, *, worst_case_stuffing: bool = True) -> int:
+        """Total bits on the wire for one frame, including 3-bit IFS.
+
+        Fixed fields: 44 (base) / 64 (extended) + data; worst-case
+        stuffing adds one bit per 4 stuffable bits after the first.
+        """
+        fixed = (44 if not self.extended else 64) + 8 * len(self.payload)
+        stuff = (self.stuffable_bits - 1) // 4 if worst_case_stuffing else 0
+        return fixed + stuff + 3  # interframe space
+
+    def transmission_time_s(self, bitrate_bps: float = 500e3) -> float:
+        """Frame time on a single-bitrate classic CAN bus."""
+        if bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        return self.wire_bits() / bitrate_bps
+
+
+@dataclass(frozen=True)
+class CanFdFrame:
+    """CAN FD frame: dual bitrate, up to 64 payload bytes."""
+
+    can_id: int
+    payload: bytes
+    extended: bool = False
+
+    #: Arbitration-phase bits (SOF, ID, RRS, IDE, FDF, res, BRS) plus the
+    #: nominal-rate trailer (CRC delim, ACK, EOF, IFS).
+    _ARB_BITS_BASE = 19
+    _ARB_BITS_EXT = 39
+    _TRAILER_BITS = 14
+
+    def __post_init__(self) -> None:
+        limit = 1 << (29 if self.extended else 11)
+        if not 0 <= self.can_id < limit:
+            raise ValueError(f"CAN id {self.can_id:#x} out of range")
+        if len(self.payload) > 64:
+            raise ValueError("CAN FD payload limited to 64 bytes")
+
+    @property
+    def padded_payload_len(self) -> int:
+        return can_fd_dlc_for(len(self.payload))
+
+    def data_phase_bits(self, *, worst_case_stuffing: bool = True) -> int:
+        """Bits transmitted at the (fast) data bitrate."""
+        n = self.padded_payload_len
+        crc_bits = 17 if n <= 16 else 21
+        # ESI + DLC + data + stuff-count + CRC + fixed stuff bits (one per
+        # 4 CRC bits, per spec) — aggregated.
+        bits = 1 + 4 + 8 * n + 4 + crc_bits + (crc_bits // 4 + 1)
+        if worst_case_stuffing:
+            bits += (8 * n + 9) // 4
+        return bits
+
+    def arbitration_phase_bits(self) -> int:
+        arb = self._ARB_BITS_EXT if self.extended else self._ARB_BITS_BASE
+        return arb + self._TRAILER_BITS
+
+    def transmission_time_s(self, nominal_bps: float = 500e3,
+                            data_bps: float = 2e6) -> float:
+        """Frame time with bit-rate switching."""
+        if nominal_bps <= 0 or data_bps <= 0:
+            raise ValueError("bitrates must be positive")
+        return (self.arbitration_phase_bits() / nominal_bps
+                + self.data_phase_bits() / data_bps)
+
+
+@dataclass(frozen=True)
+class CanXlFrame:
+    """CAN XL frame: 1–2048 payload bytes, typed payload, security bit.
+
+    Attributes:
+        priority_id: 11-bit arbitration priority.
+        payload: 1..2048 bytes.
+        sdu_type: SDT field — identifies the payload kind (e.g. 0x03 for
+            tunneled Ethernet frames, which is what CANAL uses).
+        vcid: virtual CAN network id.
+        acceptance_field: 32-bit AF used for addressing/filtering.
+        sec: security indicator — set when CANsec protects the frame.
+    """
+
+    priority_id: int
+    payload: bytes
+    sdu_type: int = 0x01
+    vcid: int = 0
+    acceptance_field: int = 0
+    sec: bool = False
+
+    _ARB_BITS = 16       # SOF + 11-bit priority + mode/transition bits
+    _TRAILER_BITS = 14   # DAS/ACK/EOF at nominal rate
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.priority_id < (1 << 11):
+            raise ValueError("CAN XL priority is 11 bits")
+        if not 1 <= len(self.payload) <= 2048:
+            raise ValueError("CAN XL payload must be 1..2048 bytes")
+        if not 0 <= self.sdu_type < 256 or not 0 <= self.vcid < 256:
+            raise ValueError("SDT and VCID are 8-bit fields")
+        if not 0 <= self.acceptance_field < (1 << 32):
+            raise ValueError("acceptance field is 32 bits")
+
+    def data_phase_bits(self) -> int:
+        """Data-phase bits: control header + payload + CRC32.
+
+        Header: SDT(8) + SEC(1) + DLC(11) + stuff-count(8) + VCID(8) +
+        AF(32) + preface CRC(13); frame CRC is 32 bits. CAN XL uses
+        fixed-position stuffing in the data phase, aggregated here as
+        one stuff bit per 10 data bits.
+        """
+        header = 8 + 1 + 11 + 8 + 8 + 32 + 13
+        data = 8 * len(self.payload)
+        crc = 32
+        fixed_stuff = (header + data + crc) // 10
+        return header + data + crc + fixed_stuff
+
+    def arbitration_phase_bits(self) -> int:
+        return self._ARB_BITS + self._TRAILER_BITS
+
+    def transmission_time_s(self, nominal_bps: float = 500e3,
+                            data_bps: float = 10e6) -> float:
+        if nominal_bps <= 0 or data_bps <= 0:
+            raise ValueError("bitrates must be positive")
+        return (self.arbitration_phase_bits() / nominal_bps
+                + self.data_phase_bits() / data_bps)
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """802.3 Ethernet frame with optional 802.1Q tag and MACsec expansion."""
+
+    dst: str
+    src: str
+    payload: bytes
+    vlan_tag: bool = False
+    macsec: bool = False
+    macsec_sci: bool = False
+    ethertype: int = 0x0800
+
+    MIN_PAYLOAD = 46
+    MAX_PAYLOAD = 1500
+    _HEADER = 14       # DA + SA + EtherType
+    _FCS = 4
+    _PREAMBLE = 8      # preamble + SFD
+    _IFG = 12
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > self.MAX_PAYLOAD:
+            raise ValueError("payload exceeds Ethernet MTU")
+        if self.macsec_sci and not self.macsec:
+            raise ValueError("SCI requires MACsec")
+
+    @property
+    def security_overhead_bytes(self) -> int:
+        """Extra bytes MACsec adds to this frame (SecTAG + ICV)."""
+        if not self.macsec:
+            return 0
+        sectag = MACSEC_SECTAG_SCI_BYTES if self.macsec_sci else MACSEC_SECTAG_BYTES
+        return sectag + MACSEC_ICV_BYTES
+
+    def frame_bytes(self) -> int:
+        """Bytes from DA through FCS (the 'frame size' in 802.3 terms)."""
+        body = max(len(self.payload), self.MIN_PAYLOAD)
+        tag = 4 if self.vlan_tag else 0
+        return self._HEADER + tag + self.security_overhead_bytes + body + self._FCS
+
+    def wire_bits(self) -> int:
+        """Total wire cost including preamble and inter-frame gap."""
+        return 8 * (self._PREAMBLE + self.frame_bytes() + self._IFG)
+
+    def transmission_time_s(self, bitrate_bps: float = 100e6) -> float:
+        if bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        return self.wire_bits() / bitrate_bps

@@ -1,0 +1,296 @@
+"""Security protocol stack scenarios S1–S3 (paper Figs. 4–6).
+
+The paper compares three ways of securing ECU ↔ central-computing (CC)
+traffic across a zone controller (ZC):
+
+* **S1** (Fig. 4): SECOC end-to-end at the application layer over the
+  CAN edge, MACsec on the ZC–CC Ethernet hop. Disadvantages named by
+  the paper: heavy AUTOSAR software load, authentication-only (no
+  confidentiality on the CAN edge), and (session) key storage in the ZC.
+* **S2** (Fig. 5): homogeneous Ethernet (10BASE-T1S edge) with MACsec
+  either **end-to-end** (no ZC keys, no ZC security processing, but
+  intermediate nodes cannot modify headers) or **point-to-point**
+  (hardware-friendly per hop, but the ZC holds keys and sees plaintext).
+* **S3** (Fig. 6): CANAL tunnels end-to-end MACsec over CAN XL — CAN
+  endpoints get S2a's end-to-end properties.
+
+Each ``run_s*`` function pushes a real payload through the actual
+protocol implementations (SECOC CMAC, MACsec GCM, CANAL segmentation) so
+delivery is verified cryptographically, then accounts wire bits and
+processing time per hop. The resulting :class:`ScenarioReport` rows are
+the data behind the FIG4/FIG5/FIG6 benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ivn.canal import CanalCodec
+from repro.ivn.ethernet import EthernetLink, ZonalSwitch
+from repro.ivn.frames import CanFrame, EthernetFrame
+from repro.ivn.macsec import MacsecFrame, MacsecPort, MkaSession
+from repro.ivn.secoc import PROFILE_1, SecOcChannel, SecOcProfile
+
+__all__ = ["ScenarioReport", "run_s1", "run_s2_end_to_end", "run_s2_point_to_point", "run_s3_canal", "run_all_scenarios"]
+
+_CAN_BITRATE = 500e3
+_T1S_BITRATE = 10e6
+_XL_NOMINAL = 500e3
+_XL_DATA = 10e6
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """Quantified properties of one scenario run."""
+
+    name: str
+    delivered: bool
+    payload_bytes: int
+    wire_bits_edge: int          # ECU <-> ZC segment
+    wire_bits_backbone: int      # ZC <-> CC segment
+    latency_s: float
+    keys_at_ecu: int
+    keys_at_zc: int
+    keys_at_cc: int
+    zc_sees_plaintext: bool
+    confidentiality_on_edge: bool
+    zc_can_modify_headers: bool
+
+    @property
+    def total_wire_bits(self) -> int:
+        return self.wire_bits_edge + self.wire_bits_backbone
+
+    @property
+    def goodput_ratio(self) -> float:
+        """Payload bits delivered per wire bit spent."""
+        return 8 * self.payload_bytes / self.total_wire_bits
+
+
+def _serialize_macsec(frame: MacsecFrame) -> bytes:
+    """Flatten a MACsec frame for tunneling (SecTAG fields + body + ICV)."""
+    return (frame.sci.encode() + bytes([frame.an]) + frame.pn.to_bytes(4, "big")
+            + len(frame.ciphertext).to_bytes(2, "big") + frame.ciphertext + frame.icv)
+
+
+def _deserialize_macsec(blob: bytes) -> MacsecFrame:
+    from repro.ivn.macsec import Sci
+
+    sci_raw, an, pn = blob[:8], blob[8], int.from_bytes(blob[9:13], "big")
+    length = int.from_bytes(blob[13:15], "big")
+    ciphertext = blob[15 : 15 + length]
+    icv = blob[15 + length : 15 + length + 16]
+    system_id = sci_raw[:6].rstrip(b"\x00").decode()
+    return MacsecFrame(Sci(system_id, int.from_bytes(sci_raw[6:], "big")),
+                       an, pn, ciphertext, icv)
+
+
+def run_s1(payload: bytes, *, profile: SecOcProfile = PROFILE_1,
+           key: bytes = b"\x10" * 16, edge: str = "can") -> ScenarioReport:
+    """Scenario S1: SECOC over the CAN edge + MACsec on the backbone.
+
+    ``edge`` selects the CAN flavour at the endpoint: ``"can"`` segments
+    the secured PDU across classic 8-byte frames; ``"can-fd"`` carries
+    it in 64-byte frames with bit-rate switching (the ablation showing
+    why SECOC deployments prefer FD when payloads outgrow profile 1).
+    """
+    if edge not in ("can", "can-fd"):
+        raise ValueError("edge must be 'can' or 'can-fd'")
+    ecu_secoc = SecOcChannel(key, profile)
+    cc_secoc = SecOcChannel(key, profile)
+    zc_port = MacsecPort("zc")
+    cc_port = MacsecPort("cc")
+    MkaSession(b"\x20" * 16, [zc_port, cc_port]).distribute_sak()
+    switch = ZonalSwitch("zc")
+    uplink = EthernetLink("zc-cc", bitrate_bps=1e9)
+
+    # ECU secures the PDU and segments it over the CAN edge.
+    pdu = ecu_secoc.secure(0x100, payload)
+    wire_payload = pdu.wire_payload(profile)
+    if edge == "can":
+        chunks = [wire_payload[i : i + 8] for i in range(0, len(wire_payload), 8)]
+        can_frames = [CanFrame(0x100, chunk) for chunk in chunks]
+        edge_bits = sum(f.wire_bits() for f in can_frames)
+        edge_time = sum(f.transmission_time_s(_CAN_BITRATE) for f in can_frames)
+    else:
+        from repro.ivn.frames import CanFdFrame
+
+        chunks = [wire_payload[i : i + 64] for i in range(0, len(wire_payload), 64)]
+        fd_frames = [CanFdFrame(0x100, chunk) for chunk in chunks]
+        edge_bits = sum(f.arbitration_phase_bits() + f.data_phase_bits()
+                        for f in fd_frames)
+        edge_time = sum(f.transmission_time_s(_CAN_BITRATE, 2e6)
+                        for f in fd_frames)
+
+    # ZC re-encapsulates the secured PDU into a MACsec-protected Ethernet
+    # frame toward CC. The ZC does security processing (MACsec protect)
+    # and therefore holds session keys — S1's named disadvantage.
+    macsec_frame = zc_port.protect(wire_payload)
+    eth = EthernetFrame("cc", "zc", macsec_frame.ciphertext, macsec=True)
+    backbone_bits = eth.wire_bits()
+    backbone_time = (switch.forward_time_s(eth, security_termination=True)
+                     + uplink.transfer_time_s(eth))
+
+    # CC validates MACsec, then verifies SECOC end-to-end.
+    recovered = cc_port.validate(macsec_frame)
+    delivered = False
+    if recovered is not None and recovered == wire_payload:
+        from repro.ivn.secoc import SecuredPdu
+
+        fv_bytes = (profile.freshness_bits + 7) // 8
+        mac_bytes = profile.mac_bits // 8
+        body = recovered[: len(recovered) - fv_bytes - mac_bytes]
+        fv = int.from_bytes(recovered[len(body) : len(body) + fv_bytes], "big")
+        mac = recovered[len(body) + fv_bytes :]
+        delivered = cc_secoc.verify(SecuredPdu(0x100, body, fv, mac))
+
+    return ScenarioReport(
+        name="S1 SECOC+MACsec" + ("" if edge == "can" else " (FD edge)"),
+        delivered=delivered,
+        payload_bytes=len(payload),
+        wire_bits_edge=edge_bits,
+        wire_bits_backbone=backbone_bits,
+        latency_s=edge_time + backbone_time,
+        keys_at_ecu=1,                      # SECOC key
+        keys_at_zc=zc_port.stored_keys,     # MACsec session keys in the ZC
+        keys_at_cc=1 + cc_port.stored_keys, # SECOC + MACsec
+        zc_sees_plaintext=True,             # SECOC authenticates only
+        confidentiality_on_edge=False,
+        zc_can_modify_headers=True,
+    )
+
+
+def _s2_common(payload: bytes, *, end_to_end: bool) -> ScenarioReport:
+    switch = ZonalSwitch("zc")
+    uplink = EthernetLink("zc-cc", bitrate_bps=1e9)
+    ecu_port = MacsecPort("ecu")
+    cc_port = MacsecPort("cc")
+    zc_port = MacsecPort("zc")
+
+    if end_to_end:
+        MkaSession(b"\x30" * 16, [ecu_port, cc_port]).distribute_sak()
+        frame = ecu_port.protect(payload)
+        edge_eth = EthernetFrame("cc", "ecu", frame.ciphertext, macsec=True)
+        edge_bits = edge_eth.wire_bits()
+        edge_time = edge_eth.transmission_time_s(_T1S_BITRATE)
+        backbone_bits = edge_eth.wire_bits()
+        backbone_time = (switch.forward_time_s(edge_eth)   # plain forwarding
+                         + uplink.transfer_time_s(edge_eth))
+        recovered = cc_port.validate(frame)
+        delivered = recovered == payload
+        zc_keys = zc_port.stored_keys          # zero — the point of S2a
+        zc_plaintext = False
+        zc_modify = False                      # header locked by the ICV
+        name = "S2a MACsec end-to-end"
+    else:
+        MkaSession(b"\x31" * 16, [ecu_port, zc_port]).distribute_sak()
+        MkaSession(b"\x32" * 16, [zc_port, cc_port]).distribute_sak()
+        hop1 = ecu_port.protect(payload)
+        edge_eth = EthernetFrame("zc", "ecu", hop1.ciphertext, macsec=True)
+        edge_bits = edge_eth.wire_bits()
+        edge_time = edge_eth.transmission_time_s(_T1S_BITRATE)
+        middle = zc_port.validate(hop1)
+        delivered = False
+        backbone_bits = 0
+        backbone_time = 0.0
+        if middle is not None:
+            hop2 = zc_port.protect(middle)
+            backbone_eth = EthernetFrame("cc", "zc", hop2.ciphertext, macsec=True)
+            backbone_bits = backbone_eth.wire_bits()
+            backbone_time = (switch.forward_time_s(backbone_eth, security_termination=True)
+                             + uplink.transfer_time_s(backbone_eth))
+            recovered = cc_port.validate(hop2)
+            delivered = recovered == payload
+        zc_keys = zc_port.stored_keys
+        zc_plaintext = True
+        zc_modify = True
+        name = "S2b MACsec point-to-point"
+
+    return ScenarioReport(
+        name=name,
+        delivered=delivered,
+        payload_bytes=len(payload),
+        wire_bits_edge=edge_bits,
+        wire_bits_backbone=backbone_bits,
+        latency_s=edge_time + backbone_time,
+        keys_at_ecu=ecu_port.stored_keys,
+        keys_at_zc=zc_keys,
+        keys_at_cc=cc_port.stored_keys,
+        zc_sees_plaintext=zc_plaintext,
+        confidentiality_on_edge=True,
+        zc_can_modify_headers=zc_modify,
+    )
+
+
+def run_s2_end_to_end(payload: bytes) -> ScenarioReport:
+    """Scenario S2 variant (1): MACsec end-to-end over Ethernet/T1S."""
+    return _s2_common(payload, end_to_end=True)
+
+
+def run_s2_point_to_point(payload: bytes) -> ScenarioReport:
+    """Scenario S2 variant (2): MACsec hop-by-hop."""
+    return _s2_common(payload, end_to_end=False)
+
+
+def run_s3_canal(payload: bytes, *, canal_mode: str = "can-xl") -> ScenarioReport:
+    """Scenario S3: end-to-end MACsec tunneled over CANAL on the CAN edge."""
+    ecu_port = MacsecPort("ecu")
+    cc_port = MacsecPort("cc")
+    MkaSession(b"\x40" * 16, [ecu_port, cc_port]).distribute_sak()
+    codec_tx = CanalCodec(mode=canal_mode)
+    codec_rx = CanalCodec(mode=canal_mode)
+    switch = ZonalSwitch("zc")
+    uplink = EthernetLink("zc-cc", bitrate_bps=1e9)
+
+    frame = ecu_port.protect(payload)
+    blob = _serialize_macsec(frame)
+    can_frames = codec_tx.encapsulate(blob)
+    edge_bits = 0
+    edge_time = 0.0
+    for can_frame in can_frames:
+        if canal_mode == "can":
+            edge_bits += can_frame.wire_bits()
+            edge_time += can_frame.transmission_time_s(_CAN_BITRATE)
+        else:
+            edge_bits += (can_frame.arbitration_phase_bits()
+                          + can_frame.data_phase_bits())
+            edge_time += can_frame.transmission_time_s(_XL_NOMINAL, _XL_DATA)
+
+    # ZC reassembles the tunneled frame and forwards it as Ethernet — it
+    # performs *no* security processing and stores *no* keys.
+    reassembled = None
+    for can_frame in can_frames:
+        reassembled = codec_rx.reassemble(can_frame) or reassembled
+    delivered = False
+    backbone_bits = 0
+    backbone_time = 0.0
+    if reassembled is not None:
+        eth = EthernetFrame("cc", "zc", reassembled, macsec=True)
+        backbone_bits = eth.wire_bits()
+        backbone_time = switch.forward_time_s(eth) + uplink.transfer_time_s(eth)
+        recovered = cc_port.validate(_deserialize_macsec(reassembled))
+        delivered = recovered == payload
+
+    return ScenarioReport(
+        name=f"S3 CANAL({canal_mode})+MACsec e2e",
+        delivered=delivered,
+        payload_bytes=len(payload),
+        wire_bits_edge=edge_bits,
+        wire_bits_backbone=backbone_bits,
+        latency_s=edge_time + backbone_time,
+        keys_at_ecu=ecu_port.stored_keys,
+        keys_at_zc=0,
+        keys_at_cc=cc_port.stored_keys,
+        zc_sees_plaintext=False,
+        confidentiality_on_edge=True,
+        zc_can_modify_headers=False,
+    )
+
+
+def run_all_scenarios(payload: bytes) -> list[ScenarioReport]:
+    """S1, S2a, S2b, S3 side by side (the Figs. 4–6 comparison table)."""
+    return [
+        run_s1(payload),
+        run_s2_end_to_end(payload),
+        run_s2_point_to_point(payload),
+        run_s3_canal(payload),
+    ]

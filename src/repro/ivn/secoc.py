@@ -1,0 +1,167 @@
+"""AUTOSAR Secure Onboard Communication (SECOC) — Table I, scenario S1.
+
+SECOC [18] authenticates PDUs at the *application* layer: a truncated
+**freshness value** and a truncated **CMAC** are appended to each secured
+I-PDU. The truncations are the protocol's defining trade-off — classic
+CAN has 8 payload bytes total, so AUTOSAR profiles carry e.g. 8 bits of
+freshness and 24–28 bits of MAC (profile 1), trading forgery resistance
+for bus load (ablation ABL-2).
+
+Implemented here:
+
+* :class:`FreshnessManager` — monotonic counters per PDU id with
+  truncated transmission and window-based reconstruction at the
+  receiver (the AUTOSAR FvM scheme);
+* :class:`SecOcChannel` — secure/verify of PDUs between two parties
+  sharing a key, with authentication-only semantics (SECOC provides *no
+  confidentiality*, one of the S1 disadvantages the paper lists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.modes import Cmac
+
+__all__ = ["SecOcProfile", "PROFILE_1", "PROFILE_3", "SecuredPdu", "FreshnessManager", "SecOcChannel"]
+
+
+@dataclass(frozen=True)
+class SecOcProfile:
+    """A SECOC configuration profile.
+
+    Attributes:
+        name: profile label.
+        freshness_bits: truncated freshness bits transmitted.
+        mac_bits: truncated MAC bits transmitted.
+    """
+
+    name: str
+    freshness_bits: int
+    mac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.freshness_bits < 0 or self.freshness_bits > 64:
+            raise ValueError("freshness_bits must be in 0..64")
+        if self.mac_bits % 8 or not 0 < self.mac_bits <= 128:
+            raise ValueError("mac_bits must be a byte multiple in (0, 128]")
+
+    @property
+    def overhead_bits(self) -> int:
+        return self.freshness_bits + self.mac_bits
+
+    @property
+    def overhead_bytes(self) -> int:
+        return (self.overhead_bits + 7) // 8
+
+    @property
+    def forgery_probability(self) -> float:
+        """Per-attempt blind forgery success probability (2^-mac_bits)."""
+        return 2.0 ** -self.mac_bits
+
+
+#: AUTOSAR profile 1 ("24Bit-CMAC-8Bit-FV"): classic-CAN friendly.
+PROFILE_1 = SecOcProfile("profile1", freshness_bits=8, mac_bits=24)
+#: AUTOSAR profile 3 style: wider MAC for FD/Ethernet payloads.
+PROFILE_3 = SecOcProfile("profile3", freshness_bits=16, mac_bits=64)
+
+
+@dataclass(frozen=True)
+class SecuredPdu:
+    """A secured I-PDU as transmitted."""
+
+    pdu_id: int
+    payload: bytes
+    truncated_freshness: int
+    truncated_mac: bytes
+
+    def wire_payload(self, profile: SecOcProfile) -> bytes:
+        """Payload + security trailer as the byte string put on the bus."""
+        fv_bytes = (self.truncated_freshness.to_bytes(8, "big")
+                    [-((profile.freshness_bits + 7) // 8) or len(b""):])
+        if profile.freshness_bits == 0:
+            fv_bytes = b""
+        return self.payload + fv_bytes + self.truncated_mac
+
+
+class FreshnessManager:
+    """Monotonic freshness counters with truncated transmission.
+
+    The sender transmits only the low ``freshness_bits`` of a 64-bit
+    counter; the receiver reconstructs the full value by choosing the
+    smallest counter consistent with the truncation that is strictly
+    greater than the last accepted one (the AUTOSAR "attempt window").
+    """
+
+    def __init__(self, freshness_bits: int) -> None:
+        if not 0 < freshness_bits <= 64:
+            raise ValueError("freshness_bits must be in 1..64")
+        self.freshness_bits = freshness_bits
+        self._tx_counters: dict[int, int] = {}
+        self._rx_counters: dict[int, int] = {}
+
+    def next_tx(self, pdu_id: int) -> int:
+        """Full freshness value for the next transmission of ``pdu_id``."""
+        value = self._tx_counters.get(pdu_id, 0) + 1
+        self._tx_counters[pdu_id] = value
+        return value
+
+    def truncate(self, value: int) -> int:
+        return value & ((1 << self.freshness_bits) - 1)
+
+    def reconstruct(self, pdu_id: int, truncated: int) -> int:
+        """Receiver-side reconstruction of the full freshness value."""
+        last = self._rx_counters.get(pdu_id, 0)
+        mask = (1 << self.freshness_bits) - 1
+        candidate = (last & ~mask) | (truncated & mask)
+        if candidate <= last:
+            candidate += 1 << self.freshness_bits
+        return candidate
+
+    def commit_rx(self, pdu_id: int, value: int) -> None:
+        """Accept ``value`` as the latest verified freshness for ``pdu_id``."""
+        if value <= self._rx_counters.get(pdu_id, 0):
+            raise ValueError("freshness must increase monotonically")
+        self._rx_counters[pdu_id] = value
+
+
+class SecOcChannel:
+    """A SECOC association between a sender and a receiver.
+
+    One instance per direction per key, mirroring how AUTOSAR binds
+    secured I-PDUs to key ids. The MAC covers
+    ``pdu_id || payload || full_freshness`` per the SECOC spec.
+    """
+
+    def __init__(self, key: bytes, profile: SecOcProfile = PROFILE_1) -> None:
+        self.profile = profile
+        self._cmac = Cmac(key)
+        self.tx_freshness = FreshnessManager(profile.freshness_bits)
+        self.rx_freshness = FreshnessManager(profile.freshness_bits)
+
+    def _mac_input(self, pdu_id: int, payload: bytes, freshness: int) -> bytes:
+        return pdu_id.to_bytes(4, "big") + payload + freshness.to_bytes(8, "big")
+
+    def secure(self, pdu_id: int, payload: bytes) -> SecuredPdu:
+        """Build the secured PDU for transmission."""
+        freshness = self.tx_freshness.next_tx(pdu_id)
+        mac = self._cmac.tag(self._mac_input(pdu_id, payload, freshness),
+                             tag_bits=self.profile.mac_bits)
+        return SecuredPdu(
+            pdu_id=pdu_id,
+            payload=payload,
+            truncated_freshness=self.tx_freshness.truncate(freshness),
+            truncated_mac=mac,
+        )
+
+    def verify(self, pdu: SecuredPdu) -> bool:
+        """Verify authenticity + freshness; commits freshness on success."""
+        freshness = self.rx_freshness.reconstruct(pdu.pdu_id, pdu.truncated_freshness)
+        expected = self._cmac.tag(
+            self._mac_input(pdu.pdu_id, pdu.payload, freshness),
+            tag_bits=self.profile.mac_bits,
+        )
+        if expected != pdu.truncated_mac:
+            return False
+        self.rx_freshness.commit_rx(pdu.pdu_id, freshness)
+        return True

@@ -1,0 +1,176 @@
+"""Zonal E/E architecture builder (paper Fig. 3).
+
+Fig. 3's simplified in-vehicle network: a **central computing** unit
+(CC), zone controllers connected to it via point-to-point Ethernet, and
+endpoints (ECUs) attached to each zone via classic CAN or 10BASE-T1S.
+
+:class:`ZonalArchitecture` builds both views the reproduction needs:
+
+* a :class:`repro.core.entities.SystemModel` for attack-surface and
+  reachability analysis (which entry points reach which ECUs);
+* analytic end-to-end latency between any two endpoints, summing edge
+  serialization (CAN / T1S / Ethernet frame timing) and zone-controller
+  forwarding costs — the data behind the FIG3 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.entities import Component, Interface, SystemModel
+from repro.core.layers import Layer
+from repro.core.threats import AccessLevel
+from repro.ivn.ethernet import EthernetLink, ZonalSwitch
+from repro.ivn.frames import CanFrame, EthernetFrame
+
+__all__ = ["Endpoint", "Zone", "ZonalArchitecture"]
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """An ECU at the network edge."""
+
+    name: str
+    attachment: str             # "can" or "t1s"
+    criticality: int = 3
+
+    def __post_init__(self) -> None:
+        if self.attachment not in ("can", "t1s"):
+            raise ValueError("attachment must be 'can' or 't1s'")
+
+
+@dataclass
+class Zone:
+    """A zone controller and its attached endpoints."""
+
+    name: str
+    endpoints: list[Endpoint] = field(default_factory=list)
+    uplink: EthernetLink | None = None
+    switch: ZonalSwitch | None = None
+
+    def __post_init__(self) -> None:
+        if self.uplink is None:
+            self.uplink = EthernetLink(f"{self.name}-uplink", bitrate_bps=1e9)
+        if self.switch is None:
+            self.switch = ZonalSwitch(self.name)
+
+
+class ZonalArchitecture:
+    """The Fig. 3 network: CC + zones + CAN/T1S endpoints."""
+
+    CAN_BITRATE = 500e3
+    T1S_BITRATE = 10e6
+
+    def __init__(self, *, telematics_exposed: bool = True) -> None:
+        self.zones: dict[str, Zone] = {}
+        self.telematics_exposed = telematics_exposed
+
+    def add_zone(self, zone: Zone) -> Zone:
+        if zone.name in self.zones:
+            raise ValueError(f"duplicate zone {zone.name!r}")
+        for endpoint in zone.endpoints:
+            for other in self.zones.values():
+                if any(e.name == endpoint.name for e in other.endpoints):
+                    raise ValueError(f"duplicate endpoint {endpoint.name!r}")
+        self.zones[zone.name] = zone
+        return zone
+
+    @classmethod
+    def figure3(cls) -> "ZonalArchitecture":
+        """The exact Fig. 3 shape: two zones, CAN + 10BASE-T1S endpoints."""
+        arch = cls()
+        arch.add_zone(Zone("zc-left", [
+            Endpoint("ecu-can-1", "can", criticality=5),
+            Endpoint("ecu-can-2", "can", criticality=3),
+            Endpoint("ecu-t1s-1", "t1s", criticality=3),
+        ]))
+        arch.add_zone(Zone("zc-right", [
+            Endpoint("ecu-can-3", "can", criticality=4),
+            Endpoint("ecu-t1s-2", "t1s", criticality=2),
+            Endpoint("ecu-t1s-3", "t1s", criticality=2),
+        ]))
+        return arch
+
+    # -- structural view -----------------------------------------------------
+
+    def system_model(self, *, secured_links: bool = False) -> SystemModel:
+        """Export to the core SystemModel for attack-surface analysis.
+
+        ``secured_links`` marks every interface authenticated, modeling a
+        fully deployed S1/S2/S3-style protection for before/after
+        comparisons.
+        """
+        model = SystemModel("zonal-ivn")
+        model.add_component(Component("cc", Layer.NETWORK, criticality=5,
+                                      description="central computing"))
+        if self.telematics_exposed:
+            model.add_component(Component("telematics", Layer.NETWORK, criticality=2,
+                                          exposed=True, description="connectivity unit"))
+            model.connect(Interface("telematics", "cc", "ethernet",
+                                    AccessLevel.REMOTE, authenticated=secured_links))
+        for zone in self.zones.values():
+            model.add_component(Component(zone.name, Layer.NETWORK, criticality=4))
+            model.connect(Interface("cc", zone.name, "ethernet",
+                                    authenticated=secured_links))
+            model.connect(Interface(zone.name, "cc", "ethernet",
+                                    authenticated=secured_links))
+            for endpoint in zone.endpoints:
+                model.add_component(Component(endpoint.name, Layer.NETWORK,
+                                              criticality=endpoint.criticality))
+                protocol = "can" if endpoint.attachment == "can" else "10base-t1s"
+                model.connect(Interface(zone.name, endpoint.name, protocol,
+                                        authenticated=secured_links))
+                model.connect(Interface(endpoint.name, zone.name, protocol,
+                                        authenticated=secured_links))
+        return model
+
+    # -- latency view --------------------------------------------------------
+
+    def _zone_of(self, endpoint_name: str) -> tuple[Zone, Endpoint]:
+        for zone in self.zones.values():
+            for endpoint in zone.endpoints:
+                if endpoint.name == endpoint_name:
+                    return zone, endpoint
+        raise KeyError(f"unknown endpoint {endpoint_name!r}")
+
+    def _edge_time(self, endpoint: Endpoint, payload_len: int) -> float:
+        """Serialization time on the endpoint's edge medium."""
+        if endpoint.attachment == "can":
+            # Classic CAN: segment into 8-byte frames.
+            n_frames = max(1, (payload_len + 7) // 8)
+            frame = CanFrame(0x100, b"\x00" * min(payload_len, 8))
+            return n_frames * frame.transmission_time_s(self.CAN_BITRATE)
+        frame = EthernetFrame("zc", "ecu", b"\x00" * payload_len)
+        return frame.transmission_time_s(self.T1S_BITRATE)
+
+    def path_latency_s(self, src: str, dst: str, payload_len: int = 8) -> float:
+        """Analytic latency for ``payload_len`` bytes from ``src`` to ``dst``.
+
+        Endpoints are edge names or "cc". The path is edge → zone uplink
+        → CC (→ zone uplink → edge), with store-and-forward at each zone
+        controller.
+        """
+        if src == dst:
+            return 0.0
+        total = 0.0
+        eth_payload = EthernetFrame("a", "b", b"\x00" * payload_len)
+
+        if src != "cc":
+            zone, endpoint = self._zone_of(src)
+            total += self._edge_time(endpoint, payload_len)
+            total += zone.switch.forward_time_s(eth_payload)
+            total += zone.uplink.transfer_time_s(eth_payload)
+        if dst != "cc":
+            zone, endpoint = self._zone_of(dst)
+            total += zone.uplink.transfer_time_s(eth_payload)
+            total += zone.switch.forward_time_s(eth_payload)
+            total += self._edge_time(endpoint, payload_len)
+        return total
+
+    def latency_matrix(self, payload_len: int = 8) -> dict[tuple[str, str], float]:
+        """All-pairs endpoint/CC latency table (the FIG3 bench output)."""
+        names = ["cc"] + [e.name for z in self.zones.values() for e in z.endpoints]
+        return {
+            (a, b): self.path_latency_s(a, b, payload_len)
+            for a in names for b in names if a != b
+        }

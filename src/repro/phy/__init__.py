@@ -1,0 +1,98 @@
+"""Physical layer (paper §II): UWB secure ranging, PKES, sensor security.
+
+Implements the Fig. 2 content as a sampled-waveform simulator:
+
+* :mod:`repro.phy.pulses`, :mod:`repro.phy.channel` — UWB signal substrate.
+* :mod:`repro.phy.hrp` — HRP mode with STS correlation and receiver
+  integrity checks ([4], [8]).
+* :mod:`repro.phy.lrp` — LRP mode distance bounding + distance
+  commitment + pulse randomization ([5], [6]).
+* :mod:`repro.phy.ranging` — SS-TWR / DS-TWR timing algebra.
+* :mod:`repro.phy.attacks` / :mod:`repro.phy.defenses` — ghost-peak,
+  enlargement, relay attacks and the UWB-ED detector ([13]).
+* :mod:`repro.phy.pkes` — keyless entry under three proximity policies.
+* :mod:`repro.phy.collision` — collision-avoidance sensor fusion under
+  spoofing ([9]-[12]).
+"""
+
+from repro.phy.attacks import EnlargementAttack, GhostPeakAttack, RelayAttack
+from repro.phy.channel import Channel, Multipath
+from repro.phy.collision import (
+    Detection,
+    FusionPipeline,
+    FusionReport,
+    GhostObjectAttack,
+    ObjectRemovalAttack,
+    Sensor,
+    SensorKind,
+)
+from repro.phy.defenses import EnlargementVerdict, UwbEdDetector
+from repro.phy.hrp import HrpRangingSession, HrpReceiver, RangingOutcome, generate_sts
+from repro.phy.imaging import (
+    IMAGE_ATTACKS,
+    IMAGE_DEFENSES,
+    PIPELINE_STAGES,
+    ImagePipeline,
+    PipelineAttack,
+    PipelineDefense,
+)
+from repro.phy.lrp import (
+    DistanceBoundingResult,
+    DistanceBoundingSession,
+    attack_success_probability,
+)
+from repro.phy.mtac import MtacCode, MtacVerdict, attack_acceptance_probability
+from repro.phy.pkes import PkesSystem, UnlockAttempt
+from repro.phy.pulses import HRP_CONFIG, LRP_CONFIG, SPEED_OF_LIGHT, PhyConfig
+from repro.phy.ranging import TwrMeasurement, ds_twr, ss_twr
+from repro.phy.toa import ToaEstimate, cross_correlation, first_path_toa
+from repro.phy.vrange import CpInjectionAttack, OfdmConfig, VRangeOutcome, VRangeSession
+
+__all__ = [
+    "PhyConfig",
+    "HRP_CONFIG",
+    "LRP_CONFIG",
+    "SPEED_OF_LIGHT",
+    "Channel",
+    "Multipath",
+    "generate_sts",
+    "HrpRangingSession",
+    "HrpReceiver",
+    "RangingOutcome",
+    "DistanceBoundingSession",
+    "DistanceBoundingResult",
+    "attack_success_probability",
+    "TwrMeasurement",
+    "ss_twr",
+    "ds_twr",
+    "VRangeSession",
+    "VRangeOutcome",
+    "OfdmConfig",
+    "CpInjectionAttack",
+    "ToaEstimate",
+    "cross_correlation",
+    "first_path_toa",
+    "GhostPeakAttack",
+    "EnlargementAttack",
+    "RelayAttack",
+    "UwbEdDetector",
+    "EnlargementVerdict",
+    "ImagePipeline",
+    "PipelineAttack",
+    "PipelineDefense",
+    "IMAGE_ATTACKS",
+    "IMAGE_DEFENSES",
+    "PIPELINE_STAGES",
+    "MtacCode",
+    "MtacVerdict",
+    "attack_acceptance_probability",
+    "PkesSystem",
+    "UnlockAttempt",
+    "SensorKind",
+    "Sensor",
+    "Detection",
+    "GhostObjectAttack",
+    "ObjectRemovalAttack",
+    "FusionPipeline",
+    "FusionReport",
+]

@@ -1,0 +1,149 @@
+"""Physical-layer distance manipulation attacks (paper §II).
+
+Three attack families the paper discusses:
+
+* **Ghost-peak / early-peak injection** (:class:`GhostPeakAttack`) —
+  against HRP STS correlation ([4], [8]): the attacker cannot predict
+  the STS, so it blasts template-*independent* pulse energy slightly
+  ahead of the legitimate arrival. Random correlation between the
+  injected energy and the STS occasionally exceeds the receiver's
+  leading-edge threshold at an early lag → **distance reduction**.
+* **Distance enlargement** (:class:`EnlargementAttack`) — ([13], [14]):
+  annihilate (imperfectly) the direct path and replay the legitimate
+  signal later, so the receiver locks onto the delayed copy →
+  **distance enlargement**, the dangerous case for collision avoidance
+  (a nearby car made to look far).
+* **Relay** (:class:`RelayAttack`) — the classic PKES attack [1]: relay
+  frames between a distant key fob and the car. A relay can only *add*
+  delay, which is why ToF-based secure ranging defeats it; against
+  legacy RSSI-based proximity it succeeds trivially
+  (:mod:`repro.phy.pkes`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rng import numpy_rng
+from repro.phy.channel import Channel
+from repro.phy.pulses import PhyConfig, build_pulse_train
+
+__all__ = ["GhostPeakAttack", "EnlargementAttack", "RelayAttack"]
+
+
+@dataclass
+class GhostPeakAttack:
+    """Inject unpredictable-sequence pulse energy ahead of the true arrival.
+
+    Args:
+        advance_m: how many metres earlier than the true path the
+            injected energy is positioned (the distance reduction sought).
+        power: amplitude of each injected pulse relative to legitimate
+            pulses. Published attacks use a strong over-the-air power
+            advantage; success probability grows with this.
+        n_pulses: length of the injected random train (defaults to the
+            session's STS length at measure time).
+        seed_label: deterministic randomness label.
+    """
+
+    advance_m: float
+    power: float = 4.0
+    n_pulses: int = 256
+    seed_label: str = "ghost-peak"
+
+    def __post_init__(self) -> None:
+        if self.advance_m <= 0:
+            raise ValueError("advance_m must be positive (this is a reduction attack)")
+        if self.power <= 0:
+            raise ValueError("power must be positive")
+        self._rng = numpy_rng(self.seed_label)
+
+    def waveform(self, channel: Channel, config: PhyConfig) -> np.ndarray:
+        """Attack waveform in receiver time.
+
+        The injected train starts ``advance_m`` worth of samples before
+        the legitimate direct path would arrive.
+        """
+        legit_delay = channel.delay_samples(config)
+        advance_samples = round(self.advance_m / config.metres_per_sample)
+        start = max(0, legit_delay - advance_samples)
+        polarities = self._rng.choice((-1.0, 1.0), size=self.n_pulses)
+        train = build_pulse_train(polarities, config) * self.power
+        out = np.zeros(start + train.size)
+        out[start:] = train
+        return out
+
+
+@dataclass
+class EnlargementAttack:
+    """Annihilate the direct path and replay the signal with extra delay.
+
+    Args:
+        extra_delay_m: how much farther the target should appear.
+        residual_gain: leftover amplitude of the imperfectly annihilated
+            direct path (0 = perfect annihilation; published analyses
+            [13] show perfect annihilation is infeasible in practice,
+            and the residual is what UWB-ED detects).
+        replay_gain: amplitude of the delayed replayed copy.
+    """
+
+    extra_delay_m: float
+    residual_gain: float = 0.3
+    replay_gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.extra_delay_m <= 0:
+            raise ValueError("extra_delay_m must be positive")
+        if not 0.0 <= self.residual_gain < 1.0:
+            raise ValueError("residual_gain must be in [0, 1)")
+
+    def apply(self, channel: Channel) -> Channel:
+        """Return a copy of ``channel`` with the direct path suppressed."""
+        return Channel(
+            distance_m=channel.distance_m,
+            snr_db=channel.snr_db,
+            path_gain=self.residual_gain,
+            multipath=channel.multipath,
+            seed_label=channel.seed_label + ":enlarged",
+        )
+
+    def waveform(self, channel: Channel, config: PhyConfig,
+                 tx_signal: np.ndarray) -> np.ndarray:
+        """The delayed replayed copy, in receiver time."""
+        legit_delay = channel.delay_samples(config)
+        extra = round(self.extra_delay_m / config.metres_per_sample)
+        start = legit_delay + extra
+        out = np.zeros(start + tx_signal.size)
+        out[start:] = self.replay_gain * tx_signal
+        return out
+
+
+@dataclass(frozen=True)
+class RelayAttack:
+    """Relay frames between a far-away fob and the vehicle.
+
+    ``cable_length_m`` models the attacker's relay link; the relayed
+    signal travels vehicle → attacker → fob → attacker → vehicle, so the
+    *measured* ToF distance can never be below the true fob distance.
+    """
+
+    cable_length_m: float = 30.0
+    processing_delay_ns: float = 10.0
+
+    def effective_distance_m(self, true_fob_distance_m: float) -> float:
+        """Distance a ToF ranging system measures through the relay."""
+        from repro.phy.pulses import SPEED_OF_LIGHT
+
+        processing_m = self.processing_delay_ns * 1e-9 * SPEED_OF_LIGHT
+        return true_fob_distance_m + self.cable_length_m + processing_m
+
+    def rssi_observed_distance_m(self) -> float:
+        """Distance an RSSI/LF proximity check *believes* under relay.
+
+        The relay re-amplifies the LF field next to the car, so the
+        legacy check sees the fob as essentially adjacent. This is the
+        [1] attack that motivated secure ranging.
+        """
+        return 0.5

@@ -1,0 +1,92 @@
+"""Wireless channel model: propagation delay, multipath, and AWGN.
+
+Distance manipulation at the physical layer is fundamentally a game
+played against the *earliest arriving path* (paper Fig. 2 marks the
+"early path" explicitly).  The channel model therefore keeps the
+line-of-sight delay exact at sample resolution and adds optional later
+multipath echoes plus white noise, which is all the structure the
+attacks and defenses in this package interact with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.rng import numpy_rng
+from repro.phy.pulses import SPEED_OF_LIGHT, PhyConfig
+
+__all__ = ["Multipath", "Channel"]
+
+
+@dataclass(frozen=True)
+class Multipath:
+    """One non-line-of-sight echo: extra delay (must be positive) and gain."""
+
+    extra_delay_s: float
+    gain: float
+
+    def __post_init__(self) -> None:
+        if self.extra_delay_s <= 0:
+            raise ValueError("multipath echoes arrive after the direct path")
+
+
+@dataclass
+class Channel:
+    """A point-to-point UWB channel.
+
+    Attributes:
+        distance_m: true line-of-sight distance.
+        snr_db: signal-to-noise ratio (relative to unit-amplitude pulses).
+        path_gain: amplitude gain of the direct path (models attenuation;
+            the enlargement attack drives this toward 0 by annihilation).
+        multipath: later echoes.
+        seed_label: label for deterministic noise generation.
+    """
+
+    distance_m: float
+    snr_db: float = 20.0
+    path_gain: float = 1.0
+    multipath: tuple[Multipath, ...] = ()
+    seed_label: str = "channel"
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.distance_m < 0:
+            raise ValueError("distance must be non-negative")
+        self._rng = numpy_rng(self.seed_label)
+
+    def delay_samples(self, config: PhyConfig) -> int:
+        """One-way propagation delay in whole samples."""
+        return round(self.distance_m / SPEED_OF_LIGHT * config.sample_rate_hz)
+
+    def noise_sigma(self) -> float:
+        """Noise standard deviation for the configured SNR (unit signal)."""
+        return 10.0 ** (-self.snr_db / 20.0)
+
+    def propagate(self, signal: np.ndarray, config: PhyConfig,
+                  extra_signal: np.ndarray | None = None) -> np.ndarray:
+        """Propagate ``signal`` through the channel.
+
+        Returns the received waveform: direct path (delayed, scaled) +
+        multipath echoes + AWGN.  ``extra_signal`` is an attacker
+        waveform already expressed in receiver time (no channel delay is
+        applied to it — attackers position their energy deliberately).
+        """
+        delay = self.delay_samples(config)
+        echo_delays = [
+            delay + round(echo.extra_delay_s * config.sample_rate_hz)
+            for echo in self.multipath
+        ]
+        out_len = max([delay] + echo_delays) + signal.size
+        if extra_signal is not None:
+            out_len = max(out_len, extra_signal.size)
+        received = np.zeros(out_len)
+        received[delay : delay + signal.size] += self.path_gain * signal
+        for echo, echo_delay in zip(self.multipath, echo_delays):
+            received[echo_delay : echo_delay + signal.size] += echo.gain * signal
+        if extra_signal is not None:
+            received[: extra_signal.size] += extra_signal
+        received += self._rng.normal(0.0, self.noise_sigma(), size=out_len)
+        return received

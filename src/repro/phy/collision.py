@@ -1,0 +1,226 @@
+"""Collision avoidance sensing under spoofing attacks (paper §II-B).
+
+Collision avoidance fuses LiDAR, radar, camera, and (increasingly)
+5G-PRS/UWB ranging.  The paper's two attack directions:
+
+* **false obstacles** — spoof a ghost object into one sensor (emergency
+  braking for nothing);
+* **obscured real obstacles** — remove/hide a real object from a sensor
+  (a collision), the counterpart of distance *enlargement*.
+
+The defense the paper points to ([12], [13]) is cross-checking with
+*secure two-way ranging*: a sensor reading that no other modality — and
+in particular not the cryptographically protected ranging channel —
+corroborates is rejected.
+
+:class:`FusionPipeline` implements plausibility fusion with a
+configurable agreement quorum and an optional secure-ranging
+cross-check, and reports per-object verdicts plus scenario-level false
+obstacle / missed obstacle rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.core.rng import numpy_rng
+
+__all__ = [
+    "SensorKind",
+    "Detection",
+    "Sensor",
+    "GhostObjectAttack",
+    "ObjectRemovalAttack",
+    "FusionPipeline",
+    "FusionReport",
+]
+
+
+class SensorKind(Enum):
+    LIDAR = "lidar"
+    RADAR = "radar"
+    CAMERA = "camera"
+    SECURE_RANGING = "secure_ranging"
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One sensor's report of an object at a distance (metres)."""
+
+    sensor: SensorKind
+    distance_m: float
+
+
+@dataclass
+class Sensor:
+    """A noisy range sensor with bounded field of view.
+
+    ``spoofable`` marks modalities an adjacent attacker can inject into
+    (LiDAR/radar/camera per [9]-[12]); the secure-ranging channel is
+    authenticated and not spoofable in this model — that is the paper's
+    point in citing [12], [13].
+    """
+
+    kind: SensorKind
+    noise_sigma_m: float = 0.3
+    max_range_m: float = 120.0
+    dropout_prob: float = 0.02
+    spoofable: bool = True
+    seed_label: str = ""
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        label = self.seed_label or f"sensor:{self.kind.value}"
+        self._rng = numpy_rng(label)
+
+    def observe(self, true_distances_m: list[float]) -> list[Detection]:
+        """Detections for the true objects (noise + dropouts applied)."""
+        detections = []
+        for distance in true_distances_m:
+            if distance > self.max_range_m:
+                continue
+            if self._rng.random() < self.dropout_prob:
+                continue
+            noisy = distance + self._rng.normal(0.0, self.noise_sigma_m)
+            detections.append(Detection(self.kind, max(0.0, noisy)))
+        return detections
+
+
+def default_sensor_suite() -> list[Sensor]:
+    """LiDAR + radar + camera + secure UWB/5G ranging."""
+    return [
+        Sensor(SensorKind.LIDAR, noise_sigma_m=0.1),
+        Sensor(SensorKind.RADAR, noise_sigma_m=0.4),
+        Sensor(SensorKind.CAMERA, noise_sigma_m=0.8, dropout_prob=0.05),
+        Sensor(SensorKind.SECURE_RANGING, noise_sigma_m=0.2, spoofable=False),
+    ]
+
+
+@dataclass(frozen=True)
+class GhostObjectAttack:
+    """Inject a fake object at ``ghost_distance_m`` into one modality."""
+
+    target: SensorKind
+    ghost_distance_m: float
+
+    def apply(self, sensor: Sensor, detections: list[Detection]) -> list[Detection]:
+        if sensor.kind != self.target or not sensor.spoofable:
+            return detections
+        return detections + [Detection(sensor.kind, self.ghost_distance_m)]
+
+
+@dataclass(frozen=True)
+class ObjectRemovalAttack:
+    """Hide real objects within ``window_m`` of ``target_distance_m`` from one modality."""
+
+    target: SensorKind
+    target_distance_m: float
+    window_m: float = 5.0
+
+    def apply(self, sensor: Sensor, detections: list[Detection]) -> list[Detection]:
+        if sensor.kind != self.target or not sensor.spoofable:
+            return detections
+        return [
+            d for d in detections
+            if abs(d.distance_m - self.target_distance_m) > self.window_m
+        ]
+
+
+@dataclass(frozen=True)
+class FusionReport:
+    """Scenario-level outcome of fused perception."""
+
+    confirmed_objects_m: tuple[float, ...]
+    rejected_detections: int
+    false_obstacles: int
+    missed_obstacles: int
+
+
+class FusionPipeline:
+    """Plausibility fusion across the sensor suite.
+
+    Detections from different sensors are clustered by distance
+    (``gate_m`` association gate); a cluster is *confirmed* when it has
+    at least ``quorum`` supporting sensors, or — with
+    ``require_secure_corroboration`` — when the secure-ranging modality
+    is among the supporters for safety-critical near-range objects.
+    """
+
+    def __init__(self, sensors: list[Sensor] | None = None, *,
+                 gate_m: float = 2.0, quorum: int = 2,
+                 require_secure_corroboration: bool = False,
+                 critical_range_m: float = 30.0) -> None:
+        if quorum < 1:
+            raise ValueError("quorum must be >= 1")
+        self.sensors = sensors if sensors is not None else default_sensor_suite()
+        self.gate_m = gate_m
+        self.quorum = quorum
+        self.require_secure_corroboration = require_secure_corroboration
+        self.critical_range_m = critical_range_m
+
+    def perceive(self, true_distances_m: list[float],
+                 attacks: list[GhostObjectAttack | ObjectRemovalAttack] | None = None,
+                 ) -> FusionReport:
+        """Run one perception cycle and compare against ground truth."""
+        attacks = attacks or []
+        all_detections: list[Detection] = []
+        for sensor in self.sensors:
+            detections = sensor.observe(true_distances_m)
+            for attack in attacks:
+                detections = attack.apply(sensor, detections)
+            all_detections.extend(detections)
+
+        clusters = self._cluster(all_detections)
+        confirmed: list[float] = []
+        rejected = 0
+        for centre, members in clusters:
+            supporters = {d.sensor for d in members}
+            ok = len(supporters) >= self.quorum
+            if (ok and self.require_secure_corroboration
+                    and centre <= self.critical_range_m):
+                ok = SensorKind.SECURE_RANGING in supporters
+            if (not ok and self.require_secure_corroboration
+                    and SensorKind.SECURE_RANGING in supporters
+                    and centre <= self.critical_range_m):
+                # The authenticated ranging channel cannot be spoofed:
+                # in the critical range its word alone confirms an
+                # object even when every other modality was jammed
+                # (the [13] obstacle-removal counter).
+                ok = True
+            if ok:
+                confirmed.append(centre)
+            else:
+                rejected += len(members)
+
+        false_obstacles = sum(
+            1 for c in confirmed
+            if not any(abs(c - t) <= self.gate_m for t in true_distances_m)
+        )
+        missed = sum(
+            1 for t in true_distances_m
+            if t <= min(s.max_range_m for s in self.sensors)
+            and not any(abs(c - t) <= self.gate_m for c in confirmed)
+        )
+        return FusionReport(
+            confirmed_objects_m=tuple(sorted(confirmed)),
+            rejected_detections=rejected,
+            false_obstacles=false_obstacles,
+            missed_obstacles=missed,
+        )
+
+    def _cluster(self, detections: list[Detection]) -> list[tuple[float, list[Detection]]]:
+        """Greedy 1-D clustering by distance with the association gate."""
+        ordered = sorted(detections, key=lambda d: d.distance_m)
+        clusters: list[tuple[float, list[Detection]]] = []
+        for det in ordered:
+            if clusters and det.distance_m - clusters[-1][1][-1].distance_m <= self.gate_m:
+                members = clusters[-1][1]
+                members.append(det)
+                centre = float(np.mean([d.distance_m for d in members]))
+                clusters[-1] = (centre, members)
+            else:
+                clusters.append((det.distance_m, [det]))
+        return clusters

@@ -1,0 +1,154 @@
+"""Camera image-pipeline security (paper §VIII, ref [49]).
+
+"At the physical and sensor layer, specialized solutions are needed to
+address the unique characteristics of various smart sensors, such as
+cameras [49]."  Kühr et al. [49] systematize the security of the image
+processing pipeline in autonomous vehicles: every stage from optics to
+perception has its own attack classes and defenses.
+
+This module encodes that systematization as an analyzable model:
+
+* :data:`PIPELINE_STAGES` — the ordered stages (optics → image sensor →
+  ISP → serialization/transport → perception);
+* an attack catalog per stage (laser blinding, rolling-shutter flicker,
+  electromagnetic interference, adversarial patches, frame injection on
+  the serializer link, model evasion);
+* a defense catalog per stage, each naming the attacks it mitigates;
+* :class:`ImagePipeline` — select deployed defenses and compute residual
+  attacks per stage, end-to-end coverage, and the cheapest defense set
+  achieving full coverage — the same analysis style as the core layer
+  framework, specialized to one sensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+__all__ = ["PIPELINE_STAGES", "PipelineAttack", "PipelineDefense",
+           "IMAGE_ATTACKS", "IMAGE_DEFENSES", "ImagePipeline"]
+
+PIPELINE_STAGES: tuple[str, ...] = (
+    "optics", "image-sensor", "isp", "transport", "perception",
+)
+
+
+@dataclass(frozen=True)
+class PipelineAttack:
+    """An attack against one pipeline stage."""
+
+    name: str
+    stage: str
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.stage not in PIPELINE_STAGES:
+            raise ValueError(f"unknown stage {self.stage!r}")
+
+
+@dataclass(frozen=True)
+class PipelineDefense:
+    """A defense deployed at one stage, mitigating named attacks."""
+
+    name: str
+    stage: str
+    mitigates: frozenset[str]
+    cost: int = 1  # relative deployment cost
+
+    def __post_init__(self) -> None:
+        if self.stage not in PIPELINE_STAGES:
+            raise ValueError(f"unknown stage {self.stage!r}")
+
+
+IMAGE_ATTACKS: tuple[PipelineAttack, ...] = (
+    PipelineAttack("laser-blinding", "optics",
+                   "saturating the optics with a laser to hide objects"),
+    PipelineAttack("projection-spoofing", "optics",
+                   "projecting phantom objects onto surfaces"),
+    PipelineAttack("rolling-shutter-flicker", "image-sensor",
+                   "modulated light exploiting line-sequential exposure"),
+    PipelineAttack("em-interference", "image-sensor",
+                   "EMI injecting noise/stripes into the readout"),
+    PipelineAttack("isp-parameter-tampering", "isp",
+                   "compromised tuning (exposure/gain) degrading detection"),
+    PipelineAttack("frame-injection", "transport",
+                   "injecting or replacing frames on the serializer link"),
+    PipelineAttack("frame-replay", "transport",
+                   "replaying stale frames to freeze the scene"),
+    PipelineAttack("adversarial-patch", "perception",
+                   "physical patch causing misclassification"),
+    PipelineAttack("model-evasion", "perception",
+                   "digital-domain perturbation evading the detector"),
+)
+
+IMAGE_DEFENSES: tuple[PipelineDefense, ...] = (
+    PipelineDefense("optical-filtering", "optics",
+                    frozenset({"laser-blinding"}), cost=1),
+    PipelineDefense("multi-camera-parallax", "optics",
+                    frozenset({"projection-spoofing"}), cost=2),
+    PipelineDefense("global-shutter-or-randomized-exposure", "image-sensor",
+                    frozenset({"rolling-shutter-flicker"}), cost=2),
+    PipelineDefense("shielding-and-plausibility", "image-sensor",
+                    frozenset({"em-interference"}), cost=1),
+    PipelineDefense("attested-isp-configuration", "isp",
+                    frozenset({"isp-parameter-tampering"}), cost=1),
+    PipelineDefense("authenticated-frame-transport", "transport",
+                    frozenset({"frame-injection", "frame-replay"}), cost=2),
+    PipelineDefense("temporal-consistency-check", "transport",
+                    frozenset({"frame-replay"}), cost=1),
+    PipelineDefense("adversarial-training", "perception",
+                    frozenset({"adversarial-patch", "model-evasion"}), cost=3),
+    PipelineDefense("sensor-fusion-cross-check", "perception",
+                    frozenset({"adversarial-patch", "projection-spoofing"}), cost=2),
+)
+
+
+class ImagePipeline:
+    """Coverage analysis over the [49] pipeline model."""
+
+    def __init__(self,
+                 attacks: tuple[PipelineAttack, ...] = IMAGE_ATTACKS,
+                 defenses: tuple[PipelineDefense, ...] = IMAGE_DEFENSES) -> None:
+        self.attacks = {a.name: a for a in attacks}
+        self.defenses = {d.name: d for d in defenses}
+        for defense in defenses:
+            unknown = defense.mitigates - self.attacks.keys()
+            if unknown:
+                raise ValueError(f"{defense.name} mitigates unknown {sorted(unknown)}")
+
+    def residual_attacks(self, deployed: set[str]) -> list[PipelineAttack]:
+        """Attacks not mitigated by any deployed defense."""
+        unknown = deployed - self.defenses.keys()
+        if unknown:
+            raise ValueError(f"unknown defenses {sorted(unknown)}")
+        mitigated: set[str] = set()
+        for name in deployed:
+            mitigated |= self.defenses[name].mitigates
+        return [a for a in self.attacks.values() if a.name not in mitigated]
+
+    def coverage(self, deployed: set[str]) -> float:
+        return 1.0 - len(self.residual_attacks(deployed)) / len(self.attacks)
+
+    def residual_by_stage(self, deployed: set[str]) -> dict[str, int]:
+        counts = {stage: 0 for stage in PIPELINE_STAGES}
+        for attack in self.residual_attacks(deployed):
+            counts[attack.stage] += 1
+        return counts
+
+    def cheapest_full_coverage(self) -> set[str] | None:
+        """Minimum-cost defense set with zero residual attacks.
+
+        Exhaustive over defense subsets (the catalog is small by
+        design); ties break toward fewer defenses.
+        """
+        names = sorted(self.defenses)
+        best: tuple[int, int, set[str]] | None = None
+        for size in range(1, len(names) + 1):
+            for subset in combinations(names, size):
+                chosen = set(subset)
+                if self.residual_attacks(chosen):
+                    continue
+                cost = sum(self.defenses[n].cost for n in chosen)
+                if best is None or (cost, len(chosen)) < best[:2]:
+                    best = (cost, len(chosen), chosen)
+        return best[2] if best else None

@@ -1,0 +1,101 @@
+"""Passive Keyless Entry and Start system model (paper §II-A).
+
+The paper uses PKES as the canonical example of why physical-layer
+security matters: "the vulnerabilities in the PKES were revealed ...
+more than a decade ago [1]", data-layer crypto does not help against
+relay, and secure UWB two-way ToF ranging is the fix.
+
+:class:`PkesSystem` models the unlock decision of a vehicle under three
+proximity-verification policies:
+
+* ``"lf-rssi"`` — the legacy low-frequency field check; a relay makes a
+  distant fob look adjacent → **relay succeeds**.
+* ``"uwb-hrp"`` — HRP secure ranging (DS-TWR timing, ToF path length
+  through the relay) → relay adds path → **relay fails**.
+* ``"uwb-lrp"`` — LRP distance bounding → same ToF argument, plus the
+  rapid-bit-exchange guarantee → **relay fails**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.attacks import RelayAttack
+from repro.phy.lrp import DistanceBoundingSession
+from repro.phy.ranging import ds_twr
+
+__all__ = ["UnlockAttempt", "PkesSystem"]
+
+_POLICIES = ("lf-rssi", "uwb-hrp", "uwb-lrp")
+
+
+@dataclass(frozen=True)
+class UnlockAttempt:
+    """One unlock decision."""
+
+    policy: str
+    true_fob_distance_m: float
+    perceived_distance_m: float
+    unlocked: bool
+    relayed: bool
+
+
+class PkesSystem:
+    """A vehicle's passive-entry decision logic.
+
+    Args:
+        unlock_range_m: fob must appear within this range to unlock.
+        policy: proximity verification method (see module docstring).
+        key: shared fob/vehicle secret (used by the LRP session).
+    """
+
+    def __init__(self, *, unlock_range_m: float = 2.0,
+                 policy: str = "uwb-hrp",
+                 key: bytes = b"\x5a" * 16) -> None:
+        if policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}")
+        if unlock_range_m <= 0:
+            raise ValueError("unlock_range_m must be positive")
+        self.unlock_range_m = unlock_range_m
+        self.policy = policy
+        self.key = key
+
+    def _perceived_distance(self, fob_distance_m: float,
+                            relay: RelayAttack | None) -> float:
+        if self.policy == "lf-rssi":
+            if relay is not None:
+                return relay.rssi_observed_distance_m()
+            return fob_distance_m
+        # ToF-based policies measure the actual radio path length.
+        path = fob_distance_m
+        if relay is not None:
+            path = relay.effective_distance_m(fob_distance_m)
+        return ds_twr(path).measured_distance_m
+
+    def try_unlock(self, fob_distance_m: float,
+                   relay: RelayAttack | None = None) -> UnlockAttempt:
+        """Evaluate an unlock attempt with the fob at ``fob_distance_m``."""
+        if fob_distance_m < 0:
+            raise ValueError("fob distance must be non-negative")
+        perceived = self._perceived_distance(fob_distance_m, relay)
+        unlocked = perceived <= self.unlock_range_m
+        if unlocked and self.policy == "uwb-lrp":
+            # The LRP policy additionally requires the distance-bounding
+            # response check to pass at the perceived distance.
+            session = DistanceBoundingSession(self.key, rounds=32)
+            result = session.run_honest(perceived, distance_bound_m=self.unlock_range_m)
+            unlocked = result.accepted
+        return UnlockAttempt(
+            policy=self.policy,
+            true_fob_distance_m=fob_distance_m,
+            perceived_distance_m=perceived,
+            unlocked=unlocked,
+            relayed=relay is not None,
+        )
+
+    def relay_attack_succeeds(self, fob_distance_m: float,
+                              relay: RelayAttack | None = None) -> bool:
+        """Convenience: does a relay attack open the car with a far fob?"""
+        relay = relay or RelayAttack()
+        attempt = self.try_unlock(fob_distance_m, relay=relay)
+        return attempt.unlocked and fob_distance_m > self.unlock_range_m

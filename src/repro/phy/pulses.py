@@ -1,0 +1,121 @@
+"""UWB pulse shaping and baseband signal construction.
+
+IEEE 802.15.4z defines two UWB PHYs (paper Fig. 2): the **High Rate
+Pulse** (HRP) mode with short (~2 ns) pulses at a high repetition rate,
+and the **Low Rate Pulse** (LRP) mode with longer, higher-energy pulses
+at a low repetition rate.  Both are modeled here at baseband as sampled
+waveforms: a pulse template (Gaussian second derivative, the standard
+UWB monocycle approximation) placed at pulse-repetition-interval
+positions with BPSK polarities.
+
+Geometry convention used across :mod:`repro.phy`: the default sample
+rate is ~2 GS/s (0.4997 ns/sample), so one sample of time-of-arrival
+error corresponds to ~15 cm of ranging error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PhyConfig", "HRP_CONFIG", "LRP_CONFIG", "pulse_template", "build_pulse_train", "SPEED_OF_LIGHT"]
+
+SPEED_OF_LIGHT = 299_792_458.0  # m/s
+
+
+@dataclass(frozen=True)
+class PhyConfig:
+    """Sampled-waveform parameters for one UWB mode.
+
+    Attributes:
+        name: mode label ("HRP" or "LRP").
+        sample_rate_hz: simulation sample rate.
+        pulse_width_s: nominal monocycle width (controls bandwidth).
+        pulse_repetition_interval_s: spacing between pulse positions.
+        pulse_amplitude: per-pulse amplitude. LRP uses fewer, stronger
+            pulses (its link budget concentrates energy per pulse, which
+            is what enables per-pulse decisions for distance bounding).
+    """
+
+    name: str
+    sample_rate_hz: float
+    pulse_width_s: float
+    pulse_repetition_interval_s: float
+    pulse_amplitude: float
+
+    @property
+    def samples_per_pri(self) -> int:
+        return max(1, round(self.pulse_repetition_interval_s * self.sample_rate_hz))
+
+    @property
+    def metres_per_sample(self) -> float:
+        return SPEED_OF_LIGHT / self.sample_rate_hz
+
+
+HRP_CONFIG = PhyConfig(
+    name="HRP",
+    sample_rate_hz=1.9968e9,          # ~2 GS/s, matches 499.2 MHz chip clock x4
+    pulse_width_s=2.0e-9,             # ~500 MHz bandwidth pulse
+    pulse_repetition_interval_s=8.0e-9,
+    pulse_amplitude=1.0,
+)
+
+LRP_CONFIG = PhyConfig(
+    name="LRP",
+    sample_rate_hz=1.9968e9,
+    pulse_width_s=2.0e-9,
+    pulse_repetition_interval_s=512.0e-9,  # Fig. 2: LRP pulse slot is 512 ns
+    pulse_amplitude=8.0,                   # high energy per pulse
+)
+
+
+def pulse_template(config: PhyConfig) -> np.ndarray:
+    """Gaussian second-derivative monocycle sampled at the config rate.
+
+    Normalized to unit peak before scaling by ``pulse_amplitude``.
+    """
+    sigma = config.pulse_width_s / 4.0
+    half = config.pulse_width_s
+    t = np.arange(-half, half, 1.0 / config.sample_rate_hz)
+    x = (t / sigma) ** 2
+    wave = (1.0 - x) * np.exp(-x / 2.0)
+    peak = np.max(np.abs(wave))
+    if peak > 0:
+        wave = wave / peak
+    return wave * config.pulse_amplitude
+
+
+def build_pulse_train(symbols: np.ndarray, config: PhyConfig,
+                      positions: np.ndarray | None = None,
+                      tail_samples: int = 0) -> np.ndarray:
+    """Place BPSK ``symbols`` (±1) on a pulse grid and return the waveform.
+
+    Args:
+        symbols: array of +1/-1 polarities, one per pulse.
+        config: PHY parameters.
+        positions: optional per-pulse sample offsets (used by the pulse
+            reordering defense in LRP mode). Defaults to the regular grid
+            ``i * samples_per_pri``.
+        tail_samples: extra zero samples appended (room for channel delay).
+    """
+    symbols = np.asarray(symbols, dtype=float)
+    if symbols.ndim != 1 or symbols.size == 0:
+        raise ValueError("symbols must be a non-empty 1-D array")
+    if not np.all(np.isin(symbols, (-1.0, 1.0))):
+        raise ValueError("symbols must be +1/-1")
+    template = pulse_template(config)
+    spp = config.samples_per_pri
+    if positions is None:
+        positions = np.arange(symbols.size) * spp
+    else:
+        positions = np.asarray(positions, dtype=int)
+        if positions.shape != symbols.shape:
+            raise ValueError("positions must match symbols shape")
+        if np.any(positions < 0):
+            raise ValueError("positions must be non-negative")
+    length = int(positions.max()) + template.size + tail_samples
+    signal = np.zeros(length)
+    for polarity, start in zip(symbols, positions):
+        signal[start : start + template.size] += polarity * template
+    return signal

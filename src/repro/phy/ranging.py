@@ -1,0 +1,84 @@
+"""Two-way ranging timing algebra (SS-TWR and DS-TWR).
+
+"Two-way Time-of-flight measurement using Ultrawideband signals has
+emerged as the secure solution" (paper §II-A).  Two-way ranging removes
+the need for synchronized clocks; this module implements the two
+standard variants and their sensitivity to clock drift:
+
+* **SS-TWR** (single-sided): one round trip; the responder's reply delay
+  is scaled by its (drifting) clock, leaving a bias proportional to the
+  drift times the reply time.
+* **DS-TWR** (double-sided): two round trips combined so first-order
+  drift cancels — the variant 802.15.4z deployments use.
+
+These are exercised by the PKES model and the Fig. 2 bench to show why
+DS-TWR is the practical choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.pulses import SPEED_OF_LIGHT
+
+__all__ = ["TwrMeasurement", "ss_twr", "ds_twr"]
+
+
+@dataclass(frozen=True)
+class TwrMeasurement:
+    """A two-way ranging result."""
+
+    method: str
+    true_distance_m: float
+    measured_distance_m: float
+
+    @property
+    def error_m(self) -> float:
+        return self.measured_distance_m - self.true_distance_m
+
+
+def _tof_s(distance_m: float) -> float:
+    return distance_m / SPEED_OF_LIGHT
+
+
+def ss_twr(distance_m: float, *, reply_time_s: float = 300e-6,
+           responder_drift_ppm: float = 0.0,
+           extra_path_m: float = 0.0) -> TwrMeasurement:
+    """Single-sided TWR.
+
+    ``extra_path_m`` models a relay/replay that lengthens the radio path
+    (attacks can only add path, never remove it).  ``responder_drift_ppm``
+    is the responder clock offset; SS-TWR error ≈ drift x reply_time / 2.
+    """
+    if distance_m < 0 or extra_path_m < 0:
+        raise ValueError("distances must be non-negative")
+    tof = _tof_s(distance_m + extra_path_m)
+    drift = 1.0 + responder_drift_ppm * 1e-6
+    # Initiator measures t_round on its own (reference) clock; the
+    # responder reports its reply time measured on a drifting clock.
+    t_round = 2.0 * tof + reply_time_s
+    t_reply_reported = reply_time_s / drift
+    tof_est = (t_round - t_reply_reported) / 2.0
+    return TwrMeasurement("SS-TWR", distance_m, tof_est * SPEED_OF_LIGHT)
+
+
+def ds_twr(distance_m: float, *, reply_time_a_s: float = 300e-6,
+           reply_time_b_s: float = 280e-6,
+           responder_drift_ppm: float = 0.0,
+           extra_path_m: float = 0.0) -> TwrMeasurement:
+    """Double-sided TWR (asymmetric formula of 802.15.4z):
+
+    ``tof = (Ra*Rb - Da*Db) / (Ra + Rb + Da + Db)`` where R are round
+    times and D are reply delays. First-order clock drift cancels.
+    """
+    if distance_m < 0 or extra_path_m < 0:
+        raise ValueError("distances must be non-negative")
+    tof = _tof_s(distance_m + extra_path_m)
+    drift = 1.0 + responder_drift_ppm * 1e-6
+    # Times measured by A (reference clock) and B (drifting clock).
+    ra = 2.0 * tof + reply_time_b_s            # A: poll -> response
+    db = reply_time_b_s / drift                 # B reports its delay
+    rb = (2.0 * tof + reply_time_a_s) / drift   # B: response -> final
+    da = reply_time_a_s                         # A's reply delay
+    tof_est = (ra * rb - da * db) / (ra + rb + da + db)
+    return TwrMeasurement("DS-TWR", distance_m, tof_est * SPEED_OF_LIGHT)

@@ -1,0 +1,92 @@
+"""Time-of-arrival estimation: cross-correlation and leading-edge search.
+
+The paper's §II-A pinpoints the HRP vulnerability precisely: "if
+cross-correlation is naively applied to compute the time-of-arrival on
+these STS sequences, it opens the door to distance manipulation
+attacks".  This module implements both halves of that statement:
+
+* :func:`cross_correlation` + :func:`first_path_toa` — the standard
+  receiver pipeline: correlate against the known template, find the
+  strongest peak, then *back-search* for the earliest path above a
+  fraction of the peak (real receivers must do this because in multipath
+  the direct path is often weaker than a later reflection);
+* the back-search threshold is exactly what ghost-peak attacks exploit —
+  injected energy that correlates slightly with the template can exceed
+  a low threshold at an earlier position, pulling the ToA (and thus the
+  measured distance) down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ToaEstimate", "cross_correlation", "first_path_toa"]
+
+
+@dataclass(frozen=True)
+class ToaEstimate:
+    """Result of a ToA search over a correlation function."""
+
+    toa_sample: int
+    peak_sample: int
+    peak_value: float
+    first_path_value: float
+
+    @property
+    def used_early_path(self) -> bool:
+        """True when back-search selected a path earlier than the main peak."""
+        return self.toa_sample < self.peak_sample
+
+
+def cross_correlation(received: np.ndarray, template: np.ndarray) -> np.ndarray:
+    """Correlation of ``received`` against ``template`` (valid lags only).
+
+    Index ``k`` of the output corresponds to the template starting at
+    sample ``k`` of the received signal.
+    """
+    received = np.asarray(received, dtype=float)
+    template = np.asarray(template, dtype=float)
+    if template.size == 0 or received.size < template.size:
+        raise ValueError("received signal shorter than template")
+    return np.correlate(received, template, mode="valid")
+
+
+def first_path_toa(correlation: np.ndarray, *,
+                   back_search_window: int = 64,
+                   threshold_ratio: float = 0.4) -> ToaEstimate:
+    """Peak detection with leading-edge back-search.
+
+    Args:
+        correlation: output of :func:`cross_correlation`.
+        back_search_window: how many samples before the main peak to
+            search for an earlier (weaker) first path.
+        threshold_ratio: fraction of the peak magnitude a sample must
+            exceed to count as a path.  Low values accept weak early
+            paths (good in deep multipath, but the attack surface for
+            ghost peaks); high values are conservative.
+
+    Returns the ToA estimate. The search is over correlation magnitude,
+    so BPSK polarity does not matter.
+    """
+    if not 0.0 < threshold_ratio <= 1.0:
+        raise ValueError("threshold_ratio must be in (0, 1]")
+    if back_search_window < 0:
+        raise ValueError("back_search_window must be non-negative")
+    magnitude = np.abs(np.asarray(correlation, dtype=float))
+    peak = int(np.argmax(magnitude))
+    peak_value = float(magnitude[peak])
+    threshold = threshold_ratio * peak_value
+    start = max(0, peak - back_search_window)
+    toa = peak
+    for idx in range(start, peak):
+        if magnitude[idx] >= threshold:
+            toa = idx
+            break
+    return ToaEstimate(
+        toa_sample=toa,
+        peak_sample=peak,
+        peak_value=peak_value,
+        first_path_value=float(magnitude[toa]),
+    )

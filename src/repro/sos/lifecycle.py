@@ -1,0 +1,151 @@
+"""Lifecycle desynchronization analysis (paper §VI-B).
+
+"Many autonomous vehicle MaaS platforms retrofit legacy vehicles — such
+as in partnerships between Waymo and Chrysler — rather than developing
+integrated systems from scratch. As a result, development milestones for
+a cohesive solution become fragmented, leading to inconsistent
+validation efforts."  And §VI-A: cybersecurity needs "an expanded
+lifecycle perspective that extends from the development phase through
+the operational phase to the end of service."
+
+The model: every subsystem has its own :class:`LifecyclePlan` — phase
+boundaries on a shared timeline (development → integration → validation
+→ operation → end-of-service).  The analyzer finds the **exposure
+windows** the paper warns about:
+
+* a subsystem *operating* while a subsystem it depends on is still in
+  development/integration (validated against a moving target);
+* operation continuing past a supplier's end-of-service (unpatched
+  components in the field);
+* the overall *co-validation overlap*: the fraction of the platform's
+  operating time during which every dependency was simultaneously in
+  validation-or-later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+__all__ = ["Phase", "LifecyclePlan", "ExposureWindow", "LifecycleAnalyzer"]
+
+
+class Phase(IntEnum):
+    """Lifecycle phases, ordered."""
+
+    DEVELOPMENT = 0
+    INTEGRATION = 1
+    VALIDATION = 2
+    OPERATION = 3
+    END_OF_SERVICE = 4
+
+
+@dataclass(frozen=True)
+class LifecyclePlan:
+    """One subsystem's phase boundaries (times in arbitrary units,
+    e.g. months on the program timeline).
+
+    ``boundaries[i]`` is the start of phase ``i``; phases are
+    contiguous; ``boundaries[Phase.END_OF_SERVICE]`` is when support
+    stops.
+    """
+
+    system: str
+    boundaries: tuple[float, float, float, float, float]
+
+    def __post_init__(self) -> None:
+        if list(self.boundaries) != sorted(self.boundaries):
+            raise ValueError(f"{self.system}: phase boundaries must be ordered")
+
+    def phase_at(self, t: float) -> Phase:
+        current = Phase.DEVELOPMENT
+        for phase in Phase:
+            if t >= self.boundaries[phase]:
+                current = phase
+        return current
+
+    def interval(self, phase: Phase) -> tuple[float, float]:
+        start = self.boundaries[phase]
+        end = (self.boundaries[phase + 1] if phase < Phase.END_OF_SERVICE
+               else float("inf"))
+        return start, end
+
+
+@dataclass(frozen=True)
+class ExposureWindow:
+    """A time interval during which a dependency is in an unsafe phase."""
+
+    operating_system: str
+    dependency: str
+    start: float
+    end: float
+    reason: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class LifecycleAnalyzer:
+    """Exposure-window analysis over subsystem plans + dependencies."""
+
+    plans: dict[str, LifecyclePlan] = field(default_factory=dict)
+    dependencies: list[tuple[str, str]] = field(default_factory=list)
+
+    def add_plan(self, plan: LifecyclePlan) -> None:
+        if plan.system in self.plans:
+            raise ValueError(f"duplicate plan for {plan.system!r}")
+        self.plans[plan.system] = plan
+
+    def depends_on(self, system: str, dependency: str) -> None:
+        for name in (system, dependency):
+            if name not in self.plans:
+                raise KeyError(f"no lifecycle plan for {name!r}")
+        self.dependencies.append((system, dependency))
+
+    def exposure_windows(self) -> list[ExposureWindow]:
+        """All windows where an operating system's dependency is unsafe."""
+        windows: list[ExposureWindow] = []
+        for system, dependency in self.dependencies:
+            op_start, op_end = self.plans[system].interval(Phase.OPERATION)
+            dep = self.plans[dependency]
+            # Unsafe early: dependency not yet in validation.
+            validated_from = dep.boundaries[Phase.VALIDATION]
+            if validated_from > op_start:
+                windows.append(ExposureWindow(
+                    system, dependency, op_start,
+                    min(validated_from, op_end),
+                    "dependency still in development/integration"))
+            # Unsafe late: dependency past end of service.
+            eos = dep.boundaries[Phase.END_OF_SERVICE]
+            if eos < op_end:
+                windows.append(ExposureWindow(
+                    system, dependency, max(eos, op_start), op_end,
+                    "dependency past end-of-service (unpatched)"))
+        return [w for w in windows if w.duration > 0]
+
+    def co_validation_overlap(self, system: str) -> float:
+        """Fraction of ``system``'s operating time with all dependencies
+        in validation-or-later and still in service."""
+        plan = self.plans[system]
+        op_start, op_end = plan.interval(Phase.OPERATION)
+        if op_end == float("inf"):
+            op_end = max(p.boundaries[Phase.END_OF_SERVICE]
+                         for p in self.plans.values())
+        if op_end <= op_start:
+            return 1.0
+        safe_start = op_start
+        safe_end = op_end
+        for dep_system, dependency in self.dependencies:
+            if dep_system != system:
+                continue
+            dep = self.plans[dependency]
+            safe_start = max(safe_start, dep.boundaries[Phase.VALIDATION])
+            safe_end = min(safe_end, dep.boundaries[Phase.END_OF_SERVICE])
+        overlap = max(0.0, min(safe_end, op_end) - max(safe_start, op_start))
+        return overlap / (op_end - op_start)
+
+    def total_exposure(self) -> float:
+        """Summed duration of all exposure windows (program time units)."""
+        return sum(w.duration for w in self.exposure_windows())

@@ -1,0 +1,88 @@
+"""The Fig. 9 AD MaaS reference architecture, fully wired.
+
+Builds the exact structure the figure shows:
+
+* level 0 — the SAE-L4 MaaS platform;
+* level 1 — autonomous vehicle, cloud & backend, hub infrastructure,
+  MaaS platform (the ride-hailing service);
+* level 2 — inside the vehicle: vehicle OS, self-driving stack,
+  passenger OS;
+* level 3 — vehicle OS: safety-critical functions (steer/brake/light)
+  and comfort functions (climate/seats); self-driving stack: sense /
+  plan / act; passenger OS: passenger monitoring and platform gateway.
+
+Cross-cutting interfaces mirror §VI-B's concerns: telematics gateways to
+the backend, the passenger OS as the MaaS gateway, real-time data feeds,
+and third-party integrations — each a potential entry point.
+"""
+
+from __future__ import annotations
+
+from repro.sos.model import SosModel, SosSystem, SystemInterface
+
+__all__ = ["build_maas_sos"]
+
+
+def build_maas_sos(*, secured_interfaces: bool = False) -> SosModel:
+    """Construct the Fig. 9 system of systems.
+
+    ``secured_interfaces`` marks every cross-system interface as
+    authenticated — the "unified security framework" counterfactual used
+    by the FIG9 bench.
+    """
+    platform = SosSystem("maas-sos", 0, stakeholder="consortium")
+
+    av = platform.add_child(SosSystem(
+        "autonomous-vehicle", 1, stakeholder="vehicle-oem", safety_critical=True))
+    backend = platform.add_child(SosSystem(
+        "cloud-backend", 1, stakeholder="backend-operator", exposed=True))
+    hub = platform.add_child(SosSystem(
+        "hub-infrastructure", 1, stakeholder="hub-operator"))
+    maas = platform.add_child(SosSystem(
+        "maas-platform", 1, stakeholder="maas-operator", exposed=True))
+
+    vehicle_os = av.add_child(SosSystem(
+        "vehicle-os", 2, stakeholder="vehicle-oem", safety_critical=True))
+    sds = av.add_child(SosSystem(
+        "self-driving-stack", 2, stakeholder="ad-software-vendor", safety_critical=True))
+    passenger_os = av.add_child(SosSystem(
+        "passenger-os", 2, stakeholder="maas-operator", exposed=True))
+
+    vehicle_os.add_child(SosSystem(
+        "safety-functions", 3, stakeholder="vehicle-oem", safety_critical=True))
+    vehicle_os.add_child(SosSystem(
+        "comfort-functions", 3, stakeholder="vehicle-oem"))
+    sds.add_child(SosSystem(
+        "sense", 3, stakeholder="ad-software-vendor", safety_critical=True, exposed=True))
+    sds.add_child(SosSystem(
+        "plan", 3, stakeholder="ad-software-vendor", safety_critical=True))
+    sds.add_child(SosSystem(
+        "act", 3, stakeholder="ad-software-vendor", safety_critical=True))
+    passenger_os.add_child(SosSystem(
+        "passenger-monitoring", 3, stakeholder="maas-operator"))
+    passenger_os.add_child(SosSystem(
+        "platform-gateway", 3, stakeholder="maas-operator", exposed=True))
+
+    model = SosModel(platform)
+    s = secured_interfaces
+    model.connect(SystemInterface("autonomous-vehicle", "cloud-backend",
+                                  "telematics", realtime=True, secured=s))
+    model.connect(SystemInterface("passenger-os", "maas-platform",
+                                  "api", secured=s))
+    model.connect(SystemInterface("maas-platform", "cloud-backend",
+                                  "api", third_party=True, secured=s))
+    model.connect(SystemInterface("hub-infrastructure", "cloud-backend",
+                                  "api", secured=s))
+    model.connect(SystemInterface("autonomous-vehicle", "hub-infrastructure",
+                                  "local-bus", secured=s))
+    model.connect(SystemInterface("self-driving-stack", "cloud-backend",
+                                  "telematics", realtime=True, secured=s))
+    model.connect(SystemInterface("sense", "plan", "sensor",
+                                  realtime=True, secured=s))
+    model.connect(SystemInterface("plan", "act", "local-bus",
+                                  realtime=True, secured=s))
+    model.connect(SystemInterface("passenger-os", "vehicle-os",
+                                  "local-bus", third_party=True, secured=s))
+    model.connect(SystemInterface("vehicle-os", "self-driving-stack",
+                                  "local-bus", secured=s))
+    return model

@@ -1,0 +1,133 @@
+"""System-of-systems model with hierarchy levels (paper §VI-A, Fig. 9).
+
+Fig. 9 derives the AD MaaS architecture "schematically across multiple
+levels": level 0 is the whole platform, level 1 its major systems
+(autonomous vehicles, backend, hub infrastructure, MaaS platform),
+level 2 the vehicle's internal subsystems (vehicle OS, self-driving
+stack, passenger OS), level 3 the function groups inside those (act /
+sense / plan; safety-critical vs comfort functions).
+
+:class:`SosModel` is a tree of :class:`SosSystem` nodes plus a set of
+cross-tree :class:`SystemInterface` edges (the "interconnected,
+interdependent" structure §VI-B worries about), with queries for entry
+points, per-level aggregation, and export to the core
+:class:`~repro.core.entities.SystemModel` for reachability analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.entities import Component, Interface, SystemModel
+from repro.core.layers import Layer
+from repro.core.threats import AccessLevel
+
+__all__ = ["SosSystem", "SystemInterface", "SosModel"]
+
+
+@dataclass
+class SosSystem:
+    """One node in the SoS hierarchy."""
+
+    name: str
+    level: int                       # 0 (whole platform) .. 3 (function group)
+    stakeholder: str = ""            # who operates / is responsible for it
+    safety_critical: bool = False
+    exposed: bool = False            # externally reachable (telematics, app, ...)
+    children: list["SosSystem"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.level <= 3:
+            raise ValueError("SoS levels range 0..3 (Fig. 9)")
+
+    def add_child(self, child: "SosSystem") -> "SosSystem":
+        if child.level != self.level + 1:
+            raise ValueError(
+                f"child {child.name!r} at level {child.level} under level {self.level}")
+        self.children.append(child)
+        return child
+
+    def walk(self) -> Iterator["SosSystem"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class SystemInterface:
+    """A communication dependency between two systems (by name)."""
+
+    source: str
+    target: str
+    kind: str                        # "telematics", "api", "sensor", "local-bus"
+    realtime: bool = False           # §VI-B: real-time data is DoS/spoof-critical
+    third_party: bool = False        # §VI-B: third-party integration risk
+    secured: bool = False
+
+
+class SosModel:
+    """The full SoS: a hierarchy root plus cross-cutting interfaces."""
+
+    def __init__(self, root: SosSystem) -> None:
+        if root.level != 0:
+            raise ValueError("the root is the level-0 platform")
+        self.root = root
+        self.interfaces: list[SystemInterface] = []
+        self._by_name = {system.name: system for system in root.walk()}
+        if len(self._by_name) != sum(1 for _ in root.walk()):
+            raise ValueError("duplicate system names in the hierarchy")
+
+    def system(self, name: str) -> SosSystem:
+        return self._by_name[name]
+
+    def systems(self, level: int | None = None) -> list[SosSystem]:
+        items = list(self.root.walk())
+        if level is not None:
+            items = [s for s in items if s.level == level]
+        return items
+
+    def connect(self, interface: SystemInterface) -> SystemInterface:
+        for end in (interface.source, interface.target):
+            if end not in self._by_name:
+                raise KeyError(f"unknown system {end!r}")
+        self.interfaces.append(interface)
+        return interface
+
+    def entry_points(self) -> list[SosSystem]:
+        return [s for s in self.root.walk() if s.exposed]
+
+    def interfaces_of(self, name: str) -> list[SystemInterface]:
+        return [i for i in self.interfaces if name in (i.source, i.target)]
+
+    def stakeholders(self) -> set[str]:
+        return {s.stakeholder for s in self.root.walk() if s.stakeholder}
+
+    def to_system_model(self) -> SystemModel:
+        """Flatten to the core model (leaf + intermediate nodes as components).
+
+        Containment becomes *downward* adjacency only: a breached system
+        exposes its subsystems, but hopping to a sibling system requires
+        an actual interface — which is how §VI-B's cascades cross the
+        architecture (via telematics/API/bus links, not via the
+        abstraction hierarchy).
+        """
+        model = SystemModel(f"sos:{self.root.name}")
+        for system in self.root.walk():
+            model.add_component(Component(
+                system.name, Layer.SYSTEM_OF_SYSTEMS,
+                criticality=5 if system.safety_critical else 2,
+                exposed=system.exposed,
+            ))
+        for system in self.root.walk():
+            for child in system.children:
+                model.connect(Interface(system.name, child.name, "containment",
+                                        AccessLevel.LOCAL_BUS))
+        for interface in self.interfaces:
+            model.connect(Interface(interface.source, interface.target,
+                                    interface.kind, AccessLevel.REMOTE,
+                                    authenticated=interface.secured))
+            model.connect(Interface(interface.target, interface.source,
+                                    interface.kind, AccessLevel.REMOTE,
+                                    authenticated=interface.secured))
+        return model

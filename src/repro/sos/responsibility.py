@@ -1,0 +1,100 @@
+"""Stakeholder responsibility analysis (paper §VI).
+
+"AD MaaS vehicles operate under a distributed, shared hierarchy of
+responsibility, lacking clear roles ... ambiguous roles and
+responsibilities within large-scale value networks hinder comprehensive
+risk assessments."
+
+:class:`ResponsibilityMatrix` maps security *obligations* (threat
+analysis, incident response, patching, key management, data protection)
+to stakeholders per system, then reports the gaps the paper warns
+about: systems with **no** owner for an obligation, and cross-
+stakeholder interfaces where the two ends answer to different parties
+(the fragmented-integration problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sos.model import SosModel
+
+__all__ = ["OBLIGATIONS", "ResponsibilityGap", "ResponsibilityMatrix"]
+
+#: The security obligations every system needs someone to own.
+OBLIGATIONS = (
+    "threat-analysis",
+    "incident-response",
+    "patch-management",
+    "key-management",
+    "data-protection",
+)
+
+
+@dataclass(frozen=True)
+class ResponsibilityGap:
+    """One detected gap."""
+
+    system: str
+    obligation: str
+    detail: str
+
+
+@dataclass
+class ResponsibilityMatrix:
+    """Obligation → stakeholder assignments over an SoS model."""
+
+    model: SosModel
+    _assignments: dict[tuple[str, str], str] = field(default_factory=dict)
+
+    def assign(self, system: str, obligation: str, stakeholder: str) -> None:
+        if obligation not in OBLIGATIONS:
+            raise ValueError(f"unknown obligation {obligation!r}")
+        if system not in {s.name for s in self.model.root.walk()}:
+            raise KeyError(f"unknown system {system!r}")
+        self._assignments[(system, obligation)] = stakeholder
+
+    def assign_by_operator(self) -> None:
+        """Default split: each system's operator owns everything for it —
+        the naive arrangement that leaves integration seams unowned."""
+        for system in self.model.root.walk():
+            if system.stakeholder:
+                for obligation in OBLIGATIONS:
+                    self._assignments[(system.name, obligation)] = system.stakeholder
+
+    def owner(self, system: str, obligation: str) -> str | None:
+        return self._assignments.get((system, obligation))
+
+    def coverage_gaps(self) -> list[ResponsibilityGap]:
+        """Systems with an unowned obligation."""
+        gaps = []
+        for system in self.model.root.walk():
+            for obligation in OBLIGATIONS:
+                if (system.name, obligation) not in self._assignments:
+                    gaps.append(ResponsibilityGap(
+                        system.name, obligation, "no stakeholder assigned"))
+        return gaps
+
+    def seam_gaps(self) -> list[ResponsibilityGap]:
+        """Cross-stakeholder interfaces with split incident-response.
+
+        When the two ends of an interface have *different*
+        incident-response owners, a breach crossing it has no single
+        responsible party — the paper's traceability complaint.
+        """
+        gaps = []
+        for interface in self.model.interfaces:
+            owner_src = self.owner(interface.source, "incident-response")
+            owner_dst = self.owner(interface.target, "incident-response")
+            if owner_src and owner_dst and owner_src != owner_dst:
+                gaps.append(ResponsibilityGap(
+                    f"{interface.source}<->{interface.target}",
+                    "incident-response",
+                    f"split between {owner_src!r} and {owner_dst!r}",
+                ))
+        return gaps
+
+    def coverage_fraction(self) -> float:
+        """Fraction of (system, obligation) pairs with an owner."""
+        total = len(list(self.model.root.walk())) * len(OBLIGATIONS)
+        return len(self._assignments) / total if total else 1.0

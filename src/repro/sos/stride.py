@@ -1,0 +1,91 @@
+"""STRIDE threat enumeration over SoS interfaces (paper §VI-B).
+
+§VI-B names the attack classes: "broad attack surface due to multiple
+physical and digital entry points", spoofing and DoS against real-time
+data, third-party component risks.  STRIDE-per-interface is the
+standard way to make such an enumeration systematic; the rules below
+map interface properties (kind, realtime, third_party, secured) to the
+applicable STRIDE categories, so the FIG9 bench can print a threat
+count per SoS level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.sos.model import SosModel, SystemInterface
+
+__all__ = ["StrideCategory", "Threat", "enumerate_threats", "threats_by_level"]
+
+
+class StrideCategory(Enum):
+    SPOOFING = "spoofing"
+    TAMPERING = "tampering"
+    REPUDIATION = "repudiation"
+    INFORMATION_DISCLOSURE = "information_disclosure"
+    DENIAL_OF_SERVICE = "denial_of_service"
+    ELEVATION_OF_PRIVILEGE = "elevation_of_privilege"
+
+
+@dataclass(frozen=True)
+class Threat:
+    """One enumerated threat at one interface."""
+
+    interface: SystemInterface
+    category: StrideCategory
+    rationale: str
+
+
+def _interface_threats(interface: SystemInterface) -> list[Threat]:
+    threats: list[Threat] = []
+
+    def add(category: StrideCategory, rationale: str) -> None:
+        threats.append(Threat(interface, category, rationale))
+
+    if not interface.secured:
+        add(StrideCategory.SPOOFING,
+            "unauthenticated interface: either end can be impersonated")
+        add(StrideCategory.TAMPERING,
+            "no integrity protection on transit data")
+        add(StrideCategory.INFORMATION_DISCLOSURE,
+            "no confidentiality on transit data")
+    if interface.realtime:
+        add(StrideCategory.DENIAL_OF_SERVICE,
+            "real-time feed: delay/flood degrades decisions (§VI-B)")
+        if not interface.secured:
+            add(StrideCategory.SPOOFING,
+                "real-time data spoofing affects decision-making (§VI-B)")
+    if interface.third_party:
+        add(StrideCategory.ELEVATION_OF_PRIVILEGE,
+            "third-party integration: inherited vulnerabilities (§VI-B)")
+    if interface.kind == "telematics":
+        add(StrideCategory.INFORMATION_DISCLOSURE,
+            "telematics gateways carry fleet/geolocation data (§V)")
+    if interface.kind == "api" and not interface.secured:
+        add(StrideCategory.REPUDIATION,
+            "cross-stakeholder API without mutual authentication: "
+            "actions cannot be attributed (§VI ambiguous responsibility)")
+    return threats
+
+
+def enumerate_threats(model: SosModel) -> list[Threat]:
+    """All STRIDE threats across the model's interfaces."""
+    threats: list[Threat] = []
+    for interface in model.interfaces:
+        threats.extend(_interface_threats(interface))
+    return threats
+
+
+def threats_by_level(model: SosModel) -> dict[int, int]:
+    """Threat counts aggregated by the *deeper* endpoint's level.
+
+    An interface threat is charged to the more deeply nested endpoint,
+    which is where the compromise lands first.
+    """
+    counts = {level: 0 for level in range(4)}
+    for threat in enumerate_threats(model):
+        src = model.system(threat.interface.source)
+        dst = model.system(threat.interface.target)
+        counts[max(src.level, dst.level)] += 1
+    return counts

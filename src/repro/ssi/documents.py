@@ -1,0 +1,146 @@
+"""Signed, linked, and encrypted evidence documents (paper §IV-B).
+
+"Crash reports, logs, or scenario data ... are needed to analyze errors
+or unexpected behaviors ... it is important to ensure the authenticity
+of such data. ... In complex scenarios, such signed documents need to be
+linked, e.g., to describe a complex scenario with different hardware and
+software components."
+
+Two primitives:
+
+* :class:`SignedDocument` — a content document signed by its author and
+  *linked* (by content hash) to other documents; :func:`verify_chain`
+  walks the link graph and checks every signature and hash, so one
+  tampered document invalidates everything that references it;
+* :class:`EncryptedEnvelope` — confidentiality for privacy-sensitive
+  payloads: ephemeral X25519 ECDH to the recipient's key, HKDF, then
+  AES-GCM (sign-then-encrypt with the author's Ed25519 signature inside).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.crypto import ed25519
+from repro.crypto.kdf import hkdf
+from repro.crypto.modes import AuthenticationError, Gcm
+from repro.crypto.x25519 import x25519, x25519_base
+from repro.ssi.did import KeyPair
+from repro.ssi.registry import VerifiableDataRegistry
+
+__all__ = ["SignedDocument", "DocumentStore", "EncryptedEnvelope"]
+
+
+@dataclass(frozen=True)
+class SignedDocument:
+    """An authored document linking to prior documents by hash."""
+
+    author: str                 # DID string
+    doc_type: str               # "crash-report", "sensor-log", "scenario", ...
+    content: dict
+    links: tuple[str, ...]      # content hashes of referenced documents
+    signature: bytes = b""
+
+    def signing_input(self) -> bytes:
+        body = {
+            "author": self.author,
+            "type": self.doc_type,
+            "content": self.content,
+            "links": list(self.links),
+        }
+        return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+
+    def content_hash(self) -> str:
+        return hashlib.sha256(self.signing_input() + self.signature).hexdigest()
+
+    @classmethod
+    def create(cls, *, author_did: str, author_key: KeyPair, doc_type: str,
+               content: dict, links: list[str] | None = None) -> "SignedDocument":
+        draft = cls(author_did, doc_type, dict(content), tuple(links or ()))
+        return replace(draft, signature=author_key.sign(draft.signing_input()))
+
+
+@dataclass
+class DocumentStore:
+    """Hash-addressed storage with chain verification."""
+
+    registry: VerifiableDataRegistry
+    _docs: dict[str, SignedDocument] = field(default_factory=dict)
+
+    def add(self, document: SignedDocument) -> str:
+        """Store a document; all its links must already be present."""
+        for link in document.links:
+            if link not in self._docs:
+                raise KeyError(f"dangling link {link[:12]}...")
+        digest = document.content_hash()
+        self._docs[digest] = document
+        return digest
+
+    def get(self, digest: str) -> SignedDocument:
+        return self._docs[digest]
+
+    def verify_chain(self, digest: str) -> bool:
+        """Verify the document at ``digest`` and everything it references."""
+        seen: set[str] = set()
+        stack = [digest]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            document = self._docs.get(current)
+            if document is None or document.content_hash() != current:
+                return False
+            try:
+                author_doc = self.registry.resolve(document.author)
+            except KeyError:
+                return False
+            if not author_doc.verify(document.signing_input(), document.signature):
+                return False
+            stack.extend(document.links)
+        return True
+
+
+@dataclass(frozen=True)
+class EncryptedEnvelope:
+    """X25519 + AES-GCM envelope around a signed payload."""
+
+    ephemeral_public: bytes
+    nonce: bytes
+    ciphertext: bytes
+    tag: bytes
+
+    _INFO = b"repro-ssi-envelope"
+
+    @classmethod
+    def seal(cls, payload: bytes, *, recipient_x25519_public: bytes,
+             sender_signing_key: KeyPair, seed_label: str = "envelope") -> "EncryptedEnvelope":
+        """Sign ``payload`` (Ed25519) then encrypt to the recipient."""
+        signature = sender_signing_key.sign(payload)
+        plaintext = len(signature).to_bytes(2, "big") + signature + payload
+        ephemeral_secret = hashlib.sha256(f"eph:{seed_label}".encode()).digest()
+        ephemeral_public = x25519_base(ephemeral_secret)
+        shared = x25519(ephemeral_secret, recipient_x25519_public)
+        key = hkdf(shared, info=cls._INFO, length=16)
+        nonce = hashlib.sha256(ephemeral_public).digest()[:12]
+        ciphertext, tag = Gcm(key).encrypt(nonce, plaintext, aad=ephemeral_public)
+        return cls(ephemeral_public, nonce, ciphertext, tag)
+
+    def open(self, *, recipient_x25519_secret: bytes,
+             sender_ed25519_public: bytes) -> bytes | None:
+        """Decrypt and verify; returns the payload or None."""
+        shared = x25519(recipient_x25519_secret, self.ephemeral_public)
+        key = hkdf(shared, info=self._INFO, length=16)
+        try:
+            plaintext = Gcm(key).decrypt(self.nonce, self.ciphertext, self.tag,
+                                         aad=self.ephemeral_public)
+        except AuthenticationError:
+            return None
+        sig_len = int.from_bytes(plaintext[:2], "big")
+        signature = plaintext[2 : 2 + sig_len]
+        payload = plaintext[2 + sig_len :]
+        if not ed25519.verify(sender_ed25519_public, payload, signature):
+            return None
+        return payload

@@ -1,0 +1,97 @@
+"""Verifiable data registry: immutable DID storage + revocation lists.
+
+The paper's §IV describes SSI as resting on "different trust anchors
+stored in an immutable, publicly available storage".  This module is
+that storage:
+
+* :class:`VerifiableDataRegistry` — append-only DID-document store with
+  a hash chain over entries (immutability is checkable, not assumed);
+  re-registration appends a new version rather than rewriting history;
+* revocation — credential ids can be revoked by their issuer; the
+  registry records who revoked what, and verifiers consult it online
+  (the *offline* verification path in :mod:`repro.ssi.charging` skips
+  this lookup and accepts the staleness trade-off, as the paper's [34]
+  offline scenario discussion does).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.ssi.did import Did, DidDocument
+
+__all__ = ["RegistryEntry", "VerifiableDataRegistry"]
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One immutable ledger entry."""
+
+    sequence: int
+    did: str
+    content_hash: str
+    previous_hash: str
+
+    def entry_hash(self) -> str:
+        material = f"{self.sequence}|{self.did}|{self.content_hash}|{self.previous_hash}"
+        return hashlib.sha256(material.encode()).hexdigest()
+
+
+class VerifiableDataRegistry:
+    """Append-only DID document store with revocation support."""
+
+    GENESIS = "0" * 64
+
+    def __init__(self) -> None:
+        self._documents: dict[str, list[DidDocument]] = {}
+        self._ledger: list[RegistryEntry] = []
+        self._revoked: dict[str, str] = {}  # credential id -> revoking DID
+
+    # -- DID documents -------------------------------------------------------
+
+    def register(self, document: DidDocument) -> RegistryEntry:
+        """Append a (new version of a) DID document."""
+        key = str(document.did)
+        previous = self._ledger[-1].entry_hash() if self._ledger else self.GENESIS
+        entry = RegistryEntry(
+            sequence=len(self._ledger),
+            did=key,
+            content_hash=document.content_hash(),
+            previous_hash=previous,
+        )
+        self._ledger.append(entry)
+        self._documents.setdefault(key, []).append(document)
+        return entry
+
+    def resolve(self, did: Did | str) -> DidDocument:
+        """Latest document for ``did``; raises KeyError when unknown."""
+        versions = self._documents.get(str(did))
+        if not versions:
+            raise KeyError(f"unresolvable DID {did}")
+        return versions[-1]
+
+    def history(self, did: Did | str) -> list[DidDocument]:
+        return list(self._documents.get(str(did), []))
+
+    def verify_chain(self) -> bool:
+        """Check the ledger hash chain end to end."""
+        previous = self.GENESIS
+        for index, entry in enumerate(self._ledger):
+            if entry.sequence != index or entry.previous_hash != previous:
+                return False
+            previous = entry.entry_hash()
+        return True
+
+    def __len__(self) -> int:
+        return len(self._ledger)
+
+    # -- revocation ----------------------------------------------------------
+
+    def revoke_credential(self, credential_id: str, revoker: Did | str) -> None:
+        if credential_id in self._revoked:
+            raise ValueError(f"credential {credential_id!r} already revoked")
+        self._revoked[credential_id] = str(revoker)
+
+    def is_revoked(self, credential_id: str) -> bool:
+        return credential_id in self._revoked

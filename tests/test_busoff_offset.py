@@ -1,0 +1,127 @@
+"""Tests for the bus-off attack model and the position-offset insider."""
+
+import numpy as np
+import pytest
+
+from repro.collab.attacks import PositionOffsetAttacker
+from repro.collab.detection import member_bias_estimates
+from repro.collab.perception import CollabVehicle, PerceptionWorld, WorldObject
+from repro.ivn.busoff import BusOffAttack, ErrorCounter, simulate_busoff
+
+
+class TestErrorCounter:
+    def test_tec_dynamics(self):
+        counter = ErrorCounter()
+        counter.on_tx_error()
+        assert counter.tec == 8
+        counter.on_tx_success()
+        assert counter.tec == 7
+
+    def test_state_thresholds(self):
+        counter = ErrorCounter()
+        for _ in range(16):
+            counter.on_tx_error()
+        assert counter.error_passive
+        for _ in range(16):
+            counter.on_tx_error()
+        assert counter.bus_off
+
+    def test_tec_floor_and_cap(self):
+        counter = ErrorCounter()
+        counter.on_tx_success()
+        assert counter.tec == 0
+        for _ in range(100):
+            counter.on_tx_error()
+        assert counter.tec == 256
+
+
+class TestBusOffAttack:
+    def test_undefended_victim_evicted(self):
+        outcome = simulate_busoff(BusOffAttack())
+        assert outcome.victim_bus_off
+        # ~8 TEC per hit: eviction within ~35 rounds.
+        assert outcome.rounds_to_bus_off < 50
+        assert outcome.rounds_to_error_passive < outcome.rounds_to_bus_off
+
+    def test_defense_saves_the_victim(self):
+        outcome = simulate_busoff(BusOffAttack(), defend=True)
+        assert not outcome.victim_bus_off
+        assert outcome.attacker_isolated
+        assert outcome.detection_round is not None
+        assert outcome.detection_round < 10
+
+    def test_no_attack_no_problem(self):
+        outcome = simulate_busoff(BusOffAttack(hit_probability=0.0), defend=True)
+        assert not outcome.victim_bus_off
+        assert outcome.detection_round is None
+
+    def test_weak_attacker_slower_or_fails(self):
+        strong = simulate_busoff(BusOffAttack(hit_probability=0.95),
+                                 seed_label="w1")
+        weak = simulate_busoff(BusOffAttack(hit_probability=0.6),
+                               rounds=400, seed_label="w1")
+        if weak.victim_bus_off:
+            assert weak.rounds_to_bus_off > strong.rounds_to_bus_off
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BusOffAttack(hit_probability=1.5)
+        with pytest.raises(ValueError):
+            simulate_busoff(BusOffAttack(), rounds=0)
+
+
+def _offset_world():
+    objects = [WorldObject(1, 10.0, 10.0), WorldObject(2, 35.0, -5.0)]
+    vehicles = [CollabVehicle(f"v{i}", x=i * 12.0, y=0.0, noise_sigma_m=0.3)
+                for i in range(4)]
+    return PerceptionWorld(objects, vehicles)
+
+
+class TestPositionOffsetInsider:
+    def _rounds(self, attacker, world, n=10):
+        rounds = []
+        for _ in range(n):
+            shares = [s for v in world.vehicles[1:] for s in v.sense(world.objects)]
+            shares.extend(attacker.malicious_shares(world.objects))
+            rounds.append(shares)
+        return rounds
+
+    def test_offset_attacker_biases_reports(self):
+        world = _offset_world()
+        attacker = PositionOffsetAttacker(world.vehicles[0], offset_x=2.0)
+        shares = attacker.malicious_shares(world.objects)
+        assert shares
+        assert all(s.reporter == "v0" for s in shares)
+
+    def test_bias_estimation_identifies_the_attacker(self):
+        world = _offset_world()
+        attacker = PositionOffsetAttacker(world.vehicles[0], offset_x=2.0,
+                                          offset_y=-1.0)
+        biases = member_bias_estimates(self._rounds(attacker, world))
+        assert "v0" in biases
+        bias_x, bias_y = biases["v0"]
+        assert bias_x == pytest.approx(2.0, abs=0.8)
+        assert bias_y == pytest.approx(-1.0, abs=0.8)
+
+    def test_honest_members_near_zero_bias(self):
+        world = _offset_world()
+        attacker = PositionOffsetAttacker(world.vehicles[0], offset_x=2.0)
+        biases = member_bias_estimates(self._rounds(attacker, world))
+        for member in ("v1", "v2", "v3"):
+            bias = biases.get(member)
+            if bias is not None:
+                assert float(np.hypot(*bias)) < 1.2
+
+    def test_attacker_has_largest_bias_magnitude(self):
+        world = _offset_world()
+        attacker = PositionOffsetAttacker(world.vehicles[0], offset_x=2.5)
+        biases = member_bias_estimates(self._rounds(attacker, world))
+        magnitudes = {m: float(np.hypot(*b)) for m, b in biases.items()}
+        assert max(magnitudes, key=magnitudes.get) == "v0"
+
+    def test_all_honest_no_standout(self):
+        world = _offset_world()
+        rounds = [world.collect_shares() for _ in range(10)]
+        biases = member_bias_estimates(rounds)
+        for bias in biases.values():
+            assert float(np.hypot(*bias)) < 1.0

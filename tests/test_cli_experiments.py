@@ -1,0 +1,58 @@
+"""Tests for the experiment registry and the `python -m repro` CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, benchmarks_dir, find
+
+
+class TestRegistry:
+    def test_ids_unique(self):
+        ids = [e.exp_id for e in EXPERIMENTS]
+        assert len(ids) == len(set(ids))
+
+    def test_every_bench_file_exists(self):
+        directory = benchmarks_dir()
+        for experiment in EXPERIMENTS:
+            assert (directory / experiment.bench_file).is_file(), experiment.exp_id
+
+    def test_every_bench_file_registered(self):
+        registered = {e.bench_file for e in EXPERIMENTS}
+        on_disk = {p.name for p in benchmarks_dir().glob("bench_*.py")}
+        assert on_disk == registered
+
+    def test_find_case_insensitive(self):
+        assert find("fig2").exp_id == "FIG2"
+        with pytest.raises(KeyError):
+            find("FIG99")
+
+    def test_paper_figures_all_covered(self):
+        artifacts = {e.paper_artifact for e in EXPERIMENTS}
+        for figure in [f"Fig. {i}" for i in range(1, 10)] + ["Table I"]:
+            assert figure in artifacts, figure
+
+
+class TestCli:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True, text=True, timeout=120,
+        )
+
+    def test_list(self):
+        result = self._run("list")
+        assert result.returncode == 0
+        for exp_id in ("FIG1", "TAB1", "EXT-7"):
+            assert exp_id in result.stdout
+
+    def test_run_unknown_id(self):
+        result = self._run("run", "FIG99")
+        assert result.returncode == 2
+        assert "unknown experiment" in result.stderr
+
+    def test_run_single_experiment(self):
+        result = self._run("run", "FIG1")
+        assert result.returncode == 0
+        assert "Fig. 1" in result.stdout

@@ -1,0 +1,214 @@
+"""Tests for collaborative perception security and intersection competition."""
+
+import pytest
+
+from repro.collab.attacks import ExternalInjector, InternalFabricator
+from repro.collab.detection import FusionConfig, SecureCollabFusion
+from repro.collab.intersection import Arrival, IntersectionSim
+from repro.collab.perception import CollabVehicle, PerceptionWorld, WorldObject
+
+
+def dense_world():
+    """Four vehicles, two objects, everything in everyone's range."""
+    objects = [WorldObject(1, 10.0, 10.0), WorldObject(2, 40.0, -20.0)]
+    vehicles = [CollabVehicle(f"v{i}", x=i * 15.0, y=0.0) for i in range(4)]
+    return PerceptionWorld(objects, vehicles)
+
+
+class TestPerception:
+    def test_sensing_range_respected(self):
+        vehicle = CollabVehicle("v", 0.0, 0.0, sensing_range_m=20.0, miss_prob=0.0)
+        detections = vehicle.sense([WorldObject(1, 10, 0), WorldObject(2, 50, 0)])
+        assert len(detections) == 1
+
+    def test_shares_tagged_with_reporter(self):
+        world = dense_world()
+        shares = world.collect_shares()
+        assert {s.reporter for s in shares} <= {v.name for v in world.vehicles}
+
+    def test_coverage_counts_redundancy(self):
+        world = dense_world()
+        assert world.coverage_of(world.objects[0]) == 4
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            PerceptionWorld([], [CollabVehicle("v", 0, 0), CollabVehicle("v", 1, 1)])
+        with pytest.raises(ValueError):
+            PerceptionWorld([WorldObject(1, 0, 0), WorldObject(1, 1, 1)], [])
+
+
+class TestHonestFusion:
+    def test_all_objects_confirmed(self):
+        world = dense_world()
+        fusion = SecureCollabFusion(world)
+        report = fusion.fuse(world.collect_shares())
+        assert len(report.confirmed) == 2
+        assert report.objects_missed == 0
+        assert report.ghosts_accepted == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FusionConfig(quorum=0)
+        with pytest.raises(ValueError):
+            FusionConfig(gate_m=0.0)
+
+
+class TestExternalAttacker:
+    def test_blocked_by_authentication(self):
+        world = dense_world()
+        fusion = SecureCollabFusion(world)
+        attacker = ExternalInjector(n_ghosts=5)
+        shares = world.collect_shares() + attacker.forge_shares()
+        report = fusion.fuse(shares)
+        assert report.dropped_unauthenticated == 5
+        assert report.ghosts_accepted == 0
+
+    def test_succeeds_without_authentication(self):
+        world = dense_world()
+        fusion = SecureCollabFusion(world, FusionConfig(authenticate=False,
+                                                        cross_validate=False,
+                                                        quorum=1))
+        attacker = ExternalInjector(n_ghosts=5, name="ext2")
+        report = fusion.fuse(world.collect_shares() + attacker.forge_shares(area=200.0))
+        assert report.ghosts_accepted >= 1
+
+    def test_ghost_count_validation(self):
+        with pytest.raises(ValueError):
+            ExternalInjector(n_ghosts=0)
+
+
+class TestInternalAttacker:
+    def test_authentication_alone_is_insufficient(self):
+        # The paper's core point: the insider's shares authenticate fine.
+        world = dense_world()
+        fusion = SecureCollabFusion(world, FusionConfig(cross_validate=False, quorum=1))
+        attacker = InternalFabricator(world.vehicles[0],
+                                      ghost_positions=((25.0, 25.0),))
+        report = fusion.fuse(attacker.malicious_shares(world.objects)
+                             + [s for v in world.vehicles[1:]
+                                for s in v.sense(world.objects)])
+        assert report.dropped_unauthenticated == 0
+        assert report.ghosts_accepted >= 1
+
+    def test_cross_validation_rejects_ghost_with_redundancy(self):
+        world = dense_world()
+        fusion = SecureCollabFusion(world)
+        attacker = InternalFabricator(world.vehicles[0],
+                                      ghost_positions=((25.0, 25.0),))
+        reports = fusion.run_rounds(3, lambda objs: attacker.malicious_shares(objs))
+        assert all(r.ghosts_accepted == 0 for r in reports)
+        assert any(r.flagged_shares > 0 for r in reports)
+
+    def test_ghost_without_redundancy_is_accepted(self):
+        # §VII-B: "such redundancy may not always be available".
+        objects = [WorldObject(1, 0.0, 0.0)]
+        vehicles = [
+            CollabVehicle("honest", 0.0, 0.0, sensing_range_m=30.0),
+            CollabVehicle("insider", 200.0, 0.0, sensing_range_m=30.0),
+        ]
+        world = PerceptionWorld(objects, vehicles)
+        fusion = SecureCollabFusion(world)
+        attacker = InternalFabricator(vehicles[1], ghost_positions=((210.0, 0.0),))
+        report = fusion.run_rounds(1, lambda objs: attacker.malicious_shares(objs))[0]
+        assert report.ghosts_accepted == 1
+
+    def test_repeated_lies_erode_trust_until_exclusion(self):
+        world = dense_world()
+        fusion = SecureCollabFusion(world)
+        attacker = InternalFabricator(world.vehicles[0],
+                                      ghost_positions=((25.0, 25.0),))
+        fusion.run_rounds(10, lambda objs: attacker.malicious_shares(objs))
+        assert fusion.trust.score("v0") < fusion.config.trust_threshold
+        assert "v0" not in fusion.trust.trusted_members(fusion.config.trust_threshold)
+
+    def test_suppression_attack_covered_by_other_vehicles(self):
+        world = dense_world()
+        fusion = SecureCollabFusion(world)
+        attacker = InternalFabricator(world.vehicles[0],
+                                      suppress_targets=((10.0, 10.0),))
+        report = fusion.run_rounds(1, lambda objs: attacker.malicious_shares(objs))[0]
+        assert report.objects_missed == 0  # redundancy compensates
+
+
+class TestIntersection:
+    def test_cooperative_traffic_flows(self):
+        sim = IntersectionSim(seed_label="t1")
+        arrivals = sim.generate_arrivals(40, policy_mix={"cooperative": 1.0})
+        result = sim.run(arrivals)
+        assert result.crossed == 40
+        assert not result.deadlocked
+
+    def test_selfish_vehicles_win_the_optimization_battle(self):
+        sim = IntersectionSim(seed_label="t2")
+        arrivals = sim.generate_arrivals(
+            80, policy_mix={"cooperative": 0.5, "selfish": 0.5})
+        result = sim.run(arrivals)
+        assert result.preemptions > 0
+        assert result.waits_by_policy["selfish"] < result.waits_by_policy["cooperative"]
+
+    def test_regulation_removes_preemption_and_equalizes(self):
+        sim = IntersectionSim(seed_label="t2")
+        arrivals = sim.generate_arrivals(
+            80, policy_mix={"cooperative": 0.5, "selfish": 0.5})
+        unregulated = sim.run(arrivals)
+        regulated = IntersectionSim(regulated=True, seed_label="t2").run(arrivals)
+        assert regulated.preemptions == 0
+        gap_unreg = (unregulated.waits_by_policy["cooperative"]
+                     - unregulated.waits_by_policy["selfish"])
+        gap_reg = abs(regulated.waits_by_policy["cooperative"]
+                      - regulated.waits_by_policy["selfish"])
+        assert gap_reg < gap_unreg
+
+    def test_overpolite_cluster_deadlocks(self):
+        sim = IntersectionSim(seed_label="t3")
+        arrivals = [Arrival(0, approach, "deadlock-prone") for approach in range(4)]
+        result = sim.run(arrivals, max_steps=100)
+        assert result.deadlocked
+        assert result.crossed == 0
+
+    def test_regulation_breaks_the_deadlock(self):
+        sim = IntersectionSim(regulated=True, seed_label="t3")
+        arrivals = [Arrival(0, approach, "deadlock-prone") for approach in range(4)]
+        result = sim.run(arrivals, max_steps=100)
+        assert result.crossed == 4
+        assert not result.deadlocked
+
+    def test_single_polite_vehicle_eventually_crosses(self):
+        sim = IntersectionSim(seed_label="t4")
+        result = sim.run([Arrival(0, 0, "deadlock-prone")], max_steps=100)
+        assert result.crossed == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Arrival(0, 0, "reckless")
+        with pytest.raises(ValueError):
+            Arrival(0, 5, "cooperative")
+        sim = IntersectionSim()
+        with pytest.raises(ValueError):
+            sim.generate_arrivals(10, policy_mix={"cooperative": 0.5})
+
+
+class TestProbationRehabilitation:
+    def test_cleaned_attacker_regains_trust(self):
+        world = dense_world()
+        fusion = SecureCollabFusion(world)
+        attacker = InternalFabricator(world.vehicles[0],
+                                      ghost_positions=((25.0, 25.0),))
+        # Phase 1: fabricate until excluded.
+        fusion.run_rounds(10, lambda objs: attacker.malicious_shares(objs))
+        threshold = fusion.config.trust_threshold
+        assert fusion.trust.score("v0") < threshold
+        # Phase 2: the compromise is cleaned; v0 reports honestly. Its
+        # corroborating shares rebuild trust round by round.
+        fusion.run_rounds(20, None)
+        assert fusion.trust.score("v0") >= threshold
+
+    def test_persisting_attacker_stays_excluded(self):
+        world = dense_world()
+        fusion = SecureCollabFusion(world)
+        attacker = InternalFabricator(world.vehicles[0],
+                                      ghost_positions=((25.0, 25.0),))
+        fusion.run_rounds(25, lambda objs: attacker.malicious_shares(objs))
+        # Still lying: ghosts keep the penalties coming faster than any
+        # probation reward (honest detections do corroborate).
+        assert fusion.trust.score("v0") < 0.5

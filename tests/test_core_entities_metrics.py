@@ -1,0 +1,158 @@
+"""Tests for the system model, attack-surface metrics, and analyzer."""
+
+import pytest
+
+from repro.core.analysis import LayeredSecurityAnalyzer, ablate_layers
+from repro.core.entities import Component, Interface, SystemModel
+from repro.core.layers import Layer
+from repro.core.metrics import (
+    attack_surface,
+    criticality_weighted_exposure,
+    defense_coverage,
+    layer_synergy,
+)
+from repro.core.threats import AccessLevel, default_catalog
+
+
+def toy_vehicle_model() -> SystemModel:
+    """Telematics -> gateway -> brake ECU chain plus an isolated sensor."""
+    model = SystemModel("toy-vehicle")
+    model.add_component(Component("telematics", Layer.NETWORK, criticality=2, exposed=True))
+    model.add_component(Component("gateway", Layer.NETWORK, criticality=3))
+    model.add_component(Component("brake-ecu", Layer.NETWORK, criticality=5))
+    model.add_component(Component("lidar", Layer.PHYSICAL, criticality=4))
+    model.connect(Interface("telematics", "gateway", "ethernet"))
+    model.connect(Interface("gateway", "brake-ecu", "can"))
+    model.connect(Interface("lidar", "gateway", "ethernet"))
+    return model
+
+
+class TestSystemModel:
+    def test_duplicate_component_rejected(self):
+        model = toy_vehicle_model()
+        with pytest.raises(ValueError):
+            model.add_component(Component("gateway", Layer.NETWORK))
+
+    def test_connect_requires_known_endpoints(self):
+        model = toy_vehicle_model()
+        with pytest.raises(KeyError):
+            model.connect(Interface("gateway", "ghost", "can"))
+
+    def test_criticality_bounds(self):
+        with pytest.raises(ValueError):
+            Component("x", Layer.NETWORK, criticality=6)
+        with pytest.raises(ValueError):
+            Component("x", Layer.NETWORK, criticality=0)
+
+    def test_reachability_follows_direction(self):
+        model = toy_vehicle_model()
+        assert model.reachable_from("telematics") == {"telematics", "gateway", "brake-ecu"}
+        assert model.reachable_from("brake-ecu") == {"brake-ecu"}
+
+    def test_unsecured_reachability_blocked_by_authentication(self):
+        model = toy_vehicle_model()
+        # Re-build with an authenticated CAN hop: attacker stops at gateway.
+        secured = SystemModel("secured")
+        for c in model.components():
+            secured.add_component(c)
+        secured.connect(Interface("telematics", "gateway", "ethernet"))
+        secured.connect(Interface("gateway", "brake-ecu", "can", authenticated=True))
+        reach = secured.reachable_from("telematics", only_unsecured=True)
+        assert "brake-ecu" not in reach
+        assert "gateway" in reach
+
+    def test_attack_paths(self):
+        model = toy_vehicle_model()
+        paths = model.attack_paths("telematics", "brake-ecu")
+        assert paths == [["telematics", "gateway", "brake-ecu"]]
+
+    def test_entry_points_and_exposure(self):
+        model = toy_vehicle_model()
+        assert [c.name for c in model.entry_points()] == ["telematics"]
+        assert model.exposure_of("brake-ecu") == 1
+        assert model.exposure_of("lidar") == 0
+
+
+class TestMetrics:
+    def test_attack_surface_counts(self):
+        report = attack_surface(toy_vehicle_model())
+        assert report.entry_points == 1
+        assert report.total_interfaces == 3
+        assert report.unsecured_interfaces == 3
+        assert report.reachable_components == 3  # telematics, gateway, brake-ecu
+        assert report.reachable_critical == 1  # brake-ecu
+        assert report.unsecured_fraction == 1.0
+
+    def test_securing_interfaces_shrinks_surface(self):
+        model = SystemModel("hardened")
+        model.add_component(Component("tcu", Layer.NETWORK, exposed=True))
+        model.add_component(Component("ecu", Layer.NETWORK, criticality=5))
+        model.connect(Interface("tcu", "ecu", "ethernet", authenticated=True))
+        report = attack_surface(model)
+        assert report.reachable_components == 1  # only the entry point itself
+        assert report.reachable_critical == 0
+
+    def test_weighted_exposure_monotone_in_connectivity(self):
+        sparse = SystemModel("sparse")
+        sparse.add_component(Component("a", Layer.NETWORK, exposed=True))
+        sparse.add_component(Component("b", Layer.NETWORK, criticality=5))
+        base = criticality_weighted_exposure(sparse)
+        sparse.connect(Interface("a", "b", "eth"))
+        assert criticality_weighted_exposure(sparse) > base
+
+    def test_defense_coverage_bounds(self):
+        cat = default_catalog()
+        assert defense_coverage(cat) == 1.0
+        assert defense_coverage(cat, set()) == 0.0
+
+    def test_layer_synergy_all_enabled(self):
+        cat = default_catalog()
+        synergy = layer_synergy(cat)
+        assert all(v == 1.0 for v in synergy.values())
+
+
+class TestAnalyzer:
+    def test_assessment_with_all_defenses(self):
+        analyzer = LayeredSecurityAnalyzer(default_catalog())
+        assessment = analyzer.assess()
+        assert assessment.overall_coverage == 1.0
+        assert assessment.residual_attacks == ()
+
+    def test_assessment_with_no_defenses(self):
+        cat = default_catalog()
+        analyzer = LayeredSecurityAnalyzer(cat)
+        assessment = analyzer.assess(set())
+        assert assessment.overall_coverage == 0.0
+        assert len(assessment.residual_attacks) == len(cat.attacks)
+
+    def test_single_layer_defense_leaves_other_layers_open(self):
+        cat = default_catalog()
+        analyzer = LayeredSecurityAnalyzer(cat)
+        network_only = {d.name for d in cat.defenses_on_layer(Layer.NETWORK)}
+        assessment = analyzer.assess(network_only)
+        assert assessment.per_layer[Layer.NETWORK].coverage == 1.0
+        assert assessment.per_layer[Layer.PHYSICAL].coverage == 0.0
+        assert assessment.weakest_layer != Layer.NETWORK
+
+    def test_ablation_is_monotone(self):
+        rows = ablate_layers(default_catalog())
+        residuals = [r[1] for r in rows]
+        coverages = [r[2] for r in rows]
+        assert residuals == sorted(residuals, reverse=True)
+        assert coverages == sorted(coverages)
+        assert residuals[-1] == 0
+        assert coverages[-1] == 1.0
+
+    def test_exploitable_by_attacker_capability(self):
+        cat = default_catalog()
+        analyzer = LayeredSecurityAnalyzer(cat)
+        remote_only = analyzer.exploitable_by(0, set())
+        everyone = analyzer.exploitable_by(4, set())
+        assert len(remote_only) < len(everyone)
+        assert all(a.access == AccessLevel.REMOTE for a in remote_only)
+
+    def test_synergy_table_shape(self):
+        analyzer = LayeredSecurityAnalyzer(default_catalog())
+        table = analyzer.synergy_table()
+        assert len(table) == len(Layer)
+        assert all(isinstance(t, str) and 0 <= c <= 1 for t, c in table)

@@ -1,0 +1,102 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.events import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(1.0, lambda l=label: fired.append(l))
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_run_until_stops_the_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_advances_clock_when_queue_empty():
+    sim = Simulator()
+    sim.run(until=7.5)
+    assert sim.now == 7.5
+
+
+def test_nested_scheduling():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append(("outer", sim.now))
+        sim.schedule(0.5, lambda: fired.append(("inner", sim.now)))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert fired == [("outer", 1.0), ("inner", 1.5)]
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append("x"))
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.processed_events == 0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(1.0, lambda: sim.schedule_at(4.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [4.0]
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i), lambda i=i: fired.append(i))
+    sim.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+def test_clock_is_monotone(delays):
+    sim = Simulator()
+    observed = []
+    for d in delays:
+        sim.schedule(d, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)

@@ -1,0 +1,102 @@
+"""Tests for the multi-layer intrusion response engine."""
+
+import pytest
+
+from repro.core.layers import Layer
+from repro.core.response import (
+    ResponseAction,
+    ResponseEngine,
+    SecurityAlert,
+    Severity,
+)
+
+
+def alert(component="ecu", severity=Severity.WARNING, confidence=1.0, t=0.0):
+    return SecurityAlert(t, Layer.NETWORK, component, "can-masquerade", severity, confidence)
+
+
+class TestBasePolicy:
+    def test_info_logs_only(self):
+        engine = ResponseEngine()
+        assert engine.handle(alert(severity=Severity.INFO)).action == ResponseAction.LOG_ONLY
+
+    def test_warning_rate_limits(self):
+        engine = ResponseEngine()
+        assert engine.handle(alert(severity=Severity.WARNING)).action == ResponseAction.RATE_LIMIT
+
+    def test_critical_isolates(self):
+        engine = ResponseEngine()
+        decision = engine.handle(alert(severity=Severity.CRITICAL))
+        assert decision.action == ResponseAction.ISOLATE_COMPONENT
+
+    def test_critical_component_hardens_response(self):
+        engine = ResponseEngine(critical_components={"brake-ecu"})
+        decision = engine.handle(alert(component="brake-ecu", severity=Severity.CRITICAL))
+        assert decision.action == ResponseAction.DEGRADE_FUNCTION
+
+
+class TestEscalation:
+    def test_repeat_alerts_escalate(self):
+        engine = ResponseEngine(escalation_threshold=2)
+        actions = [engine.handle(alert()).action for _ in range(6)]
+        assert actions[0] == ResponseAction.RATE_LIMIT
+        assert actions[-1] > actions[0]
+
+    def test_escalation_caps_at_safe_stop(self):
+        engine = ResponseEngine(escalation_threshold=1)
+        last = None
+        for _ in range(20):
+            last = engine.handle(alert(severity=Severity.CRITICAL)).action
+        assert last == ResponseAction.SAFE_STOP
+
+    def test_never_deescalates(self):
+        engine = ResponseEngine(escalation_threshold=1)
+        engine.handle(alert(severity=Severity.CRITICAL))
+        engine.handle(alert(severity=Severity.CRITICAL))
+        strong = engine.component_status("ecu")
+        # A later low-severity alert must not weaken the applied response.
+        engine.handle(alert(severity=Severity.INFO))
+        assert engine.component_status("ecu") >= strong
+
+    def test_per_component_state_is_independent(self):
+        engine = ResponseEngine(escalation_threshold=1)
+        for _ in range(5):
+            engine.handle(alert(component="ecu-a", severity=Severity.CRITICAL))
+        decision = engine.handle(alert(component="ecu-b", severity=Severity.WARNING))
+        assert decision.action == ResponseAction.RATE_LIMIT
+
+
+class TestConfidenceGating:
+    def test_low_confidence_only_logs(self):
+        engine = ResponseEngine(min_confidence=0.8)
+        decision = engine.handle(alert(severity=Severity.CRITICAL, confidence=0.3))
+        assert decision.action == ResponseAction.LOG_ONLY
+
+    def test_low_confidence_does_not_escalate(self):
+        engine = ResponseEngine(min_confidence=0.8, escalation_threshold=1)
+        for _ in range(5):
+            engine.handle(alert(severity=Severity.CRITICAL, confidence=0.3))
+        decision = engine.handle(alert(severity=Severity.CRITICAL, confidence=0.9))
+        assert decision.escalation_level == 0
+
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            alert(confidence=1.5)
+
+
+class TestStatusQueries:
+    def test_isolated_components(self):
+        engine = ResponseEngine()
+        engine.handle(alert(component="infected", severity=Severity.CRITICAL))
+        engine.handle(alert(component="healthy", severity=Severity.INFO))
+        assert engine.isolated_components() == {"infected"}
+
+    def test_reset_clears_state(self):
+        engine = ResponseEngine()
+        engine.handle(alert(component="ecu", severity=Severity.CRITICAL))
+        engine.reset("ecu")
+        assert engine.component_status("ecu") == ResponseAction.LOG_ONLY
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ResponseEngine(escalation_threshold=0)

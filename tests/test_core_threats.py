@@ -1,0 +1,97 @@
+"""Tests for the threat taxonomy and default catalog."""
+
+import pytest
+
+from repro.core.layers import LAYER_INFO, Layer, adjacent_layers
+from repro.core.threats import (
+    AccessLevel,
+    Attack,
+    Defense,
+    SecurityProperty,
+    ThreatCatalog,
+    default_catalog,
+)
+
+
+class TestLayers:
+    def test_six_layers_ordered_bottom_up(self):
+        assert Layer.PHYSICAL < Layer.NETWORK < Layer.SOFTWARE_PLATFORM
+        assert Layer.DATA < Layer.SYSTEM_OF_SYSTEMS < Layer.COLLABORATION
+
+    def test_layer_info_complete(self):
+        assert set(LAYER_INFO) == set(Layer)
+        for info in LAYER_INFO.values():
+            assert info.title
+            assert info.paper_section
+            assert info.example_mechanisms
+            assert info.subpackage.startswith("repro.")
+
+    def test_adjacency(self):
+        assert adjacent_layers(Layer.PHYSICAL) == (Layer.NETWORK,)
+        assert adjacent_layers(Layer.COLLABORATION) == (Layer.SYSTEM_OF_SYSTEMS,)
+        assert set(adjacent_layers(Layer.DATA)) == {Layer.SOFTWARE_PLATFORM, Layer.SYSTEM_OF_SYSTEMS}
+
+
+class TestCatalogConstruction:
+    def test_attack_requires_property(self):
+        with pytest.raises(ValueError):
+            Attack("empty", Layer.NETWORK, frozenset(), AccessLevel.REMOTE)
+
+    def test_duplicate_attack_rejected(self):
+        cat = ThreatCatalog()
+        attack = Attack("a", Layer.NETWORK, frozenset({SecurityProperty.INTEGRITY}),
+                        AccessLevel.REMOTE)
+        cat.add_attack(attack)
+        with pytest.raises(ValueError):
+            cat.add_attack(attack)
+
+    def test_defense_must_reference_known_attacks(self):
+        cat = ThreatCatalog()
+        with pytest.raises(ValueError):
+            cat.add_defense(Defense(
+                "d", Layer.NETWORK, frozenset({SecurityProperty.INTEGRITY}),
+                frozenset({"nonexistent"}),
+            ))
+
+    def test_defense_covers_same_layer_only(self):
+        attack = Attack("x", Layer.NETWORK, frozenset({SecurityProperty.INTEGRITY}),
+                        AccessLevel.REMOTE)
+        wrong_layer = Defense("d", Layer.PHYSICAL,
+                              frozenset({SecurityProperty.INTEGRITY}), frozenset({"x"}))
+        right_layer = Defense("d2", Layer.NETWORK,
+                              frozenset({SecurityProperty.INTEGRITY}), frozenset({"x"}))
+        assert not wrong_layer.covers(attack)
+        assert right_layer.covers(attack)
+
+
+class TestDefaultCatalog:
+    def test_every_layer_has_attacks_and_defenses(self):
+        cat = default_catalog()
+        for layer in Layer:
+            assert cat.attacks_on_layer(layer), f"no attacks on {layer}"
+            assert cat.defenses_on_layer(layer), f"no defenses on {layer}"
+
+    def test_all_defenses_reference_valid_attacks(self):
+        cat = default_catalog()
+        for defense in cat.defenses.values():
+            assert defense.mitigates <= cat.attacks.keys()
+
+    def test_full_catalog_covers_everything(self):
+        # The paper argues every discussed attack has a (researched) defense.
+        cat = default_catalog()
+        assert cat.uncovered_attacks() == []
+
+    def test_no_defenses_covers_nothing(self):
+        cat = default_catalog()
+        assert len(cat.uncovered_attacks(set())) == len(cat.attacks)
+
+    def test_insider_attacks_exist(self):
+        # The paper stresses internal attackers (SVII-B); the catalog must
+        # model credentialed adversaries.
+        cat = default_catalog()
+        insiders = [a for a in cat.attacks.values() if a.access == AccessLevel.INSIDER]
+        assert insiders
+
+    def test_access_difficulty_ordering(self):
+        assert AccessLevel.REMOTE.difficulty < AccessLevel.ADJACENT.difficulty
+        assert AccessLevel.ADJACENT.difficulty < AccessLevel.PHYSICAL.difficulty

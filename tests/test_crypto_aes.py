@@ -1,0 +1,74 @@
+"""AES block cipher tests against FIPS 197 appendix vectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, xor_bytes
+
+PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+def test_aes128_fips197_c1():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+    assert AES(key).encrypt_block(PLAINTEXT) == expected
+
+
+def test_aes192_fips197_c2():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+    expected = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+    assert AES(key).encrypt_block(PLAINTEXT) == expected
+
+
+def test_aes256_fips197_c3():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+    expected = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+    assert AES(key).encrypt_block(PLAINTEXT) == expected
+
+
+def test_aes128_sp800_38a_vector():
+    # NIST SP 800-38A F.1.1 ECB-AES128 block 1.
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+    ct = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+    assert AES(key).encrypt_block(pt) == ct
+    assert AES(key).decrypt_block(ct) == pt
+
+
+@pytest.mark.parametrize("key_len", [16, 24, 32])
+def test_decrypt_inverts_encrypt(key_len):
+    key = bytes(range(key_len))
+    cipher = AES(key)
+    block = bytes(range(100, 116))
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+def test_roundtrip_property(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@given(st.binary(min_size=16, max_size=16))
+def test_encryption_is_permutation_not_identity_mostly(block):
+    # Encryption under a fixed key should almost never map a block to itself;
+    # more importantly, it must be deterministic.
+    cipher = AES(b"\x01" * 16)
+    assert cipher.encrypt_block(block) == cipher.encrypt_block(block)
+
+
+def test_rejects_bad_key_and_block_sizes():
+    with pytest.raises(ValueError):
+        AES(b"short")
+    cipher = AES(b"\x00" * 16)
+    with pytest.raises(ValueError):
+        cipher.encrypt_block(b"\x00" * 15)
+    with pytest.raises(ValueError):
+        cipher.decrypt_block(b"\x00" * 17)
+
+
+def test_xor_bytes():
+    assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+    with pytest.raises(ValueError):
+        xor_bytes(b"\x00", b"\x00\x00")

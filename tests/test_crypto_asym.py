@@ -1,0 +1,123 @@
+"""Ed25519 (RFC 8032) and X25519 (RFC 7748) tests against RFC vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ed25519 import generate_public_key, sign, verify
+from repro.crypto.x25519 import x25519, x25519_base
+
+
+class TestEd25519Rfc8032:
+    def test_vector_1_empty_message(self):
+        sk = bytes.fromhex("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60")
+        pk = bytes.fromhex("d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a")
+        sig = bytes.fromhex(
+            "e5564300c360ac729086e2cc806e828a"
+            "84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46b"
+            "d25bf5f0595bbe24655141438e7a100b"
+        )
+        assert generate_public_key(sk) == pk
+        assert sign(sk, b"") == sig
+        assert verify(pk, b"", sig)
+
+    def test_vector_2_one_byte(self):
+        sk = bytes.fromhex("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb")
+        pk = bytes.fromhex("3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c")
+        sig = bytes.fromhex(
+            "92a009a9f0d4cab8720e820b5f642540"
+            "a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c"
+            "387b2eaeb4302aeeb00d291612bb0c00"
+        )
+        msg = b"\x72"
+        assert generate_public_key(sk) == pk
+        assert sign(sk, msg) == sig
+        assert verify(pk, msg, sig)
+
+    def test_vector_3_two_bytes(self):
+        sk = bytes.fromhex("c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7")
+        pk = bytes.fromhex("fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025")
+        msg = bytes.fromhex("af82")
+        sig = bytes.fromhex(
+            "6291d657deec24024827e69c3abe01a3"
+            "0ce548a284743a445e3680d7db5ac3ac"
+            "18ff9b538d16f290ae67f760984dc659"
+            "4a7c15e9716ed28dc027beceea1ec40a"
+        )
+        assert generate_public_key(sk) == pk
+        assert sign(sk, msg) == sig
+        assert verify(pk, msg, sig)
+
+
+class TestEd25519Behaviour:
+    SK = b"\x13" * 32
+
+    def test_rejects_wrong_message(self):
+        pk = generate_public_key(self.SK)
+        sig = sign(self.SK, b"approved configuration")
+        assert not verify(pk, b"tampered configuration", sig)
+
+    def test_rejects_wrong_key(self):
+        sig = sign(self.SK, b"msg")
+        other_pk = generate_public_key(b"\x14" * 32)
+        assert not verify(other_pk, b"msg", sig)
+
+    def test_rejects_malformed_inputs(self):
+        pk = generate_public_key(self.SK)
+        assert not verify(pk, b"msg", b"\x00" * 63)
+        assert not verify(b"\x00" * 31, b"msg", b"\x00" * 64)
+        # s >= group order must be rejected (malleability check).
+        sig = bytearray(sign(self.SK, b"msg"))
+        sig[32:] = b"\xff" * 32
+        assert not verify(pk, b"msg", bytes(sig))
+
+    def test_bad_seed_length(self):
+        with pytest.raises(ValueError):
+            sign(b"\x00" * 31, b"m")
+        with pytest.raises(ValueError):
+            generate_public_key(b"\x00" * 33)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=32, max_size=32), st.binary(max_size=64))
+    def test_sign_verify_property(self, seed, message):
+        pk = generate_public_key(seed)
+        assert verify(pk, message, sign(seed, message))
+
+
+class TestX25519Rfc7748:
+    def test_vector_1(self):
+        scalar = bytes.fromhex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4")
+        u = bytes.fromhex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c")
+        expected = bytes.fromhex("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552")
+        assert x25519(scalar, u) == expected
+
+    def test_vector_2(self):
+        scalar = bytes.fromhex("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d")
+        u = bytes.fromhex("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493")
+        expected = bytes.fromhex("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957")
+        assert x25519(scalar, u) == expected
+
+    def test_diffie_hellman_rfc7748_section_6_1(self):
+        alice_sk = bytes.fromhex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a")
+        alice_pk = bytes.fromhex("8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a")
+        bob_sk = bytes.fromhex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb")
+        bob_pk = bytes.fromhex("de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f")
+        shared = bytes.fromhex("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742")
+        assert x25519_base(alice_sk) == alice_pk
+        assert x25519_base(bob_sk) == bob_pk
+        assert x25519(alice_sk, bob_pk) == shared
+        assert x25519(bob_sk, alice_pk) == shared
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(min_size=32, max_size=32), st.binary(min_size=32, max_size=32))
+    def test_dh_agreement_property(self, a, b):
+        pa, pb = x25519_base(a), x25519_base(b)
+        assert x25519(a, pb) == x25519(b, pa)
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            x25519(b"\x00" * 31, b"\x00" * 32)
+        with pytest.raises(ValueError):
+            x25519(b"\x00" * 32, b"\x00" * 33)

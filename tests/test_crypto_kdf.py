@@ -1,0 +1,52 @@
+"""HKDF tests against RFC 5869 test vectors."""
+
+import pytest
+
+from repro.crypto.kdf import hkdf, hkdf_expand, hkdf_extract, hmac_sha256
+
+
+def test_rfc5869_case_1():
+    ikm = bytes.fromhex("0b" * 22)
+    salt = bytes.fromhex("000102030405060708090a0b0c")
+    info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+    prk = hkdf_extract(salt, ikm)
+    assert prk == bytes.fromhex(
+        "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    )
+    okm = hkdf_expand(prk, info, 42)
+    assert okm == bytes.fromhex(
+        "3cb25f25faacd57a90434f64d0362f2a"
+        "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865"
+    )
+
+
+def test_rfc5869_case_3_zero_salt_info():
+    ikm = bytes.fromhex("0b" * 22)
+    okm = hkdf(ikm, salt=b"", info=b"", length=42)
+    assert okm == bytes.fromhex(
+        "8da4e775a563c18f715f802a063c5a31"
+        "b8a11f5c5ee1879ec3454e5f3c738d2d"
+        "9d201395faa4b61a96c8"
+    )
+
+
+def test_hkdf_length_and_determinism():
+    out1 = hkdf(b"secret", salt=b"s", info=b"i", length=64)
+    out2 = hkdf(b"secret", salt=b"s", info=b"i", length=64)
+    assert out1 == out2
+    assert len(out1) == 64
+    assert hkdf(b"secret", salt=b"s", info=b"j", length=64) != out1
+
+
+def test_hkdf_expand_limit():
+    with pytest.raises(ValueError):
+        hkdf_expand(b"\x00" * 32, b"", 255 * 32 + 1)
+
+
+def test_hmac_sha256_rfc4231_case_2():
+    key = b"Jefe"
+    data = b"what do ya want for nothing?"
+    assert hmac_sha256(key, data) == bytes.fromhex(
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    )

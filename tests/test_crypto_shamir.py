@@ -1,0 +1,80 @@
+"""Tests for Shamir secret sharing over GF(256)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.shamir import reconstruct_secret, split_secret
+
+
+class TestSplitReconstruct:
+    def test_threshold_shares_reconstruct(self):
+        secret = b"sixteen byte key"
+        shares = split_secret(secret, threshold=3, n_shares=5)
+        assert reconstruct_secret(shares[:3]) == secret
+        assert reconstruct_secret(shares[1:4]) == secret
+        assert reconstruct_secret(shares[2:5]) == secret
+
+    def test_any_subset_of_threshold_works(self):
+        secret = b"\x00\xff\x42"
+        shares = split_secret(secret, threshold=2, n_shares=4)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert reconstruct_secret([shares[i], shares[j]]) == secret
+
+    def test_more_than_threshold_also_works(self):
+        secret = b"over-provisioned"
+        shares = split_secret(secret, threshold=2, n_shares=5)
+        assert reconstruct_secret(shares) == secret
+
+    def test_below_threshold_reveals_nothing(self):
+        secret = b"top secret value"
+        shares = split_secret(secret, threshold=3, n_shares=5)
+        # Interpolating from 2 shares yields something, but not the secret.
+        assert reconstruct_secret(shares[:2]) != secret
+
+    def test_single_share_threshold_one(self):
+        secret = b"public-ish"
+        shares = split_secret(secret, threshold=1, n_shares=3)
+        assert reconstruct_secret([shares[0]]) == secret
+
+    def test_deterministic_per_seed(self):
+        a = split_secret(b"k", threshold=2, n_shares=3, seed_label="x")
+        b = split_secret(b"k", threshold=2, n_shares=3, seed_label="x")
+        c = split_secret(b"k", threshold=2, n_shares=3, seed_label="y")
+        assert a == b
+        assert a != c
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=1, max_size=32),
+           st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=3))
+    def test_roundtrip_property(self, secret, threshold, extra):
+        n_shares = threshold + extra
+        shares = split_secret(secret, threshold=threshold, n_shares=n_shares,
+                              seed_label="prop")
+        assert reconstruct_secret(shares[:threshold]) == secret
+
+
+class TestValidation:
+    def test_empty_secret_rejected(self):
+        with pytest.raises(ValueError):
+            split_secret(b"", threshold=1, n_shares=1)
+
+    def test_threshold_bounds(self):
+        with pytest.raises(ValueError):
+            split_secret(b"x", threshold=0, n_shares=1)
+        with pytest.raises(ValueError):
+            split_secret(b"x", threshold=3, n_shares=2)
+        with pytest.raises(ValueError):
+            split_secret(b"x", threshold=1, n_shares=256)
+
+    def test_reconstruct_validation(self):
+        with pytest.raises(ValueError):
+            reconstruct_secret([])
+        with pytest.raises(ValueError):
+            reconstruct_secret([(1, b"ab"), (1, b"cd")])       # dup x
+        with pytest.raises(ValueError):
+            reconstruct_secret([(0, b"ab")])                    # x = 0
+        with pytest.raises(ValueError):
+            reconstruct_secret([(1, b"ab"), (2, b"c")])         # lengths

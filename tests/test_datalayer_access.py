@@ -1,0 +1,113 @@
+"""Tests for owner-controlled data access with trust delegation ([54])."""
+
+import pytest
+
+from repro.datalayer.access import DataConsumer, DataOwner, KeyTrustee
+
+NOW = 1_750_000_000.0
+
+
+@pytest.fixture()
+def world():
+    trustees = [KeyTrustee(f"trustee-{i}") for i in range(5)]
+    owner = DataOwner("vehicle-owner", trustees, threshold=3)
+    protected = owner.publish("trip-logs", b"sensitive trip history data")
+    consumer = DataConsumer("insurance-co")
+    return owner, trustees, protected, consumer
+
+
+class TestGrantedAccess:
+    def test_granted_consumer_decrypts(self, world):
+        owner, trustees, protected, consumer = world
+        grant = owner.grant("insurance-co", "trip-logs", now=NOW)
+        data = consumer.access(protected, grant, trustees, threshold=3, now=NOW + 10)
+        assert data == b"sensitive trip history data"
+
+    def test_ciphertext_hides_plaintext(self, world):
+        _, _, protected, _ = world
+        assert b"trip history" not in protected.ciphertext
+
+    def test_wrong_consumer_denied(self, world):
+        owner, trustees, protected, _ = world
+        grant = owner.grant("insurance-co", "trip-logs", now=NOW)
+        thief = DataConsumer("data-broker")
+        assert thief.access(protected, grant, trustees, threshold=3, now=NOW + 10) is None
+
+    def test_wrong_dataset_denied(self, world):
+        owner, trustees, _, consumer = world
+        other = owner.publish("service-records", b"other data")
+        grant = owner.grant("insurance-co", "trip-logs", now=NOW)
+        assert consumer.access(other, grant, trustees, threshold=3, now=NOW + 10) is None
+
+    def test_expired_grant_denied(self, world):
+        owner, trustees, protected, consumer = world
+        grant = owner.grant("insurance-co", "trip-logs", now=NOW, validity_s=60)
+        assert consumer.access(protected, grant, trustees, threshold=3,
+                               now=NOW + 61) is None
+
+    def test_no_grant_denied(self, world):
+        owner, trustees, protected, consumer = world
+        from repro.datalayer.access import AccessGrant
+
+        forged = AccessGrant("forged-g1", "trip-logs", "insurance-co", NOW + 999)
+        assert consumer.access(protected, forged, trustees, threshold=3,
+                               now=NOW) is None
+
+
+class TestRevocation:
+    def test_full_revocation_blocks_access(self, world):
+        owner, trustees, protected, consumer = world
+        grant = owner.grant("insurance-co", "trip-logs", now=NOW)
+        owner.revoke(grant)
+        assert consumer.access(protected, grant, trustees, threshold=3,
+                               now=NOW + 10) is None
+
+    def test_partial_revocation_propagation(self, world):
+        # The [55] multi-stakeholder reality: if only 2 of 5 trustees
+        # learned of the revocation, 3 unaware ones still form a quorum.
+        owner, trustees, protected, consumer = world
+        grant = owner.grant("insurance-co", "trip-logs", now=NOW)
+        owner.revoke(grant, reachable_trustees=trustees[:2])
+        assert consumer.access(protected, grant, trustees, threshold=3,
+                               now=NOW + 10) is not None
+        # Reaching one more trustee leaves only 2 unaware: access dies.
+        owner.revoke(grant, reachable_trustees=trustees[2:3])
+        assert consumer.access(protected, grant, trustees, threshold=3,
+                               now=NOW + 10) is None
+
+
+class TestThresholdProperties:
+    def test_below_threshold_trustees_insufficient(self, world):
+        owner, trustees, protected, consumer = world
+        grant = owner.grant("insurance-co", "trip-logs", now=NOW)
+        assert consumer.access(protected, grant, trustees[:2], threshold=3,
+                               now=NOW + 10) is None
+
+    def test_single_trustee_cannot_decrypt(self, world):
+        # No trustee alone holds the key: its share is useless by itself.
+        owner, trustees, protected, _ = world
+        grant = owner.grant("insurance-co", "trip-logs", now=NOW)
+        lone = trustees[0].request_share(grant.grant_id, "insurance-co",
+                                         "trip-logs", now=NOW + 1)
+        assert lone is not None
+        from repro.crypto.modes import AuthenticationError, Gcm
+        from repro.crypto.shamir import reconstruct_secret
+
+        key_guess = reconstruct_secret([lone])
+        with pytest.raises(AuthenticationError):
+            Gcm(key_guess).decrypt(protected.nonce, protected.ciphertext,
+                                   protected.tag, aad=protected.name.encode())
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DataOwner("o", [KeyTrustee("t")], threshold=2)
+        with pytest.raises(ValueError):
+            DataOwner("o", [KeyTrustee("t")], threshold=0)
+
+    def test_fresh_key_per_dataset(self, world):
+        owner, trustees, protected, consumer = world
+        other = owner.publish("dataset-2", b"second dataset")
+        grant = owner.grant("insurance-co", "trip-logs", now=NOW)
+        # A grant for dataset 1 does not open dataset 2.
+        assert consumer.access(other, grant, trustees, threshold=3,
+                               now=NOW + 10) is None

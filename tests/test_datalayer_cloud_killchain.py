@@ -1,0 +1,126 @@
+"""Tests for the cloud model, kill-chain engine, and breach scenario."""
+
+import pytest
+
+from repro.datalayer.breach import build_cariad_service, run_breach
+from repro.datalayer.cloud import (
+    AccessDenied,
+    CloudService,
+    Endpoint,
+    Secret,
+    StorageBucket,
+)
+from repro.datalayer.killchain import MITIGATIONS, KillChain, cariad_stages
+
+
+class TestCloudService:
+    def _service(self):
+        service = CloudService("svc")
+        service.add_endpoint(Endpoint("/api", response_tag="api"))
+        service.add_endpoint(Endpoint("/open", auth_required=False, response_tag="open"))
+        service.add_secret(Secret("master", frozenset({"iam:mint"}), in_process_memory=True))
+        service.add_bucket(StorageBucket("data", "data:read",
+                                         records=[{"x": 1}, {"x": 2}]))
+        return service
+
+    def test_probe_existing_vs_missing(self):
+        service = self._service()
+        assert service.probe("/api")
+        assert not service.probe("/ghost")
+
+    def test_fetch_respects_auth(self):
+        service = self._service()
+        assert service.fetch("/api") is None           # auth required
+        assert service.fetch("/open") == "open"
+
+    def test_feature_gating(self):
+        service = self._service()
+        service.add_endpoint(Endpoint("/debug", feature="debug", auth_required=False,
+                                      response_tag="dbg"))
+        assert not service.probe("/debug")             # feature disabled
+        service.enabled_features.add("debug")
+        assert service.probe("/debug")
+
+    def test_heap_dump_only_memory_resident(self):
+        service = self._service()
+        service.add_secret(Secret("kms-held", frozenset({"x"}), in_process_memory=False))
+        dumped = service.heap_dump_contents()
+        assert [s.key_id for s in dumped] == ["master"]
+
+    def test_mint_requires_scope(self):
+        service = self._service()
+        master = service.secrets["master"]
+        minted = service.mint_access_key(master, "data:read")
+        assert service.read_bucket("data", minted) == [{"x": 1}, {"x": 2}]
+        weak = Secret("weak", frozenset({"logs:read"}))
+        with pytest.raises(AccessDenied):
+            service.mint_access_key(weak, "data:read")
+
+    def test_bucket_scope_enforced(self):
+        service = self._service()
+        with pytest.raises(AccessDenied):
+            service.read_bucket("data", Secret("nope", frozenset({"other"})))
+
+    def test_admin_scope_is_wildcard(self):
+        bucket = StorageBucket("b", "whatever:read", records=[{}])
+        assert bucket.read_all(Secret("root", frozenset({"admin"}))) == [{}]
+
+    def test_endpoint_validation(self):
+        with pytest.raises(ValueError):
+            Endpoint("no-slash")
+        service = self._service()
+        with pytest.raises(ValueError):
+            service.add_endpoint(Endpoint("/api"))
+
+    def test_access_log_records_operations(self):
+        service = self._service()
+        service.probe("/api")
+        service.fetch("/open")
+        assert service.access_log == ["PROBE /api", "GET /open"]
+
+
+class TestKillChain:
+    def test_unmitigated_chain_completes(self):
+        report = run_breach(n_vehicles=10, days=5)
+        assert report.chain_completed
+        assert report.records_exfiltrated == 10 * 5 * 8
+        assert report.distinct_vehicles_exposed == 10
+
+    @pytest.mark.parametrize("mitigation", sorted(MITIGATIONS))
+    def test_each_mitigation_breaks_the_chain(self, mitigation):
+        report = run_breach(n_vehicles=10, days=5, mitigations={mitigation})
+        assert not report.chain_completed
+        assert report.records_exfiltrated == 0
+
+    def test_mitigation_stops_at_expected_stage(self):
+        report = run_breach(n_vehicles=5, days=2,
+                            mitigations={"disable-debug-endpoints"})
+        stages = [r.stage for r in report.stage_results if r.succeeded]
+        assert stages == ["traffic-analysis", "directory-enumeration"]
+
+    def test_stage_results_stop_at_first_failure(self):
+        report = run_breach(n_vehicles=5, days=2,
+                            mitigations={"scrub-secrets-from-memory"})
+        assert not report.stage_results[-1].succeeded
+        assert all(r.succeeded for r in report.stage_results[:-1])
+
+    def test_unknown_mitigation_rejected(self):
+        service, _ = build_cariad_service(n_vehicles=2, days=1)
+        chain = KillChain(cariad_stages())
+        with pytest.raises(ValueError):
+            chain.run(service, mitigations={"magic-firewall"})
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            KillChain([])
+
+    def test_sensitive_exposure_counted(self):
+        # With enough vehicles the 5% sensitive fraction shows up.
+        report = run_breach(n_vehicles=100, days=2)
+        assert report.sensitive_vehicles_exposed >= 1
+        assert report.sensitive_vehicles_exposed <= report.distinct_vehicles_exposed
+
+    def test_deterministic(self):
+        a = run_breach(n_vehicles=10, days=3)
+        b = run_breach(n_vehicles=10, days=3)
+        assert a == b

@@ -1,0 +1,132 @@
+"""Tests for network-layer attacks and intrusion detection."""
+
+import pytest
+
+from repro.core.events import Simulator
+from repro.ivn.attacks import BusFloodAttacker, MasqueradeAttacker
+from repro.ivn.bus import BusNode, CanBus
+from repro.ivn.frames import CanFrame
+from repro.ivn.ids import FrequencyIds, OnsetIds, SenderFingerprintIds
+
+
+def _bus():
+    sim = Simulator()
+    bus = CanBus(sim)
+    for name in ("engine", "brake", "compromised"):
+        bus.attach(BusNode(name))
+    return sim, bus
+
+
+class TestMasquerade:
+    def test_bus_accepts_spoofed_id(self):
+        # The core CAN weakness: the bus delivers the spoofed frame just
+        # like the real one.
+        sim, bus = _bus()
+        attacker = MasqueradeAttacker("compromised", victim_id=0x100)
+        attacker.inject(bus, b"\xde\xad")
+        sim.run()
+        received = bus.nodes["brake"].received
+        assert len(received) == 1
+        assert received[0].frame.can_id == 0x100
+        assert received[0].sender == "compromised"
+
+    def test_injected_count(self):
+        sim, bus = _bus()
+        attacker = MasqueradeAttacker("compromised", victim_id=0x100)
+        attacker.inject(bus, b"\x00", count=5)
+        sim.run()
+        assert attacker.injected == 5
+
+
+class TestBusFlood:
+    def test_flood_starves_legitimate_sender(self):
+        sim, bus = _bus()
+        flooder = BusFloodAttacker("compromised")
+        flooder.flood(bus, 50)
+        bus.send("engine", CanFrame(0x100, b"\x01" * 8))
+        sim.run()
+        # The legitimate frame is delivered last despite early queueing.
+        assert bus.delivered[-1].sender == "engine"
+        legit = bus.delivered[-1]
+        assert legit.queueing_delay_s > 40 * 111 / 500e3  # ~50 frame times
+
+
+class TestFrequencyIds:
+    def _trained(self, period=0.01):
+        ids = FrequencyIds(min_training=10)
+        for i in range(30):
+            ids.train(0x100, i * period)
+        return ids
+
+    def test_normal_traffic_no_alert(self):
+        ids = self._trained()
+        assert ids.monitor(0x100, 30 * 0.01) is None
+        assert ids.monitor(0x100, 31 * 0.01) is None
+
+    def test_injection_detected(self):
+        ids = self._trained()
+        assert ids.monitor(0x100, 30 * 0.01) is None
+        alert = ids.monitor(0x100, 30 * 0.01 + 0.0001)  # 100x too early
+        assert alert is not None
+        assert alert.detector == "frequency"
+
+    def test_unknown_id_ignored(self):
+        ids = self._trained()
+        assert ids.monitor(0x999, 1.0) is None
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            FrequencyIds(sigma_threshold=0)
+
+
+class TestFingerprintIds:
+    def _ids(self):
+        ids = SenderFingerprintIds(noise_sigma=0.02, seed_label="t-easi")
+        ids.register_node("engine", 1.0)
+        ids.register_node("brake", 2.0)
+        ids.register_node("compromised", 3.0)
+        ids.register_id(0x100, "engine")
+        return ids
+
+    def test_legitimate_sender_passes(self):
+        ids = self._ids()
+        for i in range(10):
+            assert ids.observe(0x100, "engine", float(i)) is None
+
+    def test_masquerade_flagged(self):
+        ids = self._ids()
+        alert = ids.observe(0x100, "compromised", 1.0)
+        assert alert is not None
+        assert "compromised" in alert.reason
+
+    def test_unregistered_id_ignored(self):
+        ids = self._ids()
+        assert ids.observe(0x200, "compromised", 1.0) is None
+
+    def test_register_requires_known_node(self):
+        ids = self._ids()
+        with pytest.raises(KeyError):
+            ids.register_id(0x300, "ghost")
+
+
+class TestOnsetIds:
+    def test_monotone_counter_no_alert(self):
+        ids = OnsetIds()
+        for i in range(1, 20):
+            assert ids.observe(0x100, bytes([i]), float(i)) is None
+
+    def test_replayed_counter_flagged(self):
+        ids = OnsetIds()
+        ids.observe(0x100, bytes([10]), 0.0)
+        ids.observe(0x100, bytes([11]), 1.0)
+        alert = ids.observe(0x100, bytes([10]), 2.0)  # replay of old frame
+        assert alert is not None
+
+    def test_wraparound_tolerated(self):
+        ids = OnsetIds()
+        ids.observe(0x100, bytes([254]), 0.0)
+        assert ids.observe(0x100, bytes([1]), 1.0) is None  # 8-bit wrap
+
+    def test_empty_payload_ignored(self):
+        ids = OnsetIds()
+        assert ids.observe(0x100, b"", 0.0) is None

@@ -1,0 +1,179 @@
+"""Tests for CANAL encapsulation and the S1/S2/S3 scenario comparisons."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ivn.canal import CanalCodec, CanalSegment
+from repro.ivn.frames import CanXlFrame
+from repro.ivn.scenarios import (
+    run_all_scenarios,
+    run_s1,
+    run_s2_end_to_end,
+    run_s2_point_to_point,
+    run_s3_canal,
+)
+
+
+class TestCanalSegments:
+    def test_encode_decode_roundtrip(self):
+        segment = CanalSegment(3, 1, 5, b"chunk-bytes")
+        assert CanalSegment.decode(segment.encode()) == segment
+
+    def test_decode_validation(self):
+        with pytest.raises(ValueError):
+            CanalSegment.decode(b"\x00\x01")
+        with pytest.raises(ValueError):
+            CanalSegment.decode(bytes([0, 0, 0, 10]) + b"short")
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CanalSegment(256, 0, 1, b"").encode()
+        with pytest.raises(ValueError):
+            CanalSegment(0, 0, 0, b"").encode()
+
+
+class TestCanalCodec:
+    @pytest.mark.parametrize("mode", ["can", "can-fd", "can-xl"])
+    def test_roundtrip_all_modes(self, mode):
+        tx = CanalCodec(mode=mode)
+        rx = CanalCodec(mode=mode)
+        blob = bytes(range(256)) * 3
+        result = None
+        for frame in tx.encapsulate(blob):
+            result = rx.reassemble(frame) or result
+        assert result == blob
+
+    def test_xl_single_frame_when_fits(self):
+        codec = CanalCodec(mode="can-xl")
+        frames = codec.encapsulate(b"\x00" * 1000)
+        assert len(frames) == 1
+        assert isinstance(frames[0], CanXlFrame)
+        assert frames[0].sdu_type == 0x03  # tunneled Ethernet marker
+
+    def test_classic_can_segment_count(self):
+        codec = CanalCodec(mode="can")
+        frames = codec.encapsulate(b"\x00" * 100)
+        assert len(frames) == 34  # 3 usable bytes per 8-byte frame
+
+    def test_out_of_order_reassembly(self):
+        tx = CanalCodec(mode="can")
+        rx = CanalCodec(mode="can")
+        blob = b"abcdefghij" * 4
+        frames = tx.encapsulate(blob)
+        result = None
+        for frame in reversed(frames):
+            result = rx.reassemble(frame) or result
+        assert result == blob
+
+    def test_interleaved_streams(self):
+        tx = CanalCodec(mode="can")
+        rx = CanalCodec(mode="can")
+        frames_a = tx.encapsulate(b"A" * 20)
+        frames_b = tx.encapsulate(b"B" * 20)
+        results = []
+        for fa, fb in zip(frames_a, frames_b):
+            for frame in (fa, fb):
+                out = rx.reassemble(frame)
+                if out is not None:
+                    results.append(out)
+        assert results == [b"A" * 20, b"B" * 20]
+
+    def test_loss_means_no_delivery(self):
+        tx = CanalCodec(mode="can")
+        rx = CanalCodec(mode="can")
+        frames = tx.encapsulate(b"x" * 40)
+        result = None
+        for frame in frames[:-1]:  # drop the last segment
+            result = rx.reassemble(frame) or result
+        assert result is None
+
+    def test_empty_blob_rejected(self):
+        with pytest.raises(ValueError):
+            CanalCodec().encapsulate(b"")
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            CanalCodec(mode="flexray")
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=1, max_size=600))
+    def test_roundtrip_property(self, blob):
+        tx = CanalCodec(mode="can-fd")
+        rx = CanalCodec(mode="can-fd")
+        result = None
+        for frame in tx.encapsulate(blob):
+            result = rx.reassemble(frame) or result
+        assert result == blob
+
+
+PAYLOAD = b"\x42" * 16
+
+
+class TestScenarios:
+    def test_all_scenarios_deliver(self):
+        for report in run_all_scenarios(PAYLOAD):
+            assert report.delivered, report.name
+
+    def test_s1_weaknesses_match_paper(self):
+        report = run_s1(PAYLOAD)
+        # Paper: authentication-only; key storage in the zone controller.
+        assert not report.confidentiality_on_edge
+        assert report.zc_sees_plaintext
+        assert report.keys_at_zc > 0
+
+    def test_s2a_no_keys_in_zone_controller(self):
+        report = run_s2_end_to_end(PAYLOAD)
+        assert report.keys_at_zc == 0
+        assert not report.zc_sees_plaintext
+        # Paper: "communication mechanisms restrict the modification of
+        # header information".
+        assert not report.zc_can_modify_headers
+
+    def test_s2b_exposes_zone_controller(self):
+        report = run_s2_point_to_point(PAYLOAD)
+        assert report.keys_at_zc > 0
+        assert report.zc_sees_plaintext
+        assert report.zc_can_modify_headers
+
+    def test_s3_gets_end_to_end_on_can(self):
+        report = run_s3_canal(PAYLOAD)
+        assert report.keys_at_zc == 0
+        assert not report.zc_sees_plaintext
+        assert report.confidentiality_on_edge
+
+    def test_s2b_slower_than_s2a(self):
+        # Security termination at the ZC costs processing time.
+        assert run_s2_point_to_point(PAYLOAD).latency_s > run_s2_end_to_end(PAYLOAD).latency_s
+
+    def test_s1_slowest_edge(self):
+        # Classic CAN at 500 kb/s dominates; S1 must be the slowest.
+        reports = run_all_scenarios(PAYLOAD)
+        s1 = next(r for r in reports if r.name.startswith("S1"))
+        assert all(s1.latency_s >= r.latency_s for r in reports)
+
+    def test_goodput_ratio_bounded(self):
+        for report in run_all_scenarios(PAYLOAD):
+            assert 0.0 < report.goodput_ratio < 1.0
+
+    def test_canal_classic_can_mode_works_but_costs_more(self):
+        xl = run_s3_canal(PAYLOAD, canal_mode="can-xl")
+        classic = run_s3_canal(PAYLOAD, canal_mode="can")
+        assert classic.delivered
+        assert classic.wire_bits_edge > xl.wire_bits_edge
+        assert classic.latency_s > xl.latency_s
+
+    def test_s1_can_fd_edge_is_faster(self):
+        from repro.ivn.scenarios import run_s1
+
+        classic = run_s1(PAYLOAD, edge="can")
+        fd = run_s1(PAYLOAD, edge="can-fd")
+        assert fd.delivered
+        assert fd.latency_s < classic.latency_s
+        assert "FD" in fd.name
+
+    def test_s1_edge_validation(self):
+        from repro.ivn.scenarios import run_s1
+
+        with pytest.raises(ValueError):
+            run_s1(PAYLOAD, edge="flexray")

@@ -1,0 +1,144 @@
+"""Tests for on-wire frame size models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ivn.frames import (
+    MACSEC_ICV_BYTES,
+    MACSEC_SECTAG_BYTES,
+    MACSEC_SECTAG_SCI_BYTES,
+    CanFdFrame,
+    CanFrame,
+    CanXlFrame,
+    EthernetFrame,
+    can_fd_dlc_for,
+)
+
+
+class TestClassicCan:
+    def test_base_frame_bits_without_stuffing(self):
+        # 44 fixed + 64 data + 3 IFS = 111 for an 8-byte base frame.
+        frame = CanFrame(0x123, b"\x00" * 8)
+        assert frame.wire_bits(worst_case_stuffing=False) == 111
+
+    def test_worst_case_stuffing_adds_quarter(self):
+        frame = CanFrame(0x123, b"\x00" * 8)
+        # stuffable region 34 + 64 = 98 -> 24 stuff bits.
+        assert frame.wire_bits() == 111 + (98 - 1) // 4
+
+    def test_extended_frame_larger(self):
+        base = CanFrame(0x123, b"\xaa" * 8)
+        ext = CanFrame(0x123, b"\xaa" * 8, extended=True)
+        assert ext.wire_bits() > base.wire_bits()
+
+    def test_payload_limit(self):
+        with pytest.raises(ValueError):
+            CanFrame(0x1, b"\x00" * 9)
+
+    def test_id_range(self):
+        with pytest.raises(ValueError):
+            CanFrame(0x800, b"")
+        CanFrame(0x7FF, b"")              # max base id ok
+        CanFrame(0x1FFFFFFF, b"", extended=True)
+        with pytest.raises(ValueError):
+            CanFrame(0x20000000, b"", extended=True)
+
+    def test_transmission_time_at_500k(self):
+        frame = CanFrame(0x100, b"\x00" * 8)
+        expected = frame.wire_bits() / 500e3
+        assert frame.transmission_time_s() == pytest.approx(expected)
+        with pytest.raises(ValueError):
+            frame.transmission_time_s(0)
+
+    @given(st.binary(max_size=8))
+    def test_bits_monotone_in_payload(self, payload):
+        frame = CanFrame(0x100, payload)
+        bigger = CanFrame(0x100, payload + b"\x00") if len(payload) < 8 else frame
+        assert bigger.wire_bits() >= frame.wire_bits()
+
+
+class TestCanFd:
+    def test_dlc_rounding(self):
+        assert can_fd_dlc_for(0) == 0
+        assert can_fd_dlc_for(9) == 12
+        assert can_fd_dlc_for(33) == 48
+        assert can_fd_dlc_for(64) == 64
+        with pytest.raises(ValueError):
+            can_fd_dlc_for(65)
+
+    def test_crc_switches_at_16_bytes(self):
+        small = CanFdFrame(0x1, b"\x00" * 16)
+        large = CanFdFrame(0x1, b"\x00" * 20)
+        # CRC21 vs CRC17 plus 4 extra payload bytes.
+        assert large.data_phase_bits() > small.data_phase_bits() + 32
+
+    def test_dual_bitrate_faster_than_classic_for_large_payload(self):
+        fd = CanFdFrame(0x1, b"\x00" * 64)
+        classic_time = sum(
+            CanFrame(0x1, b"\x00" * 8).transmission_time_s(500e3) for _ in range(8)
+        )
+        assert fd.transmission_time_s(500e3, 2e6) < classic_time
+
+    def test_payload_limit(self):
+        with pytest.raises(ValueError):
+            CanFdFrame(0x1, b"\x00" * 65)
+
+
+class TestCanXl:
+    def test_large_payload_supported(self):
+        frame = CanXlFrame(0x10, b"\x00" * 2048)
+        assert frame.data_phase_bits() > 8 * 2048
+
+    def test_payload_bounds(self):
+        with pytest.raises(ValueError):
+            CanXlFrame(0x10, b"")
+        with pytest.raises(ValueError):
+            CanXlFrame(0x10, b"\x00" * 2049)
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            CanXlFrame(0x800, b"\x00")
+        with pytest.raises(ValueError):
+            CanXlFrame(0x10, b"\x00", sdu_type=256)
+        with pytest.raises(ValueError):
+            CanXlFrame(0x10, b"\x00", acceptance_field=1 << 32)
+
+    def test_xl_beats_fd_for_bulk(self):
+        # 1500 bytes over XL in one frame vs FD in 24 frames.
+        xl_time = CanXlFrame(0x10, b"\x00" * 1500).transmission_time_s(500e3, 10e6)
+        fd_time = 24 * CanFdFrame(0x10, b"\x00" * 64).transmission_time_s(500e3, 2e6)
+        assert xl_time < fd_time
+
+
+class TestEthernet:
+    def test_minimum_frame_padding(self):
+        tiny = EthernetFrame("a", "b", b"\x01")
+        # 14 header + 46 padded + 4 FCS = 64.
+        assert tiny.frame_bytes() == 64
+
+    def test_wire_bits_include_preamble_and_ifg(self):
+        frame = EthernetFrame("a", "b", b"\x00" * 46)
+        assert frame.wire_bits() == 8 * (8 + 64 + 12)
+
+    def test_macsec_overhead(self):
+        plain = EthernetFrame("a", "b", b"\x00" * 100)
+        protected = EthernetFrame("a", "b", b"\x00" * 100, macsec=True)
+        with_sci = EthernetFrame("a", "b", b"\x00" * 100, macsec=True, macsec_sci=True)
+        assert protected.frame_bytes() - plain.frame_bytes() == (
+            MACSEC_SECTAG_BYTES + MACSEC_ICV_BYTES
+        )
+        assert with_sci.frame_bytes() - plain.frame_bytes() == (
+            MACSEC_SECTAG_SCI_BYTES + MACSEC_ICV_BYTES
+        )
+
+    def test_vlan_tag_adds_4_bytes(self):
+        plain = EthernetFrame("a", "b", b"\x00" * 100)
+        tagged = EthernetFrame("a", "b", b"\x00" * 100, vlan_tag=True)
+        assert tagged.frame_bytes() - plain.frame_bytes() == 4
+
+    def test_mtu_and_sci_validation(self):
+        with pytest.raises(ValueError):
+            EthernetFrame("a", "b", b"\x00" * 1501)
+        with pytest.raises(ValueError):
+            EthernetFrame("a", "b", b"", macsec=False, macsec_sci=True)

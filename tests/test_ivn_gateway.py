@@ -1,0 +1,70 @@
+"""Tests for zone-gateway frame filtering."""
+
+import pytest
+
+from repro.ivn.gateway import ForwardingRule, GatewayFilter
+
+
+@pytest.fixture()
+def gateway():
+    gw = GatewayFilter("zc-left")
+    # Zone A's ECUs legitimately publish 0x100-0x10F toward the backbone.
+    gw.allow("zoneA", "backbone", 0x100, 0x10F)
+    # The backbone may push diagnostics 0x700 into zone A.
+    gw.allow("backbone", "zoneA", 0x700)
+    return gw
+
+
+class TestForwarding:
+    def test_allowed_id_forwarded(self, gateway):
+        decision = gateway.check("zoneA", "backbone", 0x105)
+        assert decision.forwarded
+        assert decision.rule is not None
+
+    def test_default_deny(self, gateway):
+        decision = gateway.check("zoneA", "backbone", 0x200)
+        assert not decision.forwarded
+        assert "no rule" in decision.reason
+
+    def test_direction_matters(self, gateway):
+        assert gateway.check("backbone", "zoneA", 0x700).forwarded
+        assert not gateway.check("zoneA", "backbone", 0x700).forwarded
+
+    def test_cross_zone_masquerade_contained(self, gateway):
+        # A compromised zone-A ECU spoofs the brake id 0x0A0 (owned by
+        # zone B): the gateway drops it at the boundary.
+        decision = gateway.check("zoneA", "backbone", 0x0A0)
+        assert not decision.forwarded
+
+    def test_stats_counted(self, gateway):
+        gateway.check("zoneA", "backbone", 0x100)
+        gateway.check("zoneA", "backbone", 0x999)
+        assert gateway.stats == {"forwarded": 1, "dropped": 1}
+
+
+class TestExposure:
+    def test_exposure_count(self, gateway):
+        assert gateway.exposure_count("zoneA", "backbone") == 16
+        assert gateway.exposure_count("backbone", "zoneA") == 1
+        assert gateway.exposure_count("zoneB", "backbone") == 0
+
+    def test_reachable_ids(self, gateway):
+        assert gateway.reachable_ids("zoneA", "backbone") == [(0x100, 0x10F)]
+
+    def test_minimization_shrinks_exposure(self):
+        # The §V-C argument at the gateway: a wide "allow everything"
+        # rule vs the minimal per-signal whitelist.
+        permissive = GatewayFilter("permissive")
+        permissive.allow("zoneA", "backbone", 0x000, 0x7FF)
+        minimal = GatewayFilter("minimal")
+        minimal.allow("zoneA", "backbone", 0x100, 0x10F)
+        assert (minimal.exposure_count("zoneA", "backbone")
+                < permissive.exposure_count("zoneA", "backbone"))
+
+
+class TestValidation:
+    def test_rule_bounds(self):
+        with pytest.raises(ValueError):
+            ForwardingRule("a", "b", 5, 4)
+        with pytest.raises(ValueError):
+            ForwardingRule("a", "b", -1, 4)

@@ -1,0 +1,184 @@
+"""Tests for the CAN bus, 10BASE-T1S PLCA, Ethernet links, and topology."""
+
+import pytest
+
+from repro.core.events import Simulator
+from repro.ivn.bus import BusNode, CanBus
+from repro.ivn.ethernet import EthernetLink, ZonalSwitch
+from repro.ivn.frames import CanFdFrame, CanFrame, EthernetFrame
+from repro.ivn.t1s import PlcaConfig, T1sSegment
+from repro.ivn.topology import Endpoint, Zone, ZonalArchitecture
+
+
+class TestCanBus:
+    def _bus(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        for name in ("engine", "brake", "attacker"):
+            bus.attach(BusNode(name))
+        return sim, bus
+
+    def test_broadcast_to_all_but_sender(self):
+        sim, bus = self._bus()
+        bus.send("engine", CanFrame(0x100, b"\x01"))
+        sim.run()
+        assert len(bus.nodes["brake"].received) == 1
+        assert len(bus.nodes["attacker"].received) == 1
+        assert len(bus.nodes["engine"].received) == 0
+
+    def test_arbitration_lowest_id_wins(self):
+        sim, bus = self._bus()
+        # Occupy the bus, then queue two contenders.
+        bus.send("engine", CanFrame(0x300, b"\x00"))
+        bus.send("brake", CanFrame(0x200, b"\x00"))
+        bus.send("engine", CanFrame(0x100, b"\x00"))
+        sim.run()
+        ids = [r.frame.can_id for r in bus.delivered]
+        assert ids == [0x300, 0x100, 0x200]
+
+    def test_latency_includes_queueing(self):
+        sim, bus = self._bus()
+        bus.send("engine", CanFrame(0x100, b"\x00" * 8))
+        bus.send("brake", CanFrame(0x200, b"\x00" * 8))
+        sim.run()
+        first, second = bus.delivered
+        assert first.queueing_delay_s == 0.0
+        assert second.queueing_delay_s > 0.0
+        assert second.latency_s > first.latency_s
+
+    def test_fd_frames_supported(self):
+        sim, bus = self._bus()
+        bus.send("engine", CanFdFrame(0x100, b"\x00" * 64))
+        sim.run()
+        assert len(bus.delivered) == 1
+
+    def test_unattached_sender_rejected(self):
+        _, bus = self._bus()
+        with pytest.raises(KeyError):
+            bus.send("ghost", CanFrame(0x1, b""))
+
+    def test_duplicate_node_rejected(self):
+        _, bus = self._bus()
+        with pytest.raises(ValueError):
+            bus.attach(BusNode("engine"))
+
+    def test_utilization_reflects_load(self):
+        sim, bus = self._bus()
+        for _ in range(10):
+            bus.send("engine", CanFrame(0x100, b"\x00" * 8))
+        sim.run()
+        assert bus.utilization_window > 0.9  # back-to-back frames
+
+
+class TestT1s:
+    def _segment(self):
+        sim = Simulator()
+        seg = T1sSegment(sim)
+        for name in ("ecu-a", "ecu-b", "ecu-c"):
+            seg.attach(name)
+        return sim, seg
+
+    def test_frame_delivered_to_all_others(self):
+        sim, seg = self._segment()
+        seg.send("ecu-a", EthernetFrame("b", "a", b"\x00" * 46))
+        sim.run()
+        assert len(seg.delivered) == 1
+        assert len(seg.received["ecu-b"]) == 1
+        assert len(seg.received["ecu-c"]) == 1
+        assert len(seg.received["ecu-a"]) == 0
+
+    def test_round_robin_order(self):
+        sim, seg = self._segment()
+        # c and a queue simultaneously; PLCA visits a first (id order).
+        seg.send("ecu-c", EthernetFrame("x", "c", b"\x00" * 46))
+        seg.send("ecu-a", EthernetFrame("x", "a", b"\x00" * 46))
+        sim.run()
+        senders = [d.sender for d in seg.delivered]
+        assert senders == ["ecu-a", "ecu-c"]
+
+    def test_latency_slower_than_dedicated_100m(self):
+        sim, seg = self._segment()
+        frame = EthernetFrame("b", "a", b"\x00" * 200)
+        seg.send("ecu-a", frame)
+        sim.run()
+        t1s_latency = seg.delivered[0].latency_s
+        dedicated = frame.transmission_time_s(100e6)
+        assert t1s_latency > dedicated  # 10 Mb/s + PLCA overhead
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PlcaConfig(bitrate_bps=0)
+
+    def test_duplicate_and_unknown_nodes(self):
+        _, seg = self._segment()
+        with pytest.raises(ValueError):
+            seg.attach("ecu-a")
+        with pytest.raises(KeyError):
+            seg.send("ghost", EthernetFrame("a", "g", b""))
+
+
+class TestEthernetLink:
+    def test_transfer_time_dominated_by_serialization_at_low_rate(self):
+        frame = EthernetFrame("a", "b", b"\x00" * 1000)
+        slow = EthernetLink("l", bitrate_bps=100e6).transfer_time_s(frame)
+        fast = EthernetLink("l", bitrate_bps=10e9).transfer_time_s(frame)
+        assert slow > fast
+
+    def test_switch_security_termination_costs_more(self):
+        switch = ZonalSwitch("zc")
+        frame = EthernetFrame("a", "b", b"\x00" * 64)
+        assert switch.forward_time_s(frame, security_termination=True) > (
+            switch.forward_time_s(frame)
+        )
+
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            EthernetLink("bad", bitrate_bps=-1)
+
+
+class TestZonalArchitecture:
+    def test_figure3_shape(self):
+        arch = ZonalArchitecture.figure3()
+        assert len(arch.zones) == 2
+        endpoints = [e for z in arch.zones.values() for e in z.endpoints]
+        assert sum(1 for e in endpoints if e.attachment == "can") == 3
+        assert sum(1 for e in endpoints if e.attachment == "t1s") == 3
+
+    def test_system_model_exposure(self):
+        arch = ZonalArchitecture.figure3()
+        model = arch.system_model()
+        # Unsecured: telematics reaches every ECU.
+        report_entry = model.entry_points()
+        assert [c.name for c in report_entry] == ["telematics"]
+        reachable = model.reachable_from("telematics", only_unsecured=True)
+        assert "ecu-can-1" in reachable
+
+    def test_secured_links_cut_reachability(self):
+        arch = ZonalArchitecture.figure3()
+        model = arch.system_model(secured_links=True)
+        reachable = model.reachable_from("telematics", only_unsecured=True)
+        assert reachable == {"telematics"}
+
+    def test_latency_matrix_symmetry_of_media(self):
+        arch = ZonalArchitecture.figure3()
+        matrix = arch.latency_matrix()
+        # CAN edge is slower than T1S edge to CC.
+        assert matrix[("ecu-can-1", "cc")] > matrix[("ecu-t1s-1", "cc")]
+        # Cross-zone paths go through both uplinks.
+        assert matrix[("ecu-can-1", "ecu-can-3")] > matrix[("ecu-can-1", "cc")]
+
+    def test_duplicate_names_rejected(self):
+        arch = ZonalArchitecture.figure3()
+        with pytest.raises(ValueError):
+            arch.add_zone(Zone("zc-left"))
+        with pytest.raises(ValueError):
+            arch.add_zone(Zone("zc-new", [Endpoint("ecu-can-1", "can")]))
+
+    def test_unknown_endpoint(self):
+        arch = ZonalArchitecture.figure3()
+        with pytest.raises(KeyError):
+            arch.path_latency_s("ghost", "cc")
+
+    def test_attachment_validation(self):
+        with pytest.raises(ValueError):
+            Endpoint("x", "wifi")

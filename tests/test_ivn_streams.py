@@ -1,0 +1,132 @@
+"""Tests for periodic traffic, flood DoS, and the detect->respond loop."""
+
+import pytest
+
+from repro.core.events import Simulator
+from repro.ivn.bus import BusNode, CanBus
+from repro.ivn.ids import FrequencyIds
+from repro.ivn.streams import (
+    PeriodicStream,
+    TrafficScheduler,
+    run_dos_response_experiment,
+)
+
+
+def _setup(streams):
+    sim = Simulator()
+    bus = CanBus(sim)
+    for name in {s.sender for s in streams}:
+        bus.attach(BusNode(name))
+    scheduler = TrafficScheduler(sim, bus, streams)
+    return sim, bus, scheduler
+
+
+class TestPeriodicTraffic:
+    def test_all_frames_delivered_on_time_unloaded(self):
+        streams = [PeriodicStream(0x100, "engine", period_s=0.01)]
+        sim, _, scheduler = _setup(streams)
+        scheduler.start(0.5)
+        sim.run()
+        scheduler.harvest()
+        stats = scheduler.stats[0x100]
+        assert stats.sent == 50
+        assert stats.delivered == 50
+        assert stats.miss_rate == 0.0
+
+    def test_latencies_recorded(self):
+        streams = [PeriodicStream(0x100, "engine", period_s=0.01)]
+        sim, _, scheduler = _setup(streams)
+        scheduler.start(0.1)
+        sim.run()
+        scheduler.harvest()
+        stats = scheduler.stats[0x100]
+        assert stats.worst_latency_s > 0
+        assert stats.worst_latency_s < 0.001  # unloaded bus: ~frame time
+
+    def test_contention_between_streams(self):
+        streams = [
+            PeriodicStream(0x100, "engine", period_s=0.001),
+            PeriodicStream(0x200, "brake", period_s=0.001),
+        ]
+        sim, _, scheduler = _setup(streams)
+        scheduler.start(0.1)
+        sim.run()
+        scheduler.harvest()
+        # The lower-id stream wins arbitration; the other queues behind.
+        assert (scheduler.stats[0x200].worst_latency_s
+                >= scheduler.stats[0x100].worst_latency_s)
+
+    def test_undelivered_counts_as_miss(self):
+        # Saturate: period shorter than frame time on a slow bus.
+        sim = Simulator()
+        bus = CanBus(sim, bitrate_bps=50e3)
+        bus.attach(BusNode("engine"))
+        stream = PeriodicStream(0x100, "engine", period_s=0.001)
+        scheduler = TrafficScheduler(sim, bus, [stream])
+        scheduler.start(0.2)
+        sim.run(until=0.2)
+        scheduler.harvest()
+        stats = scheduler.stats[0x100]
+        assert stats.miss_rate > 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicStream(0x1, "e", period_s=0.0)
+        with pytest.raises(ValueError):
+            PeriodicStream(0x1, "e", period_s=1.0, payload_len=9)
+        sim = Simulator()
+        bus = CanBus(sim)
+        bus.attach(BusNode("e"))
+        with pytest.raises(ValueError):
+            TrafficScheduler(sim, bus, [
+                PeriodicStream(0x1, "e", period_s=1.0),
+                PeriodicStream(0x1, "e", period_s=2.0),
+            ])
+
+
+class TestBurstDetection:
+    def test_unknown_id_burst_flagged(self):
+        ids = FrequencyIds(burst_threshold=10, burst_window_s=0.05)
+        alert = None
+        for i in range(12):
+            alert = ids.monitor(0x000, i * 0.001) or alert
+        assert alert is not None
+        assert "bursting" in alert.reason
+
+    def test_sporadic_unknown_id_tolerated(self):
+        ids = FrequencyIds(burst_threshold=10, burst_window_s=0.05)
+        for i in range(12):
+            assert ids.monitor(0x000, i * 1.0) is None  # 1 Hz, not a burst
+
+    def test_burst_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FrequencyIds(burst_threshold=1)
+        with pytest.raises(ValueError):
+            FrequencyIds(burst_window_s=0.0)
+
+
+class TestDosResponseExperiment:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_dos_response_experiment(duration_s=1.0)
+
+    def test_baseline_meets_deadlines(self, report):
+        assert report.miss_rate_no_attack == 0.0
+
+    def test_flood_starves_streams(self, report):
+        assert report.miss_rate_attack_no_response > 0.5
+
+    def test_response_restores_service(self, report):
+        assert report.miss_rate_attack_with_response < 0.05
+
+    def test_detection_and_isolation_are_fast(self, report):
+        assert report.detection_time_s is not None
+        assert report.isolation_time_s is not None
+        # Flood starts at 0.3 s; the loop reacts within tens of ms.
+        assert report.detection_time_s - 0.3 < 0.05
+        assert report.isolation_time_s >= report.detection_time_s
+
+    def test_isolation_caps_attack_frames(self, report):
+        # Without response the flood runs for 0.7 s at 5 kHz; with the
+        # response it is cut after a few tens of frames.
+        assert report.attack_frames_sent < 100

@@ -1,0 +1,111 @@
+"""Tests for PTP delay attacks and PTPsec-style cyclic asymmetry detection."""
+
+import pytest
+
+from repro.ivn.timesync import (
+    CyclicAsymmetryDetector,
+    DelayAttack,
+    SyncNetwork,
+    ptp_offset,
+)
+
+
+def triangle_network(jitter=1e-9):
+    """Three switches in a triangle plus the grandmaster on node a."""
+    network = SyncNetwork(jitter_s=jitter, seed_label="tri")
+    network.add_link("a", "b", 5e-6)
+    network.add_link("b", "c", 4e-6)
+    network.add_link("c", "a", 6e-6)
+    return network
+
+
+class TestPtp:
+    def test_offset_accurate_on_symmetric_path(self):
+        network = triangle_network()
+        result = ptp_offset(network, ["a", "b"], true_offset_s=3e-6)
+        assert abs(result.offset_error_s) < 1e-7
+
+    def test_measured_delay_close_to_truth(self):
+        network = triangle_network()
+        result = ptp_offset(network, ["a", "b"])
+        assert result.measured_delay_s == pytest.approx(5e-6, rel=0.05)
+
+    def test_delay_attack_biases_offset_by_half(self):
+        network = triangle_network()
+        DelayAttack("a", "b", 10e-6).apply(network)
+        result = ptp_offset(network, ["a", "b"], true_offset_s=0.0)
+        assert result.offset_error_s == pytest.approx(5e-6, rel=0.05)
+
+    def test_attack_invisible_to_delay_estimate_consumer(self):
+        # The measured round-trip delay rises, but standard PTP has no
+        # reference to compare against — the attack is silent.
+        network = triangle_network()
+        clean = ptp_offset(network, ["a", "b"])
+        DelayAttack("a", "b", 10e-6).apply(network)
+        attacked = ptp_offset(network, ["a", "b"])
+        assert attacked.measured_delay_s > clean.measured_delay_s
+        # Nothing in the PtpResult flags the attack: that is the point.
+
+    def test_attack_validation(self):
+        network = triangle_network()
+        with pytest.raises(ValueError):
+            DelayAttack("a", "b", -1e-6).apply(network)
+        with pytest.raises(KeyError):
+            network.add_asymmetry("a", "z", 1e-6)
+
+    def test_network_validation(self):
+        network = SyncNetwork()
+        with pytest.raises(ValueError):
+            network.add_link("a", "b", 0.0)
+        with pytest.raises(ValueError):
+            network.one_way_delay(["a"])
+
+
+class TestCyclicDetection:
+    def test_clean_cycle_not_flagged(self):
+        detector = CyclicAsymmetryDetector(triangle_network())
+        verdict = detector.measure_cycle(["a", "b", "c"])
+        assert not verdict.attack_detected
+
+    def test_attacked_cycle_flagged(self):
+        network = triangle_network()
+        DelayAttack("a", "b", 10e-6).apply(network)
+        detector = CyclicAsymmetryDetector(network)
+        verdict = detector.measure_cycle(["a", "b", "c"])
+        assert verdict.attack_detected
+        # Residual equals the injected asymmetry (one direction only).
+        assert verdict.residual_s == pytest.approx(10e-6, rel=0.1)
+
+    def test_detection_threshold_scales_with_jitter(self):
+        noisy = triangle_network(jitter=50e-9)
+        DelayAttack("a", "b", 10e-6).apply(noisy)
+        detector = CyclicAsymmetryDetector(noisy)
+        assert detector.measure_cycle(["a", "b", "c"]).attack_detected
+
+    def test_small_attack_below_noise_floor_missed(self):
+        noisy = triangle_network(jitter=100e-9)
+        DelayAttack("a", "b", 0.2e-6).apply(noisy)
+        detector = CyclicAsymmetryDetector(noisy)
+        assert not detector.measure_cycle(["a", "b", "c"]).attack_detected
+
+    def test_localization_narrows_to_attacked_link(self):
+        # A four-node network with two triangles sharing the link b-c.
+        network = SyncNetwork(jitter_s=1e-9, seed_label="quad")
+        for a, b, d in (("a", "b", 5e-6), ("b", "c", 4e-6), ("c", "a", 6e-6),
+                        ("b", "d", 3e-6), ("d", "c", 5e-6)):
+            network.add_link(a, b, d)
+        DelayAttack("b", "c", 10e-6).apply(network)
+        detector = CyclicAsymmetryDetector(network)
+        suspects = detector.localize([["a", "b", "c"], ["b", "d", "c"]])
+        assert suspects == {frozenset(("b", "c"))}
+
+    def test_no_attack_no_suspects(self):
+        detector = CyclicAsymmetryDetector(triangle_network())
+        assert detector.localize([["a", "b", "c"]]) == set()
+
+    def test_cycle_validation(self):
+        detector = CyclicAsymmetryDetector(triangle_network())
+        with pytest.raises(ValueError):
+            detector.measure_cycle(["a", "b"])
+        with pytest.raises(ValueError):
+            CyclicAsymmetryDetector(triangle_network(), n_probes=0)

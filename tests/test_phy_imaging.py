@@ -1,0 +1,77 @@
+"""Tests for the camera image-pipeline security model ([49])."""
+
+import pytest
+
+from repro.phy.imaging import (
+    IMAGE_ATTACKS,
+    IMAGE_DEFENSES,
+    PIPELINE_STAGES,
+    ImagePipeline,
+    PipelineAttack,
+    PipelineDefense,
+)
+
+
+class TestCatalogs:
+    def test_every_stage_has_attacks(self):
+        stages_with_attacks = {a.stage for a in IMAGE_ATTACKS}
+        assert stages_with_attacks == set(PIPELINE_STAGES)
+
+    def test_every_attack_has_a_defense(self):
+        pipeline = ImagePipeline()
+        all_defenses = set(pipeline.defenses)
+        assert pipeline.residual_attacks(all_defenses) == []
+
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            PipelineAttack("x", "quantum-stage", "")
+        with pytest.raises(ValueError):
+            PipelineDefense("x", "quantum-stage", frozenset())
+
+    def test_defense_references_validated(self):
+        with pytest.raises(ValueError):
+            ImagePipeline(defenses=IMAGE_DEFENSES + (
+                PipelineDefense("bogus", "optics", frozenset({"nonexistent"})),))
+
+
+class TestCoverage:
+    def test_no_defenses_zero_coverage(self):
+        pipeline = ImagePipeline()
+        assert pipeline.coverage(set()) == 0.0
+        assert len(pipeline.residual_attacks(set())) == len(IMAGE_ATTACKS)
+
+    def test_coverage_monotone_in_defenses(self):
+        pipeline = ImagePipeline()
+        partial = {"optical-filtering", "authenticated-frame-transport"}
+        assert pipeline.coverage(partial) > 0.0
+        assert pipeline.coverage(partial | {"adversarial-training"}) > pipeline.coverage(partial)
+
+    def test_transport_security_alone_leaves_sensor_attacks(self):
+        # The §VIII synergy point at sensor scale: securing the link does
+        # not secure the optics.
+        pipeline = ImagePipeline()
+        residual = pipeline.residual_by_stage({"authenticated-frame-transport"})
+        assert residual["transport"] == 0
+        assert residual["optics"] > 0
+        assert residual["perception"] > 0
+
+    def test_unknown_defense_rejected(self):
+        with pytest.raises(ValueError):
+            ImagePipeline().coverage({"magic-shield"})
+
+
+class TestCheapestCoverage:
+    def test_cheapest_set_is_full_coverage(self):
+        pipeline = ImagePipeline()
+        chosen = pipeline.cheapest_full_coverage()
+        assert chosen is not None
+        assert pipeline.residual_attacks(chosen) == []
+
+    def test_cheapest_set_not_strictly_dominated(self):
+        pipeline = ImagePipeline()
+        chosen = pipeline.cheapest_full_coverage()
+        cost = sum(pipeline.defenses[n].cost for n in chosen)
+        # Dropping any single defense must break coverage (minimality).
+        for name in chosen:
+            assert pipeline.residual_attacks(chosen - {name})
+        assert cost <= sum(d.cost for d in IMAGE_DEFENSES)

@@ -1,0 +1,210 @@
+"""Tests for LRP distance bounding, TWR algebra, PKES, and collision avoidance."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.attacks import RelayAttack
+from repro.phy.collision import (
+    FusionPipeline,
+    GhostObjectAttack,
+    ObjectRemovalAttack,
+    Sensor,
+    SensorKind,
+)
+from repro.phy.lrp import DistanceBoundingSession, attack_success_probability
+from repro.phy.pkes import PkesSystem
+from repro.phy.ranging import ds_twr, ss_twr
+
+KEY = b"\x77" * 16
+
+
+class TestDistanceBounding:
+    def test_honest_prover_in_range_accepted(self):
+        session = DistanceBoundingSession(KEY, rounds=32)
+        result = session.run_honest(2.0, distance_bound_m=5.0)
+        assert result.accepted
+        assert result.response_errors == 0
+        assert result.measured_distance_m == pytest.approx(2.0, abs=1e-6)
+
+    def test_honest_prover_out_of_range_rejected(self):
+        session = DistanceBoundingSession(KEY, rounds=32)
+        result = session.run_honest(20.0, distance_bound_m=5.0)
+        assert not result.accepted
+
+    def test_early_reply_attack_mostly_fails(self):
+        session = DistanceBoundingSession(KEY, rounds=32, seed_label="atk")
+        successes = sum(
+            session.run_early_reply_attack(
+                50.0, claimed_distance_m=2.0
+            ).accepted
+            for _ in range(20)
+        )
+        # Analytic success is 2^-32 per attempt; 20 attempts ~ never.
+        assert successes == 0
+
+    def test_attack_errors_scale_with_rounds(self):
+        session = DistanceBoundingSession(KEY, rounds=64, seed_label="err")
+        result = session.run_early_reply_attack(50.0, claimed_distance_m=2.0)
+        # ~half the guesses are wrong.
+        assert 16 <= result.response_errors <= 48
+
+    def test_pulse_randomization_increases_errors(self):
+        plain = DistanceBoundingSession(KEY, rounds=64, seed_label="pr")
+        randomized = DistanceBoundingSession(
+            KEY, rounds=64, pulse_randomization=True, position_space=8,
+            seed_label="pr",
+        )
+        err_plain = plain.run_early_reply_attack(50.0, claimed_distance_m=2.0).response_errors
+        err_rand = randomized.run_early_reply_attack(50.0, claimed_distance_m=2.0).response_errors
+        assert err_rand > err_plain
+
+    def test_claimed_distance_must_be_shorter(self):
+        session = DistanceBoundingSession(KEY)
+        with pytest.raises(ValueError):
+            session.run_early_reply_attack(5.0, claimed_distance_m=10.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DistanceBoundingSession(KEY, rounds=0)
+        with pytest.raises(ValueError):
+            DistanceBoundingSession(KEY, position_space=0)
+
+
+class TestAttackSuccessProbability:
+    def test_halves_per_round(self):
+        assert attack_success_probability(1) == pytest.approx(0.5)
+        assert attack_success_probability(8) == pytest.approx(2.0**-8)
+
+    def test_error_tolerance_increases_success(self):
+        strict = attack_success_probability(16, max_errors=0)
+        tolerant = attack_success_probability(16, max_errors=4)
+        assert tolerant > strict
+
+    def test_pulse_randomization_reduces_success(self):
+        base = attack_success_probability(8)
+        hardened = attack_success_probability(8, pulse_randomization=True, position_space=8)
+        assert hardened < base
+        assert hardened == pytest.approx((0.5 / 8.0) ** 8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=64))
+    def test_probability_in_unit_interval(self, rounds):
+        p = attack_success_probability(rounds, max_errors=min(2, rounds - 1) if rounds > 1 else 0)
+        assert 0.0 <= p <= 1.0
+
+    def test_monotone_decreasing_in_rounds(self):
+        probs = [attack_success_probability(n) for n in range(1, 20)]
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+
+
+class TestTwr:
+    def test_ss_twr_exact_without_drift(self):
+        m = ss_twr(25.0)
+        assert m.error_m == pytest.approx(0.0, abs=1e-9)
+
+    def test_ss_twr_biased_by_drift(self):
+        m = ss_twr(25.0, responder_drift_ppm=20.0, reply_time_s=300e-6)
+        # bias ~ drift * reply/2 * c ~ 0.9 m for 20 ppm, 300 us.
+        assert abs(m.error_m) > 0.5
+
+    def test_ds_twr_cancels_drift(self):
+        m = ds_twr(25.0, responder_drift_ppm=20.0)
+        assert abs(m.error_m) < 0.01
+
+    def test_relay_only_adds_distance(self):
+        m = ds_twr(25.0, extra_path_m=30.0)
+        assert m.measured_distance_m > 25.0 + 29.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            ss_twr(-1.0)
+        with pytest.raises(ValueError):
+            ds_twr(1.0, extra_path_m=-1.0)
+
+
+class TestPkes:
+    def test_legitimate_unlock_near(self):
+        for policy in ("lf-rssi", "uwb-hrp", "uwb-lrp"):
+            system = PkesSystem(policy=policy)
+            assert system.try_unlock(1.0).unlocked, policy
+
+    def test_no_unlock_when_fob_far(self):
+        for policy in ("lf-rssi", "uwb-hrp", "uwb-lrp"):
+            system = PkesSystem(policy=policy)
+            assert not system.try_unlock(50.0).unlocked, policy
+
+    def test_relay_defeats_legacy_rssi(self):
+        system = PkesSystem(policy="lf-rssi")
+        assert system.relay_attack_succeeds(50.0)
+
+    @pytest.mark.parametrize("policy", ["uwb-hrp", "uwb-lrp"])
+    def test_relay_fails_against_tof_ranging(self, policy):
+        system = PkesSystem(policy=policy)
+        assert not system.relay_attack_succeeds(50.0)
+
+    def test_relay_cannot_reduce_distance(self):
+        relay = RelayAttack(cable_length_m=100.0)
+        assert relay.effective_distance_m(40.0) > 140.0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            PkesSystem(policy="bluetooth")
+        with pytest.raises(ValueError):
+            PkesSystem(unlock_range_m=0.0)
+        system = PkesSystem()
+        with pytest.raises(ValueError):
+            system.try_unlock(-1.0)
+
+
+class TestCollisionAvoidance:
+    def test_honest_scene_perceived(self):
+        pipeline = FusionPipeline(quorum=2)
+        report = pipeline.perceive([15.0, 40.0])
+        assert report.missed_obstacles == 0
+        assert report.false_obstacles == 0
+        assert len(report.confirmed_objects_m) == 2
+
+    def test_single_sensor_ghost_rejected_by_quorum(self):
+        pipeline = FusionPipeline(quorum=2)
+        attack = GhostObjectAttack(SensorKind.LIDAR, ghost_distance_m=8.0)
+        report = pipeline.perceive([40.0], attacks=[attack])
+        assert report.false_obstacles == 0
+        assert report.rejected_detections >= 1
+
+    def test_quorum_one_is_fooled_by_ghost(self):
+        pipeline = FusionPipeline(quorum=1)
+        attack = GhostObjectAttack(SensorKind.LIDAR, ghost_distance_m=8.0)
+        report = pipeline.perceive([40.0], attacks=[attack])
+        assert report.false_obstacles >= 1
+
+    def test_multi_sensor_ghost_needs_secure_corroboration(self):
+        # Attacker spoofs ghost into all three spoofable modalities:
+        # quorum alone is fooled, secure-ranging corroboration is not.
+        attacks = [
+            GhostObjectAttack(SensorKind.LIDAR, 8.0),
+            GhostObjectAttack(SensorKind.RADAR, 8.0),
+            GhostObjectAttack(SensorKind.CAMERA, 8.0),
+        ]
+        naive = FusionPipeline(quorum=2)
+        assert naive.perceive([40.0], attacks=attacks).false_obstacles >= 1
+        secured = FusionPipeline(quorum=2, require_secure_corroboration=True)
+        assert secured.perceive([40.0], attacks=attacks).false_obstacles == 0
+
+    def test_removal_attack_on_one_sensor_not_enough(self):
+        pipeline = FusionPipeline(quorum=2)
+        attack = ObjectRemovalAttack(SensorKind.LIDAR, target_distance_m=20.0)
+        report = pipeline.perceive([20.0], attacks=[attack])
+        assert report.missed_obstacles == 0
+
+    def test_secure_ranging_not_spoofable(self):
+        sensor = Sensor(SensorKind.SECURE_RANGING, spoofable=False)
+        attack = GhostObjectAttack(SensorKind.SECURE_RANGING, 5.0)
+        detections = sensor.observe([30.0])
+        assert attack.apply(sensor, detections) == detections
+
+    def test_quorum_validation(self):
+        with pytest.raises(ValueError):
+            FusionPipeline(quorum=0)

@@ -1,0 +1,99 @@
+"""Tests for Message Time-of-Arrival Codes ([7])."""
+
+import numpy as np
+import pytest
+
+from repro.phy.mtac import MtacCode, attack_acceptance_probability
+
+KEY = b"\xC3" * 16
+
+
+class TestHonestOperation:
+    def test_honest_transmission_accepted(self):
+        code = MtacCode(KEY)
+        verdict = code.verify(0, code.transmit(0))
+        assert verdict.accepted
+        assert verdict.matching_fraction > 0.85  # only channel losses
+
+    def test_assignment_deterministic_and_fresh(self):
+        code = MtacCode(KEY)
+        assert np.array_equal(code.slot_assignment(3), code.slot_assignment(3))
+        assert not np.array_equal(code.slot_assignment(3), code.slot_assignment(4))
+
+    def test_assignment_secret_per_key(self):
+        a = MtacCode(KEY).slot_assignment(0)
+        b = MtacCode(b"\xC4" * 16).slot_assignment(0)
+        assert not np.array_equal(a, b)
+
+    def test_lossy_channel_tolerated(self):
+        code = MtacCode(KEY, accept_fraction=0.7)
+        verdict = code.verify(1, code.transmit(1), pulse_loss_prob=0.15)
+        assert verdict.accepted
+
+
+class TestAdvanceAttack:
+    def test_pure_guessing_rejected(self):
+        code = MtacCode(KEY)
+        for index in range(5):
+            slots = code.advance_attack_slots(index)
+            verdict = code.verify(index, slots)
+            assert not verdict.accepted
+            assert verdict.matching_fraction < 0.4
+
+    def test_partial_knowledge_helps_but_insufficient(self):
+        code = MtacCode(KEY)
+        weak = code.verify(0, code.advance_attack_slots(0, known_fraction=0.0))
+        strong = code.verify(0, code.advance_attack_slots(0, known_fraction=0.5))
+        assert strong.matching_fraction > weak.matching_fraction
+        assert not strong.accepted
+
+    def test_full_knowledge_wins(self):
+        # Sanity bound: an attacker knowing the whole assignment is the
+        # legitimate sender.
+        code = MtacCode(KEY)
+        verdict = code.verify(0, code.advance_attack_slots(0, known_fraction=1.0))
+        assert verdict.accepted
+
+    def test_analytic_probability_negligible(self):
+        p = attack_acceptance_probability(64, 8, 0.75)
+        assert p < 1e-25
+
+    def test_analytic_monotone_in_slots(self):
+        probs = [attack_acceptance_probability(32, s, 0.5) for s in (2, 4, 8, 16)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_analytic_monotone_in_length(self):
+        probs = [attack_acceptance_probability(n, 4, 0.5) for n in (8, 16, 32, 64)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_simulation_matches_theory_for_weak_code(self):
+        # A deliberately weak code (2 slots, low threshold) where the
+        # guessing attacker sometimes wins: Monte-Carlo vs binomial.
+        code = MtacCode(KEY, n_pulses=16, slots_per_symbol=2,
+                        accept_fraction=0.5)
+        theory = attack_acceptance_probability(16, 2, 0.5)
+        wins = sum(
+            code.verify(i, code.advance_attack_slots(i), pulse_loss_prob=0.0).accepted
+            for i in range(300)
+        )
+        assert abs(wins / 300 - theory) < 0.15
+
+
+class TestValidation:
+    def test_parameter_bounds(self):
+        with pytest.raises(ValueError):
+            MtacCode(KEY, n_pulses=4)
+        with pytest.raises(ValueError):
+            MtacCode(KEY, slots_per_symbol=1)
+        with pytest.raises(ValueError):
+            MtacCode(KEY, accept_fraction=0.0)
+
+    def test_shape_mismatch(self):
+        code = MtacCode(KEY)
+        with pytest.raises(ValueError):
+            code.verify(0, np.zeros(10))
+
+    def test_known_fraction_bounds(self):
+        code = MtacCode(KEY)
+        with pytest.raises(ValueError):
+            code.advance_attack_slots(0, known_fraction=1.5)

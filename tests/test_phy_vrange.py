@@ -1,0 +1,88 @@
+"""Tests for V-Range-style 5G OFDM secure ranging ([12])."""
+
+import pytest
+
+from repro.phy.vrange import CpInjectionAttack, OfdmConfig, VRangeSession
+
+KEY = b"\xE1" * 16
+
+
+class TestHonestRanging:
+    @pytest.mark.parametrize("distance", [50.0, 300.0, 1000.0])
+    def test_accurate_and_accepted(self, distance):
+        session = VRangeSession(KEY)
+        outcome = session.measure(distance, seed_label=f"h{distance}")
+        assert outcome.accepted
+        assert abs(outcome.error_m) < 3.0  # ~1 sample at 122.88 MS/s
+
+    def test_integrity_metrics_high(self):
+        outcome = VRangeSession(KEY).measure(300.0, seed_label="metrics")
+        assert outcome.normalized_correlation > 0.8
+        assert outcome.cp_consistency > 0.8
+
+    def test_fresh_prs_per_measurement(self):
+        session = VRangeSession(KEY)
+        a = session._tx_symbol()
+        b = session._tx_symbol()
+        import numpy as np
+
+        assert not np.allclose(a, b)
+
+    def test_low_snr_still_works(self):
+        outcome = VRangeSession(KEY).measure(300.0, snr_db=5.0, seed_label="lowsnr")
+        assert outcome.accepted
+        assert abs(outcome.error_m) < 5.0
+
+
+class TestCpInjection:
+    def _attack(self, i):
+        return CpInjectionAttack(advance_m=30.0, seed_label=f"atk{i}")
+
+    def test_tolerant_receiver_reduced(self):
+        hits = 0
+        for i in range(6):
+            session = VRangeSession(KEY, secure=False)
+            outcome = session.measure(300.0, attack=self._attack(i),
+                                      seed_label=f"tol{i}")
+            hits += outcome.reduced
+        assert hits >= 5
+
+    def test_secure_receiver_rejects(self):
+        for i in range(6):
+            session = VRangeSession(KEY, secure=True)
+            outcome = session.measure(300.0, attack=self._attack(i),
+                                      seed_label=f"tol{i}")
+            assert not (outcome.reduced and outcome.accepted)
+
+    def test_attack_breaks_both_integrity_metrics(self):
+        session = VRangeSession(KEY, secure=True)
+        outcome = session.measure(300.0, attack=self._attack(0), seed_label="tol0")
+        if outcome.reduced:
+            assert outcome.normalized_correlation < 0.35
+            assert outcome.cp_consistency < 0.5
+
+    def test_weak_attacker_fails_even_tolerant(self):
+        session = VRangeSession(KEY, secure=False)
+        attack = CpInjectionAttack(advance_m=30.0, power=1.0, seed_label="weak")
+        outcome = session.measure(300.0, attack=attack, seed_label="weak")
+        assert not outcome.reduced
+
+
+class TestValidation:
+    def test_config_bounds(self):
+        with pytest.raises(ValueError):
+            OfdmConfig(n_subcarriers=8)
+        with pytest.raises(ValueError):
+            OfdmConfig(cp_len=0)
+        with pytest.raises(ValueError):
+            OfdmConfig(n_subcarriers=64, cp_len=64)
+
+    def test_attack_bounds(self):
+        with pytest.raises(ValueError):
+            CpInjectionAttack(advance_m=0.0)
+        with pytest.raises(ValueError):
+            CpInjectionAttack(advance_m=1.0, power=0.0)
+
+    def test_negative_distance(self):
+        with pytest.raises(ValueError):
+            VRangeSession(KEY).measure(-1.0)

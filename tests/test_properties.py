@@ -1,0 +1,146 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.entities import Component, Interface, SystemModel
+from repro.core.layers import Layer
+from repro.core.metrics import attack_surface
+from repro.core.response import ResponseEngine, SecurityAlert, Severity
+from repro.ivn.frames import CanFdFrame, CanFrame, CanXlFrame, EthernetFrame
+from repro.ivn.secoc import FreshnessManager
+from repro.phy.lrp import attack_success_probability
+from repro.phy.mtac import attack_acceptance_probability
+from repro.sos.cascade import CascadeSimulator
+from repro.sos.maas import build_maas_sos
+
+
+class TestFrameSizeProperties:
+    @given(st.binary(max_size=8), st.integers(min_value=0, max_value=0x7FF))
+    def test_classic_can_stuffing_bounds(self, payload, can_id):
+        frame = CanFrame(can_id, payload)
+        unstuffed = frame.wire_bits(worst_case_stuffing=False)
+        stuffed = frame.wire_bits(worst_case_stuffing=True)
+        assert unstuffed <= stuffed <= unstuffed * 1.25 + 1
+
+    @given(st.integers(min_value=0, max_value=64))
+    def test_can_fd_data_bits_monotone(self, n):
+        small = CanFdFrame(0x1, b"\x00" * n)
+        if n < 64:
+            larger = CanFdFrame(0x1, b"\x00" * (n + 1))
+            assert larger.data_phase_bits() >= small.data_phase_bits()
+
+    @given(st.integers(min_value=1, max_value=2048))
+    def test_can_xl_bits_exceed_payload(self, n):
+        frame = CanXlFrame(0x1, b"\x00" * n)
+        assert frame.data_phase_bits() > 8 * n
+
+    @given(st.integers(min_value=0, max_value=1500))
+    def test_ethernet_frame_bounds(self, n):
+        frame = EthernetFrame("a", "b", b"\x00" * n)
+        assert 64 <= frame.frame_bytes() <= 1518
+        assert frame.wire_bits() == 8 * (frame.frame_bytes() + 20)
+
+    @given(st.integers(min_value=0, max_value=1400))
+    def test_macsec_overhead_constant(self, n):
+        plain = EthernetFrame("a", "b", b"\x00" * n)
+        sec = EthernetFrame("a", "b", b"\x00" * n, macsec=True)
+        # Overhead is constant except when padding absorbs it.
+        assert 0 <= sec.frame_bytes() - plain.frame_bytes() <= 24
+
+
+class TestFreshnessProperties:
+    @settings(max_examples=50)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=255))
+    def test_reconstruction_exact_within_window(self, last, step):
+        manager = FreshnessManager(8)
+        if last > 0:
+            manager.commit_rx(9, last)
+        nxt = last + step
+        reconstructed = manager.reconstruct(9, nxt & 0xFF)
+        assert reconstructed > last
+        assert reconstructed & 0xFF == nxt & 0xFF
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=30))
+    def test_sequence_of_increments_always_tracks(self, steps):
+        manager = FreshnessManager(8)
+        value = 0
+        for step in steps:
+            value += step
+            reconstructed = manager.reconstruct(1, value & 0xFF)
+            if step < 256:
+                assert reconstructed == value
+            manager.commit_rx(1, reconstructed)
+            value = reconstructed
+
+
+class TestSecurityProbabilityProperties:
+    @given(st.integers(min_value=1, max_value=40),
+           st.integers(min_value=0, max_value=5))
+    def test_lrp_probability_valid_and_monotone_in_errors(self, rounds, max_errors):
+        assume(max_errors <= rounds)
+        p0 = attack_success_probability(rounds, 0)
+        pk = attack_success_probability(rounds, max_errors)
+        assert 0.0 <= p0 <= pk <= 1.0
+
+    @given(st.integers(min_value=8, max_value=128),
+           st.sampled_from([2, 4, 8, 16]))
+    def test_mtac_probability_in_unit_interval(self, n, slots):
+        p = attack_acceptance_probability(n, slots, 0.6)
+        assert 0.0 <= p <= 1.0
+
+
+class TestResponseEngineProperties:
+    @settings(max_examples=30)
+    @given(st.lists(st.sampled_from(list(Severity)), min_size=1, max_size=20))
+    def test_applied_action_never_decreases(self, severities):
+        engine = ResponseEngine(escalation_threshold=2)
+        actions = []
+        for t, severity in enumerate(severities):
+            engine.handle(SecurityAlert(float(t), Layer.NETWORK, "ecu",
+                                        "can-masquerade", severity))
+            actions.append(engine.component_status("ecu"))
+        assert actions == sorted(actions)
+
+
+class TestGraphProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=8), st.data())
+    def test_securing_edges_never_grows_surface(self, n, data):
+        model_open = SystemModel("p-open")
+        model_sec = SystemModel("p-sec")
+        for i in range(n):
+            for model in (model_open, model_sec):
+                model.add_component(Component(f"c{i}", Layer.NETWORK,
+                                              criticality=1 + i % 5,
+                                              exposed=(i == 0)))
+        edges = data.draw(st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=n * 2))
+        secured_flags = data.draw(st.lists(st.booleans(), min_size=len(edges),
+                                           max_size=len(edges)))
+        for (a, b), secured in zip(edges, secured_flags):
+            if a == b:
+                continue
+            model_open.connect(Interface(f"c{a}", f"c{b}", "x"))
+            model_sec.connect(Interface(f"c{a}", f"c{b}", "x",
+                                        authenticated=secured))
+        open_report = attack_surface(model_open)
+        sec_report = attack_surface(model_sec)
+        assert sec_report.reachable_components <= open_report.reachable_components
+        assert sec_report.unsecured_interfaces <= open_report.unsecured_interfaces
+
+
+class TestCascadeProperties:
+    @pytest.mark.parametrize("p_low,p_high", [(0.1, 0.4), (0.3, 0.8)])
+    def test_blast_radius_monotone_in_propagation_probability(self, p_low, p_high):
+        model = build_maas_sos()
+        low = CascadeSimulator(model, p_unsecured=p_low, p_secured=0.01,
+                               seed_label="prop").run("cloud-backend", trials=200)
+        high = CascadeSimulator(model, p_unsecured=p_high, p_secured=0.01,
+                                seed_label="prop").run("cloud-backend", trials=200)
+        assert high.mean_blast_radius >= low.mean_blast_radius

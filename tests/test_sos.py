@@ -1,0 +1,171 @@
+"""Tests for the system-of-systems layer: model, MaaS, STRIDE, cascades,
+responsibility."""
+
+import pytest
+
+from repro.sos.cascade import CascadeSimulator
+from repro.sos.maas import build_maas_sos
+from repro.sos.model import SosModel, SosSystem, SystemInterface
+from repro.sos.responsibility import OBLIGATIONS, ResponsibilityMatrix
+from repro.sos.stride import StrideCategory, enumerate_threats, threats_by_level
+
+
+class TestSosModel:
+    def test_level_constraints(self):
+        root = SosSystem("platform", 0)
+        with pytest.raises(ValueError):
+            root.add_child(SosSystem("deep", 2))
+        with pytest.raises(ValueError):
+            SosSystem("bad", 4)
+        with pytest.raises(ValueError):
+            SosModel(SosSystem("not-root", 1))
+
+    def test_walk_covers_hierarchy(self):
+        model = build_maas_sos()
+        names = [s.name for s in model.root.walk()]
+        assert "maas-sos" in names
+        assert "safety-functions" in names
+        assert len(names) == len(set(names))
+
+    def test_connect_validates_endpoints(self):
+        model = build_maas_sos()
+        with pytest.raises(KeyError):
+            model.connect(SystemInterface("ghost", "cloud-backend", "api"))
+
+    def test_figure9_shape(self):
+        model = build_maas_sos()
+        assert len(model.systems(level=1)) == 4
+        av_children = model.system("autonomous-vehicle").children
+        assert {c.name for c in av_children} == {
+            "vehicle-os", "self-driving-stack", "passenger-os"}
+        sds_children = model.system("self-driving-stack").children
+        assert {c.name for c in sds_children} == {"sense", "plan", "act"}
+
+    def test_entry_points_include_gateways(self):
+        model = build_maas_sos()
+        entries = {s.name for s in model.entry_points()}
+        assert "cloud-backend" in entries
+        assert "platform-gateway" in entries
+
+    def test_stakeholders_are_multiple(self):
+        # §VI: distributed, shared hierarchy of responsibility.
+        model = build_maas_sos()
+        assert len(model.stakeholders()) >= 4
+
+    def test_to_system_model_reachability(self):
+        model = build_maas_sos()
+        flat = model.to_system_model()
+        reachable = flat.reachable_from("cloud-backend", only_unsecured=True)
+        assert "safety-functions" in reachable  # the §VI-B cascade path
+        secured = build_maas_sos(secured_interfaces=True).to_system_model()
+        reachable_secured = secured.reachable_from("cloud-backend", only_unsecured=True)
+        assert "safety-functions" not in reachable_secured
+
+
+class TestStride:
+    def test_unsecured_model_has_many_threats(self):
+        model = build_maas_sos()
+        threats = enumerate_threats(model)
+        assert len(threats) > 20
+        categories = {t.category for t in threats}
+        assert StrideCategory.SPOOFING in categories
+        assert StrideCategory.DENIAL_OF_SERVICE in categories
+
+    def test_securing_interfaces_removes_most_threats(self):
+        open_threats = len(enumerate_threats(build_maas_sos()))
+        secured_threats = len(enumerate_threats(build_maas_sos(secured_interfaces=True)))
+        assert secured_threats < open_threats / 2
+
+    def test_realtime_interfaces_get_dos(self):
+        model = build_maas_sos(secured_interfaces=True)
+        threats = enumerate_threats(model)
+        dos = [t for t in threats if t.category == StrideCategory.DENIAL_OF_SERVICE]
+        assert dos
+        assert all(t.interface.realtime for t in dos)
+
+    def test_threats_by_level_covers_all_levels(self):
+        counts = threats_by_level(build_maas_sos())
+        assert set(counts) == {0, 1, 2, 3}
+        assert sum(counts.values()) == len(enumerate_threats(build_maas_sos()))
+
+
+class TestCascade:
+    def test_blast_radius_larger_when_unsecured(self):
+        unsecured = CascadeSimulator(build_maas_sos(), seed_label="c1")
+        secured = CascadeSimulator(build_maas_sos(secured_interfaces=True),
+                                   seed_label="c1")
+        r_open = unsecured.run("cloud-backend", trials=300)
+        r_sec = secured.run("cloud-backend", trials=300)
+        assert r_open.mean_blast_radius > r_sec.mean_blast_radius
+
+    def test_safety_critical_hit_probability(self):
+        sim = CascadeSimulator(build_maas_sos(), seed_label="c2")
+        result = sim.run("cloud-backend", trials=300)
+        assert result.p_safety_critical_hit > 0.3  # §VI-B's cascade claim
+
+    def test_origin_always_compromised(self):
+        sim = CascadeSimulator(build_maas_sos(), p_unsecured=0.0,
+                               p_secured=0.0, seed_label="c3")
+        result = sim.run("sense", trials=10)
+        assert result.mean_blast_radius == 1.0
+        assert result.max_blast_radius == 1
+
+    def test_certain_propagation_compromises_everything(self):
+        sim = CascadeSimulator(build_maas_sos(), p_unsecured=1.0,
+                               p_secured=1.0, seed_label="c4")
+        result = sim.run("platform-gateway", trials=5)
+        assert result.p_full_compromise == 1.0
+
+    def test_sweep_covers_entry_points(self):
+        sim = CascadeSimulator(build_maas_sos(), seed_label="c5")
+        results = sim.sweep_origins(trials=50)
+        origins = {r.origin for r in results}
+        assert origins == {s.name for s in build_maas_sos().entry_points()}
+
+    def test_validation(self):
+        model = build_maas_sos()
+        with pytest.raises(ValueError):
+            CascadeSimulator(model, p_unsecured=0.2, p_secured=0.5)
+        sim = CascadeSimulator(model)
+        with pytest.raises(KeyError):
+            sim.run("ghost")
+        with pytest.raises(ValueError):
+            sim.run("sense", trials=0)
+
+
+class TestResponsibility:
+    def test_empty_matrix_has_full_gaps(self):
+        model = build_maas_sos()
+        matrix = ResponsibilityMatrix(model)
+        gaps = matrix.coverage_gaps()
+        assert len(gaps) == len(list(model.root.walk())) * len(OBLIGATIONS)
+        assert matrix.coverage_fraction() == 0.0
+
+    def test_operator_default_fills_coverage(self):
+        matrix = ResponsibilityMatrix(build_maas_sos())
+        matrix.assign_by_operator()
+        assert matrix.coverage_fraction() == 1.0
+        assert matrix.coverage_gaps() == []
+
+    def test_operator_default_leaves_seam_gaps(self):
+        # The paper's point: per-operator ownership fragments incident
+        # response at every cross-stakeholder interface.
+        matrix = ResponsibilityMatrix(build_maas_sos())
+        matrix.assign_by_operator()
+        seams = matrix.seam_gaps()
+        assert seams
+        assert any("telematics" not in g.system for g in seams)
+
+    def test_unified_owner_removes_seams(self):
+        model = build_maas_sos()
+        matrix = ResponsibilityMatrix(model)
+        for system in model.root.walk():
+            matrix.assign(system.name, "incident-response", "central-csirt")
+        assert matrix.seam_gaps() == []
+
+    def test_assignment_validation(self):
+        matrix = ResponsibilityMatrix(build_maas_sos())
+        with pytest.raises(ValueError):
+            matrix.assign("sense", "making-coffee", "x")
+        with pytest.raises(KeyError):
+            matrix.assign("ghost", "threat-analysis", "x")

@@ -1,0 +1,70 @@
+"""Tests for the regulatory compliance audit (paper §VI-B, [45])."""
+
+import pytest
+
+from repro.sos.compliance import DEFAULT_REQUIREMENTS, Audit, cal_for
+from repro.sos.maas import build_maas_sos
+
+
+@pytest.fixture()
+def model():
+    return build_maas_sos()
+
+
+class TestCalAssignment:
+    def test_safety_critical_exposed_gets_max_cal(self, model):
+        # sense: safety-critical + exposed -> CAL 4.
+        assert cal_for(model.system("sense"), model) == 4
+
+    def test_comfort_function_gets_low_cal(self, model):
+        assert cal_for(model.system("comfort-functions"), model) == 2
+
+    def test_cal_range(self, model):
+        cals = Audit(model).cal_assignment()
+        assert all(2 <= cal <= 4 for cal in cals.values())
+
+    def test_remote_interface_raises_feasibility(self, model):
+        # vehicle-os has no direct exposure but safety criticality -> 3;
+        # cloud-backend is exposed but not safety-critical -> 3.
+        assert cal_for(model.system("cloud-backend"), model) == 3
+
+
+class TestAudit:
+    def test_no_evidence_all_gaps(self, model):
+        audit = Audit(model)
+        gaps = audit.gaps()
+        assert gaps
+        assert audit.compliance_fraction() == 0.0
+
+    def test_higher_cal_means_more_requirements(self, model):
+        audit = Audit(model)
+        low = audit.applicable(model.system("comfort-functions"))
+        high = audit.applicable(model.system("sense"))
+        assert len(high) > len(low)
+        assert {r.req_id for r in low} <= {r.req_id for r in high}
+
+    def test_declared_evidence_closes_gap(self, model):
+        audit = Audit(model)
+        before = len(audit.gaps())
+        audit.declare_evidence("sense", "RQ-01", "TARA-2026-03")
+        assert len(audit.gaps()) == before - 1
+
+    def test_full_evidence_full_compliance(self, model):
+        audit = Audit(model)
+        for system in model.root.walk():
+            for requirement in audit.applicable(system):
+                audit.declare_evidence(system.name, requirement.req_id, "doc")
+        assert audit.compliance_fraction() == 1.0
+        assert audit.gaps() == []
+
+    def test_validation(self, model):
+        audit = Audit(model)
+        with pytest.raises(KeyError):
+            audit.declare_evidence("ghost", "RQ-01", "x")
+        with pytest.raises(ValueError):
+            audit.declare_evidence("sense", "RQ-99", "x")
+
+    def test_default_requirements_cover_r155_themes(self):
+        titles = " ".join(r.title for r in DEFAULT_REQUIREMENTS)
+        for theme in ("risk", "monitoring", "incident", "update", "supplier"):
+            assert theme in titles

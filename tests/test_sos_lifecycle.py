@@ -1,0 +1,110 @@
+"""Tests for lifecycle desynchronization analysis (paper §VI-B)."""
+
+import pytest
+
+from repro.sos.lifecycle import ExposureWindow, LifecycleAnalyzer, LifecyclePlan, Phase
+
+
+def retrofit_program() -> LifecycleAnalyzer:
+    """The Waymo/Chrysler-style retrofit: the base vehicle is long in
+    operation while the self-driving stack is still being developed."""
+    analyzer = LifecycleAnalyzer()
+    analyzer.add_plan(LifecyclePlan("base-vehicle", (0, 6, 10, 14, 80)))
+    analyzer.add_plan(LifecyclePlan("self-driving-stack", (20, 30, 36, 40, 100)))
+    analyzer.add_plan(LifecyclePlan("passenger-os", (24, 32, 38, 40, 100)))
+    # The retrofitted platform starts operating at t=40, but it runs on
+    # the base vehicle, whose support ends at t=80.
+    analyzer.depends_on("self-driving-stack", "base-vehicle")
+    analyzer.depends_on("passenger-os", "base-vehicle")
+    analyzer.depends_on("passenger-os", "self-driving-stack")
+    return analyzer
+
+
+class TestLifecyclePlan:
+    def test_phase_at(self):
+        plan = LifecyclePlan("x", (0, 10, 20, 30, 40))
+        assert plan.phase_at(5) == Phase.DEVELOPMENT
+        assert plan.phase_at(15) == Phase.INTEGRATION
+        assert plan.phase_at(25) == Phase.VALIDATION
+        assert plan.phase_at(35) == Phase.OPERATION
+        assert plan.phase_at(45) == Phase.END_OF_SERVICE
+
+    def test_boundaries_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            LifecyclePlan("x", (0, 10, 5, 30, 40))
+
+    def test_interval(self):
+        plan = LifecyclePlan("x", (0, 10, 20, 30, 40))
+        assert plan.interval(Phase.OPERATION) == (30, 40)
+        assert plan.interval(Phase.END_OF_SERVICE)[1] == float("inf")
+
+
+class TestExposureWindows:
+    def test_retrofit_has_end_of_service_exposure(self):
+        analyzer = retrofit_program()
+        windows = analyzer.exposure_windows()
+        eos = [w for w in windows
+               if w.reason.startswith("dependency past end-of-service")]
+        assert eos
+        # The stack operates 40..100 but the base vehicle dies at 80.
+        window = next(w for w in eos if w.dependency == "base-vehicle"
+                      and w.operating_system == "self-driving-stack")
+        assert window.start == 80
+        assert window.end == 100
+        assert window.duration == 20
+
+    def test_premature_operation_exposure(self):
+        analyzer = LifecycleAnalyzer()
+        analyzer.add_plan(LifecyclePlan("platform", (0, 2, 4, 6, 60)))
+        analyzer.add_plan(LifecyclePlan("late-module", (10, 20, 30, 40, 90)))
+        analyzer.depends_on("platform", "late-module")
+        windows = analyzer.exposure_windows()
+        early = next(w for w in windows if "development" in w.reason)
+        # The platform operates from 6 but the module validates only at 30.
+        assert early.start == 6
+        assert early.end == 30
+
+    def test_synchronized_program_has_no_exposure(self):
+        analyzer = LifecycleAnalyzer()
+        for name in ("a", "b"):
+            analyzer.add_plan(LifecyclePlan(name, (0, 10, 20, 30, 90)))
+        analyzer.depends_on("a", "b")
+        assert analyzer.exposure_windows() == []
+        assert analyzer.total_exposure() == 0.0
+
+    def test_total_exposure_positive_for_retrofit(self):
+        assert retrofit_program().total_exposure() > 0
+
+
+class TestCoValidation:
+    def test_synchronized_full_overlap(self):
+        analyzer = LifecycleAnalyzer()
+        for name in ("a", "b"):
+            analyzer.add_plan(LifecyclePlan(name, (0, 10, 20, 30, 90)))
+        analyzer.depends_on("a", "b")
+        assert analyzer.co_validation_overlap("a") == 1.0
+
+    def test_retrofit_partial_overlap(self):
+        analyzer = retrofit_program()
+        overlap = analyzer.co_validation_overlap("self-driving-stack")
+        # Operating 40..100, safe only 40..80 -> 2/3.
+        assert overlap == pytest.approx(2 / 3, abs=0.01)
+
+    def test_no_dependencies_full_overlap(self):
+        analyzer = LifecycleAnalyzer()
+        analyzer.add_plan(LifecyclePlan("solo", (0, 1, 2, 3, 10)))
+        assert analyzer.co_validation_overlap("solo") == 1.0
+
+
+class TestValidation:
+    def test_duplicate_plan_rejected(self):
+        analyzer = LifecycleAnalyzer()
+        analyzer.add_plan(LifecyclePlan("x", (0, 1, 2, 3, 4)))
+        with pytest.raises(ValueError):
+            analyzer.add_plan(LifecyclePlan("x", (0, 1, 2, 3, 4)))
+
+    def test_dependency_requires_plans(self):
+        analyzer = LifecycleAnalyzer()
+        analyzer.add_plan(LifecyclePlan("x", (0, 1, 2, 3, 4)))
+        with pytest.raises(KeyError):
+            analyzer.depends_on("x", "ghost")

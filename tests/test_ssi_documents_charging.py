@@ -1,0 +1,222 @@
+"""Tests for signed/linked documents, envelopes, and plug-and-charge flows."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.x25519 import x25519_base
+from repro.ssi.charging import CHARGING_CONTRACT, CertError, Iso15118Pki, SsiChargingFlow
+from repro.ssi.documents import DocumentStore, EncryptedEnvelope, SignedDocument
+from repro.ssi.registry import VerifiableDataRegistry
+from repro.ssi.trust import TrustPolicy
+from repro.ssi.wallet import Wallet
+
+NOW = 1_700_000_000.0
+
+
+@pytest.fixture()
+def doc_world():
+    registry = VerifiableDataRegistry()
+    vehicle = Wallet.create("vehicle", registry)
+    sensor = Wallet.create("sensor-unit", registry)
+    store = DocumentStore(registry)
+    return registry, vehicle, sensor, store
+
+
+class TestSignedDocuments:
+    def test_single_document_verifies(self, doc_world):
+        _, vehicle, _, store = doc_world
+        doc = SignedDocument.create(author_did=str(vehicle.did),
+                                    author_key=vehicle.keypair,
+                                    doc_type="crash-report",
+                                    content={"severity": "minor"})
+        digest = store.add(doc)
+        assert store.verify_chain(digest)
+
+    def test_linked_chain_verifies(self, doc_world):
+        _, vehicle, sensor, store = doc_world
+        log = SignedDocument.create(author_did=str(sensor.did),
+                                    author_key=sensor.keypair,
+                                    doc_type="sensor-log",
+                                    content={"samples": 120})
+        log_hash = store.add(log)
+        report = SignedDocument.create(author_did=str(vehicle.did),
+                                       author_key=vehicle.keypair,
+                                       doc_type="crash-report",
+                                       content={"cause": "unknown"},
+                                       links=[log_hash])
+        assert store.verify_chain(store.add(report))
+
+    def test_tampered_linked_document_breaks_chain(self, doc_world):
+        _, vehicle, sensor, store = doc_world
+        log = SignedDocument.create(author_did=str(sensor.did),
+                                    author_key=sensor.keypair,
+                                    doc_type="sensor-log", content={"v": 1})
+        log_hash = store.add(log)
+        report = SignedDocument.create(author_did=str(vehicle.did),
+                                       author_key=vehicle.keypair,
+                                       doc_type="crash-report", content={},
+                                       links=[log_hash])
+        report_hash = store.add(report)
+        # Tamper with the stored log in place.
+        tampered = SignedDocument(log.author, log.doc_type, {"v": 999},
+                                  log.links, log.signature)
+        store._docs[log_hash] = tampered
+        assert not store.verify_chain(report_hash)
+
+    def test_dangling_link_rejected(self, doc_world):
+        _, vehicle, _, store = doc_world
+        orphan = SignedDocument.create(author_did=str(vehicle.did),
+                                       author_key=vehicle.keypair,
+                                       doc_type="report", content={},
+                                       links=["ff" * 32])
+        with pytest.raises(KeyError):
+            store.add(orphan)
+
+    def test_unknown_author_fails_verification(self, doc_world):
+        registry, _, _, store = doc_world
+        from repro.ssi.did import KeyPair
+
+        ghost_key = KeyPair.from_seed_label("ghost")
+        doc = SignedDocument.create(author_did="did:vreg:ghost",
+                                    author_key=ghost_key,
+                                    doc_type="report", content={})
+        digest = store.add(doc)
+        assert not store.verify_chain(digest)
+
+
+class TestEncryptedEnvelope:
+    def _keys(self):
+        recipient_secret = hashlib.sha256(b"recipient-x").digest()
+        recipient_public = x25519_base(recipient_secret)
+        from repro.ssi.did import KeyPair
+
+        sender = KeyPair.from_seed_label("sender")
+        return recipient_secret, recipient_public, sender
+
+    def test_seal_open_roundtrip(self):
+        recipient_secret, recipient_public, sender = self._keys()
+        env = EncryptedEnvelope.seal(b"driving record", recipient_x25519_public=recipient_public,
+                                     sender_signing_key=sender)
+        assert env.open(recipient_x25519_secret=recipient_secret,
+                        sender_ed25519_public=sender.public) == b"driving record"
+
+    def test_payload_confidential(self):
+        _, recipient_public, sender = self._keys()
+        env = EncryptedEnvelope.seal(b"location-history", recipient_x25519_public=recipient_public,
+                                     sender_signing_key=sender)
+        assert b"location" not in env.ciphertext
+
+    def test_wrong_recipient_cannot_open(self):
+        _, recipient_public, sender = self._keys()
+        env = EncryptedEnvelope.seal(b"data", recipient_x25519_public=recipient_public,
+                                     sender_signing_key=sender)
+        wrong_secret = hashlib.sha256(b"eavesdropper").digest()
+        assert env.open(recipient_x25519_secret=wrong_secret,
+                        sender_ed25519_public=sender.public) is None
+
+    def test_wrong_sender_key_rejected(self):
+        from repro.ssi.did import KeyPair
+
+        recipient_secret, recipient_public, sender = self._keys()
+        env = EncryptedEnvelope.seal(b"data", recipient_x25519_public=recipient_public,
+                                     sender_signing_key=sender)
+        impostor = KeyPair.from_seed_label("impostor")
+        assert env.open(recipient_x25519_secret=recipient_secret,
+                        sender_ed25519_public=impostor.public) is None
+
+
+class TestIso15118Pki:
+    def _pki(self):
+        pki = Iso15118Pki()
+        pki.issue("cpo-sub-ca", "v2g-root")
+        pki.issue("emsp-sub-ca", "v2g-root")
+        pki.issue("station-1", "cpo-sub-ca")
+        pki.issue("contract-vehicle-1", "emsp-sub-ca")
+        return pki
+
+    def test_chain_verifies(self):
+        pki = self._pki()
+        assert pki.verify("contract-vehicle-1")
+        assert len(pki.chain_to_root("contract-vehicle-1")) == 3
+
+    def test_single_trust_anchor(self):
+        assert self._pki().trust_anchor_count == 1
+
+    def test_revocation_only_online(self):
+        pki = self._pki()
+        pki.revoke("contract-vehicle-1")
+        assert not pki.verify("contract-vehicle-1", online=True)
+        # Offline the PKI *cannot* see the revocation — the weakness the
+        # SSI cached-anchor model shares but makes explicit.
+        assert pki.verify("contract-vehicle-1", online=False)
+
+    def test_unknown_subject(self):
+        pki = self._pki()
+        assert not pki.verify("ghost")
+        with pytest.raises(CertError):
+            pki.issue("x", "unknown-ca")
+
+
+@pytest.fixture()
+def charging_world():
+    registry = VerifiableDataRegistry()
+    policy = TrustPolicy(registry)
+    flow = SsiChargingFlow(registry, policy)
+    provider = Wallet.create("emsp-green", registry)
+    vehicle = Wallet.create("ev-1", registry)
+    policy.add_anchor(CHARGING_CONTRACT, str(provider.did))
+    flow.subscribe(vehicle, provider, now=NOW)
+    return registry, policy, flow, provider, vehicle
+
+
+class TestSsiCharging:
+    def test_online_authorization(self, charging_world):
+        _, _, flow, _, vehicle = charging_world
+        auth = flow.authorize(vehicle, now=NOW + 100)
+        assert auth.authorized
+        assert auth.reason == "ok"
+
+    def test_no_contract_denied(self, charging_world):
+        registry, _, flow, _, _ = charging_world
+        stranger = Wallet.create("ev-stranger", registry)
+        auth = flow.authorize(stranger, now=NOW + 100)
+        assert not auth.authorized
+
+    def test_unanchored_provider_denied(self, charging_world):
+        registry, _, flow, _, _ = charging_world
+        rogue_provider = Wallet.create("emsp-rogue", registry)
+        victim = Wallet.create("ev-2", registry)
+        flow.subscribe(victim, rogue_provider, now=NOW)
+        auth = flow.authorize(victim, now=NOW + 100)
+        assert not auth.authorized
+
+    def test_offline_requires_cached_docs(self, charging_world):
+        _, _, flow, provider, vehicle = charging_world
+        auth = flow.authorize(vehicle, now=NOW + 100, offline=True)
+        assert not auth.authorized
+        flow.cache_for_offline([str(vehicle.did), str(provider.did)])
+        auth = flow.authorize(vehicle, now=NOW + 100, offline=True)
+        assert auth.authorized
+
+    def test_offline_misses_revocation(self, charging_world):
+        registry, _, flow, provider, vehicle = charging_world
+        contract = vehicle.find(CHARGING_CONTRACT)[0]
+        registry.revoke_credential(contract.credential_id, provider.did)
+        assert not flow.authorize(vehicle, now=NOW + 100).authorized
+        flow.cache_for_offline([str(vehicle.did), str(provider.did)])
+        # Documented trade-off: offline acceptance of revoked contracts.
+        assert flow.authorize(vehicle, now=NOW + 100, offline=True).authorized
+
+    def test_roaming_is_one_anchor_addition(self, charging_world):
+        registry, policy, flow, _, _ = charging_world
+        partner = Wallet.create("emsp-partner", registry)
+        roamer = Wallet.create("ev-roamer", registry)
+        flow.subscribe(roamer, partner, now=NOW)
+        assert not flow.authorize(roamer, now=NOW + 1).authorized
+        policy.add_anchor(CHARGING_CONTRACT, str(partner.did))
+        assert flow.authorize(roamer, now=NOW + 1).authorized
+
+    def test_ssi_fewer_messages_than_pki(self, charging_world):
+        _, _, flow, _, _ = charging_world
+        assert flow.message_count() < Iso15118Pki().message_count()

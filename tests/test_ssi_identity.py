@@ -1,0 +1,230 @@
+"""Tests for DIDs, the registry, credentials, presentations, and wallets."""
+
+import pytest
+
+from repro.ssi.did import Did, DidDocument, KeyPair
+from repro.ssi.registry import VerifiableDataRegistry
+from repro.ssi.vc import VerifiableCredential, VerifiablePresentation
+from repro.ssi.wallet import Wallet
+
+NOW = 1_700_000_000.0
+
+
+class TestDid:
+    def test_string_form_and_parse(self):
+        did = Did("vehicle-42")
+        assert str(did) == "did:vreg:vehicle-42"
+        assert Did.parse("did:vreg:vehicle-42") == did
+
+    def test_invalid_names(self):
+        with pytest.raises(ValueError):
+            Did("")
+        with pytest.raises(ValueError):
+            Did("a:b")
+        with pytest.raises(ValueError):
+            Did.parse("did:web:example.com")
+
+    def test_keypair_deterministic(self):
+        assert KeyPair.from_seed_label("x") == KeyPair.from_seed_label("x")
+        assert KeyPair.from_seed_label("x") != KeyPair.from_seed_label("y")
+
+    def test_document_verify(self):
+        kp = KeyPair.from_seed_label("doc")
+        doc = DidDocument.for_keypair(Did("a"), kp)
+        sig = kp.sign(b"hello")
+        assert doc.verify(b"hello", sig)
+        assert not doc.verify(b"tampered", sig)
+
+    def test_document_canonical_hash_stable(self):
+        kp = KeyPair.from_seed_label("doc")
+        d1 = DidDocument.for_keypair(Did("a"), kp, {"svc": "https://x"})
+        d2 = DidDocument.for_keypair(Did("a"), kp, {"svc": "https://x"})
+        assert d1.content_hash() == d2.content_hash()
+
+
+class TestRegistry:
+    def test_register_and_resolve(self):
+        registry = VerifiableDataRegistry()
+        kp = KeyPair.from_seed_label("r1")
+        doc = DidDocument.for_keypair(Did("node"), kp)
+        registry.register(doc)
+        assert registry.resolve("did:vreg:node").primary_key() == kp.public
+
+    def test_unresolvable_raises(self):
+        with pytest.raises(KeyError):
+            VerifiableDataRegistry().resolve("did:vreg:ghost")
+
+    def test_key_rotation_appends_version(self):
+        registry = VerifiableDataRegistry()
+        old = DidDocument.for_keypair(Did("node"), KeyPair.from_seed_label("old"))
+        new = DidDocument.for_keypair(Did("node"), KeyPair.from_seed_label("new"))
+        registry.register(old)
+        registry.register(new)
+        assert len(registry.history("did:vreg:node")) == 2
+        assert registry.resolve("did:vreg:node").content_hash() == new.content_hash()
+
+    def test_hash_chain_verifies(self):
+        registry = VerifiableDataRegistry()
+        for i in range(5):
+            registry.register(DidDocument.for_keypair(
+                Did(f"n{i}"), KeyPair.from_seed_label(f"n{i}")))
+        assert registry.verify_chain()
+        assert len(registry) == 5
+
+    def test_revocation(self):
+        registry = VerifiableDataRegistry()
+        registry.revoke_credential("urn:vc:x", "did:vreg:issuer")
+        assert registry.is_revoked("urn:vc:x")
+        with pytest.raises(ValueError):
+            registry.revoke_credential("urn:vc:x", "did:vreg:other")
+
+
+@pytest.fixture()
+def ssi_world():
+    registry = VerifiableDataRegistry()
+    issuer = Wallet.create("oem", registry)
+    holder = Wallet.create("vehicle", registry)
+    return registry, issuer, holder
+
+
+class TestCredentials:
+    def test_issue_and_verify(self, ssi_world):
+        registry, issuer, holder = ssi_world
+        cred = issuer.issue(credential_type="Test", subject=holder.did,
+                            claims={"k": "v"}, issued_at=NOW)
+        assert cred.verify(registry, now=NOW + 10)
+
+    def test_expiry_enforced(self, ssi_world):
+        registry, issuer, holder = ssi_world
+        cred = issuer.issue(credential_type="Test", subject=holder.did,
+                            claims={}, issued_at=NOW, validity_s=100)
+        assert cred.verify(registry, now=NOW + 50)
+        assert not cred.verify(registry, now=NOW + 101)
+        assert not cred.verify(registry, now=NOW - 1)
+
+    def test_tampered_claims_rejected(self, ssi_world):
+        from dataclasses import replace
+
+        registry, issuer, holder = ssi_world
+        cred = issuer.issue(credential_type="Test", subject=holder.did,
+                            claims={"role": "user"}, issued_at=NOW)
+        forged = replace(cred, claims={"role": "admin"})
+        assert not forged.verify(registry, now=NOW + 1)
+
+    def test_unknown_issuer_rejected(self, ssi_world):
+        registry, _, holder = ssi_world
+        rogue_registry = VerifiableDataRegistry()
+        rogue = Wallet.create("rogue", rogue_registry)  # not in `registry`
+        cred = rogue.issue(credential_type="Test", subject=holder.did,
+                           claims={}, issued_at=NOW)
+        result = cred.verify(registry, now=NOW + 1)
+        assert not result
+        assert "unresolvable" in result.reason
+
+    def test_revoked_rejected(self, ssi_world):
+        registry, issuer, holder = ssi_world
+        cred = issuer.issue(credential_type="Test", subject=holder.did,
+                            claims={}, issued_at=NOW)
+        registry.revoke_credential(cred.credential_id, issuer.did)
+        assert not cred.verify(registry, now=NOW + 1)
+        # Offline-style verification skips the revocation lookup.
+        assert cred.verify(registry, now=NOW + 1, check_revocation=False)
+
+    def test_validity_must_be_positive(self, ssi_world):
+        _, issuer, holder = ssi_world
+        with pytest.raises(ValueError):
+            issuer.issue(credential_type="T", subject=holder.did,
+                         claims={}, issued_at=NOW, validity_s=0)
+
+
+class TestPresentations:
+    def test_present_and_verify(self, ssi_world):
+        registry, issuer, holder = ssi_world
+        holder.store(issuer.issue(credential_type="Test", subject=holder.did,
+                                  claims={}, issued_at=NOW))
+        challenge = b"\x01" * 16
+        pres = holder.present(["Test"], challenge)
+        assert pres.verify(registry, now=NOW + 1, expected_challenge=challenge)
+
+    def test_challenge_mismatch_rejected(self, ssi_world):
+        registry, issuer, holder = ssi_world
+        holder.store(issuer.issue(credential_type="Test", subject=holder.did,
+                                  claims={}, issued_at=NOW))
+        pres = holder.present(["Test"], b"\x01" * 16)
+        result = pres.verify(registry, now=NOW + 1, expected_challenge=b"\x02" * 16)
+        assert not result
+        assert "replay" in result.reason
+
+    def test_stolen_credential_unusable(self, ssi_world):
+        # A thief cannot present someone else's credential: holder
+        # binding fails.
+        registry, issuer, holder = ssi_world
+        thief = Wallet.create("thief", registry)
+        cred = issuer.issue(credential_type="Test", subject=holder.did,
+                            claims={}, issued_at=NOW)
+        challenge = b"\x03" * 16
+        pres = VerifiablePresentation.create(
+            holder=thief.did, holder_key=thief.keypair,
+            credentials=[cred], challenge=challenge)
+        result = pres.verify(registry, now=NOW + 1, expected_challenge=challenge)
+        assert not result
+
+    def test_wallet_stores_own_credentials_only(self, ssi_world):
+        _, issuer, holder = ssi_world
+        other_cred = issuer.issue(credential_type="Test", subject="did:vreg:other",
+                                  claims={}, issued_at=NOW)
+        with pytest.raises(ValueError):
+            holder.store(other_cred)
+
+    def test_missing_credential_type(self, ssi_world):
+        _, _, holder = ssi_world
+        with pytest.raises(KeyError):
+            holder.present(["Nonexistent"], b"\x00" * 16)
+
+    def test_presentation_needs_credentials(self, ssi_world):
+        _, _, holder = ssi_world
+        with pytest.raises(ValueError):
+            VerifiablePresentation.create(holder=holder.did,
+                                          holder_key=holder.keypair,
+                                          credentials=[], challenge=b"c")
+
+    def test_newest_credential_selected(self, ssi_world):
+        registry, issuer, holder = ssi_world
+        holder.store(issuer.issue(credential_type="Test", subject=holder.did,
+                                  claims={"v": 1}, issued_at=NOW))
+        holder.store(issuer.issue(credential_type="Test", subject=holder.did,
+                                  claims={"v": 2}, issued_at=NOW + 100))
+        pres = holder.present(["Test"], b"\x05" * 16)
+        assert pres.credentials[0].claims == {"v": 2}
+
+
+class TestKeyRotation:
+    def test_rotation_publishes_new_document(self, ssi_world):
+        registry, _, holder = ssi_world
+        old_public = holder.keypair.public
+        holder.rotate_keys(registry)
+        assert holder.keypair.public != old_public
+        assert len(registry.history(holder.did)) == 2
+
+    def test_new_key_signs_new_credentials(self, ssi_world):
+        registry, issuer, holder = ssi_world
+        issuer.rotate_keys(registry)
+        cred = issuer.issue(credential_type="Test", subject=holder.did,
+                            claims={}, issued_at=NOW)
+        assert cred.verify(registry, now=NOW + 1)
+
+    def test_grace_rotation_keeps_old_signatures_valid(self, ssi_world):
+        registry, issuer, holder = ssi_world
+        cred = issuer.issue(credential_type="Test", subject=holder.did,
+                            claims={}, issued_at=NOW)
+        issuer.rotate_keys(registry, keep_old_key=True)
+        assert cred.verify(registry, now=NOW + 1)
+
+    def test_revocation_rotation_kills_old_signatures(self, ssi_world):
+        # Compromise recovery: the new document drops the old key, so
+        # anything the (stolen) old key signed no longer verifies.
+        registry, issuer, holder = ssi_world
+        cred = issuer.issue(credential_type="Test", subject=holder.did,
+                            claims={}, issued_at=NOW)
+        issuer.rotate_keys(registry, keep_old_key=False)
+        assert not cred.verify(registry, now=NOW + 1)

@@ -1,0 +1,139 @@
+"""Tests for multi-service mobility SSI and offline tokens ([33], [34])."""
+
+import pytest
+
+from repro.ssi.mobility import (
+    MobilityServiceDirectory,
+    OfflineTokenBook,
+    SpendRecord,
+)
+from repro.ssi.registry import VerifiableDataRegistry
+from repro.ssi.trust import TrustPolicy
+from repro.ssi.wallet import Wallet
+
+NOW = 1_750_000_000.0
+
+
+@pytest.fixture()
+def directory():
+    registry = VerifiableDataRegistry()
+    policy = TrustPolicy(registry)
+    directory = MobilityServiceDirectory(registry, policy)
+    for service in ("charging", "parking", "tolling"):
+        directory.register_operator(service, Wallet.create(f"op-{service}", registry))
+    vehicle = Wallet.create("ev-multi", registry)
+    return registry, directory, vehicle
+
+
+class TestMultiService:
+    def test_one_identity_serves_all_services(self, directory):
+        _, directory, vehicle = directory
+        for service in ("charging", "parking", "tolling"):
+            directory.subscribe(vehicle, service, now=NOW)
+            assert directory.authorize(vehicle, service, now=NOW + 10), service
+        assert directory.services_per_identity(vehicle) == 3
+
+    def test_unsubscribed_service_denied(self, directory):
+        _, directory, vehicle = directory
+        directory.subscribe(vehicle, "charging", now=NOW)
+        assert directory.authorize(vehicle, "charging", now=NOW + 10)
+        assert not directory.authorize(vehicle, "parking", now=NOW + 10)
+
+    def test_operators_are_independent_anchors(self, directory):
+        registry, directory, vehicle = directory
+        # A parking contract signed by the charging operator is rejected:
+        # each operator anchors only its own credential type.
+        charging_op = directory.operators["charging"]
+        vehicle.store(charging_op.issue(
+            credential_type="ParkingContract", subject=vehicle.did,
+            claims={"service": "parking"}, issued_at=NOW))
+        assert not directory.authorize(vehicle, "parking", now=NOW + 10)
+
+    def test_unknown_service_rejected(self, directory):
+        registry, directory, _ = directory
+        with pytest.raises(ValueError):
+            directory.register_operator("teleportation", Wallet.create("op-x", registry))
+
+
+@pytest.fixture()
+def token_world():
+    registry = VerifiableDataRegistry()
+    issuer = Wallet.create("mobility-bank", registry)
+    holder = Wallet.create("ev-wallet", registry)
+    book = OfflineTokenBook(issuer, registry)
+    return registry, issuer, holder, book
+
+
+class TestOfflineTokens:
+    def test_offline_verification_with_cached_keys(self, token_world):
+        _, issuer, holder, book = token_world
+        token = book.issue_token(holder, 10)
+        proof = book.spend_proof(token, holder, "toll-gate-7")
+        assert book.verify_offline(
+            token, proof, "toll-gate-7",
+            cached_issuer_key=issuer.keypair.public,
+            cached_holder_key=holder.keypair.public)
+
+    def test_forged_token_rejected_offline(self, token_world):
+        from repro.ssi.mobility import OfflineToken
+
+        _, issuer, holder, book = token_world
+        forged = OfflineToken("tok-999", str(issuer.did), str(holder.did),
+                              1000, b"\x00" * 64)
+        proof = book.spend_proof(forged, holder, "toll-gate-7")
+        assert not book.verify_offline(
+            forged, proof, "toll-gate-7",
+            cached_issuer_key=issuer.keypair.public,
+            cached_holder_key=holder.keypair.public)
+
+    def test_stolen_token_unusable_without_holder_key(self, token_world):
+        registry, issuer, holder, book = token_world
+        thief = Wallet.create("thief", registry)
+        token = book.issue_token(holder, 10)
+        proof = book.spend_proof(token, thief, "toll-gate-7")
+        assert not book.verify_offline(
+            token, proof, "toll-gate-7",
+            cached_issuer_key=issuer.keypair.public,
+            cached_holder_key=holder.keypair.public)
+
+    def test_proof_bound_to_merchant(self, token_world):
+        _, issuer, holder, book = token_world
+        token = book.issue_token(holder, 10)
+        proof = book.spend_proof(token, holder, "merchant-a")
+        assert not book.verify_offline(
+            token, proof, "merchant-b",
+            cached_issuer_key=issuer.keypair.public,
+            cached_holder_key=holder.keypair.public)
+
+    def test_double_spend_caught_at_reconciliation(self, token_world):
+        # The [34] trade-off: offline double-spend succeeds at both
+        # merchants but reconciliation attributes it provably.
+        _, issuer, holder, book = token_world
+        token = book.issue_token(holder, 10)
+        proofs = {m: book.spend_proof(token, holder, m)
+                  for m in ("merchant-a", "merchant-b")}
+        for merchant, proof in proofs.items():
+            assert book.verify_offline(
+                token, proof, merchant,
+                cached_issuer_key=issuer.keypair.public,
+                cached_holder_key=holder.keypair.public)
+        records = [SpendRecord(token.token_id, m, str(holder.did), p)
+                   for m, p in proofs.items()]
+        conflicts = book.reconcile(records)
+        assert token.token_id in conflicts
+        assert len(conflicts[token.token_id]) == 2
+
+    def test_honest_spends_reconcile_clean(self, token_world):
+        _, _, holder, book = token_world
+        t1 = book.issue_token(holder, 5)
+        t2 = book.issue_token(holder, 5)
+        records = [
+            SpendRecord(t1.token_id, "a", str(holder.did), b""),
+            SpendRecord(t2.token_id, "b", str(holder.did), b""),
+        ]
+        assert book.reconcile(records) == {}
+
+    def test_value_validation(self, token_world):
+        _, _, holder, book = token_world
+        with pytest.raises(ValueError):
+            book.issue_token(holder, 0)

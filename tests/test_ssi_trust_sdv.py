@@ -1,0 +1,198 @@
+"""Tests for trust policies, accreditation chains, and SDV reconfiguration."""
+
+import pytest
+
+from repro.ssi.registry import VerifiableDataRegistry
+from repro.ssi.sdv import HW_CREDENTIAL, SW_CREDENTIAL, ReconfigurationController
+from repro.ssi.trust import ACCREDITATION_TYPE, TrustPolicy
+from repro.ssi.wallet import Wallet
+
+NOW = 1_700_000_000.0
+
+
+@pytest.fixture()
+def world():
+    registry = VerifiableDataRegistry()
+    policy = TrustPolicy(registry)
+    return registry, policy
+
+
+class TestTrustPolicy:
+    def test_direct_anchor_trusted(self, world):
+        registry, policy = world
+        anchor = Wallet.create("anchor", registry)
+        subject = Wallet.create("subject", registry)
+        policy.add_anchor("Test", str(anchor.did))
+        cred = anchor.issue(credential_type="Test", subject=subject.did,
+                            claims={}, issued_at=NOW)
+        assert policy.verify_credential(cred, now=NOW + 1)
+
+    def test_unanchored_issuer_rejected(self, world):
+        registry, policy = world
+        rogue = Wallet.create("rogue", registry)
+        subject = Wallet.create("subject", registry)
+        cred = rogue.issue(credential_type="Test", subject=subject.did,
+                           claims={}, issued_at=NOW)
+        result = policy.verify_credential(cred, now=NOW + 1)
+        assert not result
+        assert "anchor" in result.reason
+
+    def test_accreditation_chain(self, world):
+        registry, policy = world
+        anchor = Wallet.create("root-authority", registry)
+        intermediate = Wallet.create("national-body", registry)
+        issuer = Wallet.create("oem", registry)
+        subject = Wallet.create("ecu", registry)
+        policy.add_anchor("Test", str(anchor.did))
+        policy.record_accreditation(anchor.issue(
+            credential_type=ACCREDITATION_TYPE, subject=intermediate.did,
+            claims={"accreditedFor": ["Test"]}, issued_at=NOW))
+        policy.record_accreditation(intermediate.issue(
+            credential_type=ACCREDITATION_TYPE, subject=issuer.did,
+            claims={"accreditedFor": ["Test"]}, issued_at=NOW))
+        cred = issuer.issue(credential_type="Test", subject=subject.did,
+                            claims={}, issued_at=NOW)
+        assert policy.verify_credential(cred, now=NOW + 1)
+        assert policy.chain_length_to_anchor(str(issuer.did), "Test", now=NOW + 1) == 2
+
+    def test_chain_scope_respected(self, world):
+        # Accreditation for type A does not grant trust for type B.
+        registry, policy = world
+        anchor = Wallet.create("anchor", registry)
+        issuer = Wallet.create("issuer", registry)
+        subject = Wallet.create("subject", registry)
+        policy.add_anchor("A", str(anchor.did))
+        policy.add_anchor("B", str(anchor.did))
+        policy.record_accreditation(anchor.issue(
+            credential_type=ACCREDITATION_TYPE, subject=issuer.did,
+            claims={"accreditedFor": ["A"]}, issued_at=NOW))
+        cred_b = issuer.issue(credential_type="B", subject=subject.did,
+                              claims={}, issued_at=NOW)
+        assert not policy.verify_credential(cred_b, now=NOW + 1)
+
+    def test_chain_length_bounded(self, world):
+        registry, policy = world
+        policy.max_chain_length = 1
+        anchor = Wallet.create("anchor", registry)
+        mid = Wallet.create("mid", registry)
+        leaf = Wallet.create("leaf", registry)
+        subject = Wallet.create("subject", registry)
+        policy.add_anchor("Test", str(anchor.did))
+        policy.record_accreditation(anchor.issue(
+            credential_type=ACCREDITATION_TYPE, subject=mid.did,
+            claims={"accreditedFor": ["Test"]}, issued_at=NOW))
+        policy.record_accreditation(mid.issue(
+            credential_type=ACCREDITATION_TYPE, subject=leaf.did,
+            claims={"accreditedFor": ["Test"]}, issued_at=NOW))
+        cred = leaf.issue(credential_type="Test", subject=subject.did,
+                          claims={}, issued_at=NOW)
+        assert not policy.verify_credential(cred, now=NOW + 1)
+
+    def test_multiple_independent_anchors(self, world):
+        # The Fig. 7 point: different stakeholders, each their own root.
+        registry, policy = world
+        oem = Wallet.create("oem-anchor", registry)
+        cloud = Wallet.create("cloud-anchor", registry)
+        subject = Wallet.create("component", registry)
+        policy.add_anchor("Test", str(oem.did))
+        policy.add_anchor("Test", str(cloud.did))
+        for anchor in (oem, cloud):
+            cred = anchor.issue(credential_type="Test", subject=subject.did,
+                                claims={}, issued_at=NOW)
+            assert policy.verify_credential(cred, now=NOW + 1)
+        assert len(policy.anchors_for("Test")) == 2
+
+    def test_record_accreditation_type_checked(self, world):
+        registry, policy = world
+        anchor = Wallet.create("anchor", registry)
+        with pytest.raises(ValueError):
+            policy.record_accreditation(anchor.issue(
+                credential_type="Other", subject="did:vreg:x",
+                claims={}, issued_at=NOW))
+
+
+def build_sdv_world():
+    registry = VerifiableDataRegistry()
+    policy = TrustPolicy(registry)
+    hw_vendor = Wallet.create("hw-vendor", registry)
+    sw_vendor = Wallet.create("sw-vendor", registry)
+    policy.add_anchor(HW_CREDENTIAL, str(hw_vendor.did))
+    policy.add_anchor(SW_CREDENTIAL, str(sw_vendor.did))
+
+    platform = Wallet.create("zone-ecu-a", registry)
+    platform.store(hw_vendor.issue(
+        credential_type=HW_CREDENTIAL, subject=platform.did,
+        claims={"platformType": "adas-gen3"}, issued_at=NOW))
+
+    software = Wallet.create("lane-keeping-v2", registry)
+    software.store(sw_vendor.issue(
+        credential_type=SW_CREDENTIAL, subject=software.did,
+        claims={"approvedPlatforms": ["adas-gen3"]}, issued_at=NOW))
+    return registry, policy, hw_vendor, sw_vendor, platform, software
+
+
+class TestReconfiguration:
+    def test_compatible_placement_authorized(self):
+        _, policy, _, _, platform, software = build_sdv_world()
+        controller = ReconfigurationController(policy)
+        decision = controller.authorize_placement(software, platform, now=NOW + 10)
+        assert decision.authorized
+        assert controller.placements[str(software.did)] == str(platform.did)
+        assert decision.verification_steps >= 5
+
+    def test_incompatible_platform_denied(self):
+        registry, policy, hw_vendor, _, _, software = build_sdv_world()
+        wrong = Wallet.create("infotainment-ecu", registry)
+        wrong.store(hw_vendor.issue(
+            credential_type=HW_CREDENTIAL, subject=wrong.did,
+            claims={"platformType": "infotainment-gen1"}, issued_at=NOW))
+        controller = ReconfigurationController(policy)
+        decision = controller.authorize_placement(software, wrong, now=NOW + 10)
+        assert not decision.authorized
+        assert "not approved" in decision.reason
+
+    def test_unaccredited_software_vendor_denied(self):
+        registry, policy, _, _, platform, _ = build_sdv_world()
+        rogue_vendor = Wallet.create("rogue-vendor", registry)
+        malware = Wallet.create("malware-v1", registry)
+        malware.store(rogue_vendor.issue(
+            credential_type=SW_CREDENTIAL, subject=malware.did,
+            claims={"approvedPlatforms": ["adas-gen3"]}, issued_at=NOW))
+        controller = ReconfigurationController(policy)
+        decision = controller.authorize_placement(malware, platform, now=NOW + 10)
+        assert not decision.authorized
+        assert "untrusted" in decision.reason
+
+    def test_missing_credentials_denied(self):
+        registry, policy, _, _, platform, _ = build_sdv_world()
+        bare = Wallet.create("bare-sw", registry)
+        controller = ReconfigurationController(policy)
+        decision = controller.authorize_placement(bare, platform, now=NOW + 10)
+        assert not decision.authorized
+        assert "no release credential" in decision.reason
+
+    def test_revoked_release_denied(self):
+        registry, policy, _, _, platform, software = build_sdv_world()
+        release = software.find(SW_CREDENTIAL)[0]
+        registry.revoke_credential(release.credential_id, release.issuer)
+        controller = ReconfigurationController(policy)
+        decision = controller.authorize_placement(software, platform, now=NOW + 10)
+        assert not decision.authorized
+
+    def test_failover_picks_first_compatible(self):
+        registry, policy, hw_vendor, _, platform, software = build_sdv_world()
+        incompatible = Wallet.create("body-ecu", registry)
+        incompatible.store(hw_vendor.issue(
+            credential_type=HW_CREDENTIAL, subject=incompatible.did,
+            claims={"platformType": "body-gen2"}, issued_at=NOW))
+        controller = ReconfigurationController(policy)
+        decision = controller.failover(software, [incompatible, platform], now=NOW + 10)
+        assert decision.authorized
+        assert decision.hardware == str(platform.did)
+        assert len(controller.audit_log) == 2  # denial + success
+
+    def test_failover_requires_candidates(self):
+        _, policy, _, _, _, software = build_sdv_world()
+        controller = ReconfigurationController(policy)
+        with pytest.raises(ValueError):
+            controller.failover(software, [], now=NOW)
