@@ -91,6 +91,21 @@ def step5_surface() -> None:
           f"-> {after.reachable_critical}")
 
 
+def step6_lint() -> None:
+    print("\n--- 6. static analysis signs off on the hardened config ---")
+    from repro.lint import Linter, build_scenario
+
+    linter = Linter()
+    insecure = linter.run(build_scenario("onboard-insecure"))
+    hardened = linter.run(build_scenario("onboard-hardened"))
+    print(f"before hardening: {len(insecure.findings)} lint findings "
+          f"({len(insecure.finding_rule_ids())} distinct rules)")
+    print(f"after hardening : {len(hardened.findings)} lint findings")
+    assert not hardened.findings, hardened.to_table()
+    print("=> `python -m repro lint onboard-hardened` exits 0: the gate for "
+          "future changes")
+
+
 def main() -> None:
     print("in-vehicle network security walkthrough (paper §III)")
     step1_masquerade()
@@ -98,6 +113,7 @@ def main() -> None:
     step3_scenarios()
     step4_ids()
     step5_surface()
+    step6_lint()
 
 
 if __name__ == "__main__":

@@ -1,15 +1,18 @@
-"""Command-line experiment runner.
+"""Command-line experiment runner and static analyzer.
 
 Usage::
 
     python -m repro list                 # enumerate all experiments
     python -m repro run FIG2             # regenerate one figure/table
     python -m repro run all              # the full reproduction sweep
+    python -m repro lint SCENARIO        # static security analysis
+    python -m repro lint --rules         # the seclint rule catalog
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import subprocess
 import sys
 
@@ -41,6 +44,73 @@ def _cmd_run(exp_id: str) -> int:
     return subprocess.call(command)
 
 
+def _cmd_lint_rules() -> int:
+    from repro.lint import CATALOG
+
+    print(f"{'id':8s} {'layer':18s} {'severity':9s} {'paper':16s} title")
+    print(f"{'-' * 8} {'-' * 18} {'-' * 9} {'-' * 16} {'-' * 40}")
+    for rule in sorted(CATALOG, key=lambda r: r.rule_id):
+        print(f"{rule.rule_id:8s} {rule.layer.name.lower():18s} "
+              f"{rule.severity.name.lower():9s} {rule.paper_ref:16s} {rule.title}")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (Baseline, Linter, Severity, build_scenario,
+                            scenario_names, validate_report_dict)
+
+    if args.rules:
+        return _cmd_lint_rules()
+    if args.scenario is None:
+        print("a scenario name (or 'all') is required; available: "
+              + ", ".join(scenario_names()), file=sys.stderr)
+        return 2
+
+    names = scenario_names() if args.scenario == "all" else [args.scenario]
+    gate = None if args.gate == "none" else Severity.from_name(args.gate)
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+
+    linter = Linter()
+    if args.disable:
+        try:
+            linter.disable(*[r.strip() for r in args.disable.split(",")
+                             if r.strip()])
+        except KeyError as exc:
+            print(f"--disable: {exc.args[0]}; see --rules for the catalog",
+                  file=sys.stderr)
+            return 2
+
+    exit_code = 0
+    for name in names:
+        try:
+            target = build_scenario(name)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        report = linter.run(target, baseline=baseline)
+        if args.write_baseline:
+            Baseline.from_report(report, comment=args.baseline_comment).save(
+                args.write_baseline)
+            print(f"wrote baseline with {len(report.findings)} suppression(s) "
+                  f"to {args.write_baseline}")
+            continue
+        if args.json:
+            document = report.to_json_dict(linter.enabled_rules())
+            validate_report_dict(document)
+            print(json.dumps(document, indent=2))
+        else:
+            print(report.to_table())
+        exit_code = max(exit_code, report.exit_code(gate))
+    return exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -51,11 +121,47 @@ def main(argv: list[str] | None = None) -> int:
     run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument("exp_id", help="experiment id from `list`, or 'all'")
 
+    lint_parser = subparsers.add_parser(
+        "lint", help="static security-configuration analysis")
+    lint_parser.add_argument("scenario", nargs="?",
+                             help="scenario name from repro.lint.SCENARIOS, or 'all'")
+    lint_parser.add_argument("--json", action="store_true",
+                             help="emit the SARIF-lite JSON report")
+    lint_parser.add_argument("--gate", default="low",
+                             choices=["info", "low", "medium", "high",
+                                      "critical", "none"],
+                             help="fail (exit 1) on findings at or above this "
+                                  "severity (default: low; 'none' never fails)")
+    lint_parser.add_argument("--baseline", metavar="FILE",
+                             help="suppress findings pinned in this baseline file")
+    lint_parser.add_argument("--write-baseline", metavar="FILE",
+                             help="capture current findings as the baseline "
+                                  "and exit 0")
+    lint_parser.add_argument("--baseline-comment",
+                             default="accepted: intentionally insecure scenario",
+                             help="comment recorded with --write-baseline entries")
+    lint_parser.add_argument("--disable", metavar="IDS",
+                             help="comma-separated rule ids to skip")
+    lint_parser.add_argument("--rules", action="store_true",
+                             help="print the rule catalog and exit")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "lint":
+        return _cmd_lint(args)
     return _cmd_run(args.exp_id)
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        code = main()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like other
+        # well-behaved CLI tools instead of tracebacking.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

@@ -21,7 +21,7 @@ vehicles cover the contested spot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

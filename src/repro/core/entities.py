@@ -10,7 +10,7 @@ into another — the paper's core "holistic, multi-layered" argument (§VIII).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 import networkx as nx

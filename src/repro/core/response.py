@@ -15,7 +15,7 @@ system of systems".  This module implements that loop:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
 
 from repro.core.layers import Layer

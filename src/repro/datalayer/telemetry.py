@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.rng import numpy_rng
 
 __all__ = ["VehicleProfile", "TelemetryRecord", "FleetTelemetryGenerator"]

@@ -11,7 +11,7 @@ Runs on the deterministic event kernel (:mod:`repro.core.events`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Protocol
 
 from repro.core.events import Simulator

@@ -18,7 +18,7 @@ victim reaches bus-off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["ErrorCounter", "BusOffAttack", "BusOffOutcome", "simulate_busoff"]
 

@@ -23,7 +23,7 @@ aggregate into goodput/overhead tables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "CanFrame",

@@ -19,7 +19,7 @@ detectors are provided, mirroring the cited work:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from statistics import mean, stdev
 
 from repro.core.rng import numpy_rng

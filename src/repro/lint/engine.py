@@ -1,0 +1,191 @@
+"""Rule engine for the static security-configuration analyzer (§VIII).
+
+The paper's closing argument is that autonomous-system security must be
+*holistic and multi-layered*: a misconfiguration at one layer (an
+unauthenticated CAN segment, a truncated SECOC MAC, an over-scoped cloud
+key) silently undermines defenses at every other layer.  The linter
+makes that argument executable — it inspects a fully-configured system
+**without running any simulation** and reports every layer's
+misconfigurations in one pass.
+
+* :class:`Rule` — one check with a stable id (``SEC001`` …), the Fig. 1
+  layer it belongs to, a severity, the paper section it derives from,
+  and remediation text;
+* :class:`Finding` — one violation, with a stable fingerprint used by
+  the suppression baseline;
+* :class:`Linter` — runs an enabled subset of the rule catalog over an
+  :class:`~repro.lint.target.AnalysisTarget` and produces a
+  :class:`~repro.lint.report.Report`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.core.layers import Layer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.lint.baseline import Baseline
+    from repro.lint.report import Report
+    from repro.lint.target import AnalysisTarget
+
+__all__ = ["Severity", "Rule", "Finding", "Linter"]
+
+
+class Severity(IntEnum):
+    """Finding severity, ordered so comparisons read naturally."""
+
+    INFO = 10
+    LOW = 20
+    MEDIUM = 30
+    HIGH = 40
+    CRITICAL = 50
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            valid = ", ".join(s.name.lower() for s in cls)
+            raise ValueError(f"unknown severity {name!r} (expected one of {valid})") from None
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One static check.
+
+    ``check`` receives the :class:`AnalysisTarget` and returns
+    ``(subject, message)`` pairs — one per violation; the engine wraps
+    them into :class:`Finding` objects carrying the rule's metadata.
+    """
+
+    rule_id: str
+    title: str
+    layer: Layer
+    severity: Severity
+    paper_ref: str
+    remediation: str
+    check: Callable[["AnalysisTarget"], Iterable[tuple[str, str]]]
+
+    def __post_init__(self) -> None:
+        if not self.rule_id or not self.rule_id[:1].isalpha():
+            raise ValueError(f"rule id must start with a letter: {self.rule_id!r}")
+
+    def run(self, target: "AnalysisTarget") -> list["Finding"]:
+        return [
+            Finding(
+                rule_id=self.rule_id,
+                severity=self.severity,
+                layer=self.layer,
+                subject=subject,
+                message=message,
+                paper_ref=self.paper_ref,
+                remediation=self.remediation,
+            )
+            for subject, message in self.check(target)
+        ]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation of one rule against one subject."""
+
+    rule_id: str
+    severity: Severity
+    layer: Layer
+    subject: str
+    message: str
+    paper_ref: str
+    remediation: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable id for baselining: rule + subject, not the message text.
+
+        Message wording may improve between versions; a baseline entry
+        must keep suppressing the same logical finding regardless.
+        """
+        material = f"{self.rule_id}|{self.subject}"
+        return hashlib.sha256(material.encode()).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        return {
+            "ruleId": self.rule_id,
+            "severity": self.severity.name.lower(),
+            "layer": self.layer.name.lower(),
+            "subject": self.subject,
+            "message": self.message,
+            "paperRef": self.paper_ref,
+            "remediation": self.remediation,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class Linter:
+    """Runs the rule catalog (or a subset) over an analysis target."""
+
+    def __init__(self, rules: Iterable[Rule] | None = None) -> None:
+        if rules is None:
+            from repro.lint.rules import CATALOG
+
+            rules = CATALOG
+        self._rules: dict[str, Rule] = {}
+        for rule in rules:
+            if rule.rule_id in self._rules:
+                raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+            self._rules[rule.rule_id] = rule
+        self._disabled: set[str] = set()
+
+    # -- rule management -----------------------------------------------------
+
+    @property
+    def rules(self) -> list[Rule]:
+        return list(self._rules.values())
+
+    def rule(self, rule_id: str) -> Rule:
+        return self._rules[rule_id]
+
+    def enabled_rules(self) -> list[Rule]:
+        return [r for r in self._rules.values() if r.rule_id not in self._disabled]
+
+    def disable(self, *rule_ids: str) -> None:
+        for rule_id in rule_ids:
+            if rule_id not in self._rules:
+                raise KeyError(f"unknown rule {rule_id!r}")
+            self._disabled.add(rule_id)
+
+    def enable(self, *rule_ids: str) -> None:
+        for rule_id in rule_ids:
+            if rule_id not in self._rules:
+                raise KeyError(f"unknown rule {rule_id!r}")
+            self._disabled.discard(rule_id)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, target: "AnalysisTarget",
+            baseline: "Baseline | None" = None) -> "Report":
+        """Run every enabled rule; baseline entries move findings to
+        ``report.suppressed`` instead of dropping them silently."""
+        from repro.lint.report import Report
+
+        findings: list[Finding] = []
+        suppressed: list[Finding] = []
+        rules_run = []
+        for rule in self.enabled_rules():
+            rules_run.append(rule)
+            for finding in rule.run(target):
+                if baseline is not None and baseline.suppresses(finding):
+                    suppressed.append(finding)
+                else:
+                    findings.append(finding)
+        findings.sort(key=lambda f: (-f.severity, f.rule_id, f.subject))
+        suppressed.sort(key=lambda f: (-f.severity, f.rule_id, f.subject))
+        return Report(
+            target_name=target.name,
+            findings=tuple(findings),
+            suppressed=tuple(suppressed),
+            rules_run=tuple(r.rule_id for r in rules_run),
+        )

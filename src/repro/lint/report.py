@@ -1,0 +1,205 @@
+"""Lint reports: human-readable tables and a SARIF-style JSON document.
+
+The JSON schema (version ``1.0``) is intentionally a small, stable
+subset of SARIF's shape::
+
+    {
+      "version": "1.0",
+      "tool": {"name": "repro-seclint", "version": "<package version>"},
+      "target": "<target name>",
+      "rules": [
+        {"id", "title", "layer", "severity", "paperRef", "remediation"}
+      ],
+      "findings": [
+        {"ruleId", "severity", "layer", "subject", "message",
+         "paperRef", "remediation", "fingerprint"}
+      ],
+      "suppressed": [ <same shape as findings> ],
+      "summary": {"total": <int>, "bySeverity": {"critical": <int>, ...}}
+    }
+
+:func:`validate_report_dict` checks a parsed document against that
+schema and raises :class:`SchemaError` on any violation — the CI gate
+and the golden-report test both call it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.layers import Layer
+from repro.lint.engine import Finding, Rule, Severity
+
+__all__ = ["Report", "SchemaError", "validate_report_dict"]
+
+SCHEMA_VERSION = "1.0"
+TOOL_NAME = "repro-seclint"
+
+
+class SchemaError(ValueError):
+    """A lint JSON report does not match the documented schema."""
+
+
+@dataclass(frozen=True)
+class Report:
+    """The outcome of one linter run over one target."""
+
+    target_name: str
+    findings: tuple[Finding, ...]
+    suppressed: tuple[Finding, ...] = ()
+    rules_run: tuple[str, ...] = ()
+
+    # -- summaries -----------------------------------------------------------
+
+    def counts_by_severity(self) -> dict[Severity, int]:
+        counts: dict[Severity, int] = {}
+        for finding in self.findings:
+            counts[finding.severity] = counts.get(finding.severity, 0) + 1
+        return counts
+
+    def worst_severity(self) -> Severity | None:
+        return max((f.severity for f in self.findings), default=None)
+
+    def finding_rule_ids(self) -> set[str]:
+        return {f.rule_id for f in self.findings}
+
+    def exit_code(self, gate: Severity | None = Severity.LOW) -> int:
+        """0 when no unsuppressed finding reaches ``gate``; 1 otherwise.
+
+        ``gate=None`` never fails (report-only mode).
+        """
+        if gate is None:
+            return 0
+        worst = self.worst_severity()
+        return 1 if worst is not None and worst >= gate else 0
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_table(self) -> str:
+        """Human-readable findings table."""
+        if not self.findings and not self.suppressed:
+            return (f"{self.target_name}: clean "
+                    f"({len(self.rules_run)} rules, 0 findings)")
+        lines = [
+            f"{'rule':8s} {'severity':9s} {'layer':18s} subject: message",
+            f"{'-' * 8} {'-' * 9} {'-' * 18} {'-' * 40}",
+        ]
+        for finding in self.findings:
+            lines.append(
+                f"{finding.rule_id:8s} {finding.severity.name.lower():9s} "
+                f"{finding.layer.name.lower():18s} "
+                f"{finding.subject}: {finding.message}")
+        summary = ", ".join(
+            f"{count} {severity.name.lower()}"
+            for severity, count in sorted(self.counts_by_severity().items(),
+                                          key=lambda kv: -kv[0]))
+        lines.append(f"{self.target_name}: {len(self.findings)} finding(s) "
+                     f"({summary or 'none'}), "
+                     f"{len(self.suppressed)} baselined, "
+                     f"{len(self.rules_run)} rules run")
+        return "\n".join(lines)
+
+    def to_json_dict(self, rules: Iterable[Rule] = ()) -> dict:
+        """The SARIF-lite document (see module docstring for the schema)."""
+        from repro import __version__
+
+        by_severity: dict[str, int] = {}
+        for severity, count in self.counts_by_severity().items():
+            by_severity[severity.name.lower()] = count
+        return {
+            "version": SCHEMA_VERSION,
+            "tool": {"name": TOOL_NAME, "version": __version__},
+            "target": self.target_name,
+            "rules": [
+                {
+                    "id": rule.rule_id,
+                    "title": rule.title,
+                    "layer": rule.layer.name.lower(),
+                    "severity": rule.severity.name.lower(),
+                    "paperRef": rule.paper_ref,
+                    "remediation": rule.remediation,
+                }
+                for rule in rules
+            ],
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "summary": {"total": len(self.findings), "bySeverity": by_severity},
+        }
+
+
+# --------------------------------------------------------------------------
+# schema validation
+# --------------------------------------------------------------------------
+
+_SEVERITY_NAMES = {s.name.lower() for s in Severity}
+_LAYER_NAMES = {layer.name.lower() for layer in Layer}
+
+_FINDING_KEYS = {"ruleId", "severity", "layer", "subject", "message",
+                 "paperRef", "remediation", "fingerprint"}
+_RULE_KEYS = {"id", "title", "layer", "severity", "paperRef", "remediation"}
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def _validate_finding(entry: dict, where: str) -> None:
+    _require(isinstance(entry, dict), f"{where}: finding must be an object")
+    _require(set(entry) == _FINDING_KEYS,
+             f"{where}: keys {sorted(entry)} != {sorted(_FINDING_KEYS)}")
+    for key in _FINDING_KEYS:
+        _require(isinstance(entry[key], str), f"{where}: {key} must be a string")
+    _require(entry["severity"] in _SEVERITY_NAMES,
+             f"{where}: bad severity {entry['severity']!r}")
+    _require(entry["layer"] in _LAYER_NAMES,
+             f"{where}: bad layer {entry['layer']!r}")
+    _require(len(entry["fingerprint"]) == 16,
+             f"{where}: fingerprint must be 16 hex chars")
+
+
+def validate_report_dict(document: dict) -> None:
+    """Raise :class:`SchemaError` unless ``document`` matches the schema."""
+    _require(isinstance(document, dict), "report must be an object")
+    required = {"version", "tool", "target", "rules", "findings",
+                "suppressed", "summary"}
+    _require(set(document) == required,
+             f"top-level keys {sorted(document)} != {sorted(required)}")
+    _require(document["version"] == SCHEMA_VERSION,
+             f"unsupported schema version {document['version']!r}")
+    tool = document["tool"]
+    _require(isinstance(tool, dict) and set(tool) == {"name", "version"},
+             "tool must be {name, version}")
+    _require(tool["name"] == TOOL_NAME, f"unexpected tool name {tool['name']!r}")
+    _require(isinstance(document["target"], str) and document["target"],
+             "target must be a non-empty string")
+
+    _require(isinstance(document["rules"], list), "rules must be a list")
+    for index, rule in enumerate(document["rules"]):
+        where = f"rules[{index}]"
+        _require(isinstance(rule, dict) and set(rule) == _RULE_KEYS,
+                 f"{where}: keys must be {sorted(_RULE_KEYS)}")
+        _require(rule["severity"] in _SEVERITY_NAMES,
+                 f"{where}: bad severity {rule['severity']!r}")
+        _require(rule["layer"] in _LAYER_NAMES,
+                 f"{where}: bad layer {rule['layer']!r}")
+
+    for section in ("findings", "suppressed"):
+        _require(isinstance(document[section], list), f"{section} must be a list")
+        for index, entry in enumerate(document[section]):
+            _validate_finding(entry, f"{section}[{index}]")
+
+    summary = document["summary"]
+    _require(isinstance(summary, dict) and set(summary) == {"total", "bySeverity"},
+             "summary must be {total, bySeverity}")
+    _require(summary["total"] == len(document["findings"]),
+             "summary.total must equal len(findings)")
+    by_severity = summary["bySeverity"]
+    _require(isinstance(by_severity, dict), "bySeverity must be an object")
+    for name, count in by_severity.items():
+        _require(name in _SEVERITY_NAMES, f"bySeverity: bad severity {name!r}")
+        _require(isinstance(count, int) and count >= 0,
+                 f"bySeverity[{name!r}] must be a non-negative int")
+    _require(sum(by_severity.values()) == summary["total"],
+             "bySeverity counts must sum to summary.total")

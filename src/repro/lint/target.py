@@ -1,0 +1,105 @@
+"""The unified adapter every lint rule sees (one object, all layers).
+
+A configured autonomous system is scattered across many objects: a
+:class:`~repro.core.entities.SystemModel`, SECOC profiles, MACsec key
+lifecycle managers, CANsec zones, gateway filter tables, zonal
+topologies, cloud services with their kill-chain mitigations, and the
+SSI registry with its credentials.  :class:`AnalysisTarget` collects all
+of them so a rule from *any* layer can correlate across layers — the
+precondition for catching the paper's §VIII cross-layer
+misconfigurations (e.g. a gateway that fails to segment a
+safety-critical ECU from an exposed telematics unit).
+
+Everything is optional: a target holding only a ``SystemModel`` is
+linted by the architecture rules and skipped by the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.entities import SystemModel
+
+if TYPE_CHECKING:  # pragma: no cover - hints only; keeps import time low
+    from repro.datalayer.cloud import CloudService
+    from repro.ivn.cansec import CansecZone
+    from repro.ivn.gateway import GatewayFilter
+    from repro.ivn.keymgmt import KeyLifecycleManager
+    from repro.ivn.secoc import SecOcProfile
+    from repro.ivn.topology import ZonalArchitecture
+    from repro.phy.hrp import HrpReceiver
+    from repro.phy.pkes import PkesSystem
+    from repro.sos.model import SosModel
+    from repro.ssi.registry import VerifiableDataRegistry
+    from repro.ssi.vc import VerifiableCredential
+
+__all__ = ["GatewayBinding", "AnalysisTarget"]
+
+
+@dataclass
+class GatewayBinding:
+    """A gateway filter plus the components that sit behind each port.
+
+    The filter table alone names only ports; rules need to know *which
+    components* live behind a port to decide whether a forwarding rule
+    bridges an exposed segment into a safety-critical one.
+    """
+
+    gateway: "GatewayFilter"
+    port_components: dict[str, set[str]] = field(default_factory=dict)
+
+    def attach(self, port: str, *component_names: str) -> None:
+        self.port_components.setdefault(port, set()).update(component_names)
+
+    def components_on(self, port: str) -> set[str]:
+        return set(self.port_components.get(port, set()))
+
+
+@dataclass
+class AnalysisTarget:
+    """Everything the linter can statically inspect, in one object."""
+
+    name: str
+    model: SystemModel | None = None
+    #: SECOC profiles in use, keyed by a human-readable label (e.g. the
+    #: channel or PDU group the profile protects).
+    secoc_profiles: dict[str, "SecOcProfile"] = field(default_factory=dict)
+    #: symmetric key label -> the IVN domains (zones/segments) using it.
+    key_domains: dict[str, set[str]] = field(default_factory=dict)
+    gateways: list[GatewayBinding] = field(default_factory=list)
+    lifecycle_managers: list["KeyLifecycleManager"] = field(default_factory=list)
+    cansec_zones: dict[str, "CansecZone"] = field(default_factory=dict)
+    zonal: "ZonalArchitecture | None" = None
+    cloud_services: list["CloudService"] = field(default_factory=list)
+    #: deployed kill-chain mitigations (see repro.datalayer.MITIGATIONS).
+    mitigations: set[str] = field(default_factory=set)
+    registry: "VerifiableDataRegistry | None" = None
+    credentials: list["VerifiableCredential"] = field(default_factory=list)
+    pkes_systems: list["PkesSystem"] = field(default_factory=list)
+    hrp_receivers: list["HrpReceiver"] = field(default_factory=list)
+    sos: "SosModel | None" = None
+    #: reference time (epoch seconds) for validity-window checks.
+    now: float = 0.0
+
+    # -- construction helpers -------------------------------------------------
+
+    def assign_key(self, key_label: str, *domains: str) -> None:
+        """Record that ``key_label`` is provisioned into ``domains``."""
+        self.key_domains.setdefault(key_label, set()).update(domains)
+
+    def add_gateway(self, binding: GatewayBinding) -> GatewayBinding:
+        self.gateways.append(binding)
+        return binding
+
+    def add_cloud_service(self, service: "CloudService") -> "CloudService":
+        self.cloud_services.append(service)
+        return service
+
+    def add_credential(self, credential: "VerifiableCredential") -> None:
+        self.credentials.append(credential)
+
+    @classmethod
+    def from_model(cls, model: SystemModel) -> "AnalysisTarget":
+        """Minimal target: architecture rules only."""
+        return cls(name=model.name, model=model)

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.crypto.modes import ctr_keystream
 from repro.phy.channel import Channel
-from repro.phy.pulses import HRP_CONFIG, PhyConfig, build_pulse_train, pulse_template
+from repro.phy.pulses import HRP_CONFIG, PhyConfig, build_pulse_train
 from repro.phy.toa import ToaEstimate, cross_correlation, first_path_toa
 
 __all__ = [

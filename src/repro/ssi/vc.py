@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.ssi.did import Did, KeyPair
 from repro.ssi.registry import VerifiableDataRegistry

@@ -1,0 +1,74 @@
+"""Suppression baseline: capture, round-trip, and gating behaviour."""
+
+import pytest
+
+from repro.core.entities import Component, Interface, SystemModel
+from repro.core.layers import Layer
+from repro.core.threats import AccessLevel
+from repro.lint import AnalysisTarget, Baseline, BaselineEntry, Linter, Severity
+
+
+def insecure_target():
+    model = SystemModel("baseline-fixture")
+    model.add_component(Component("telematics", Layer.NETWORK, criticality=2,
+                                  exposed=True))
+    model.add_component(Component("brake", Layer.NETWORK, criticality=5))
+    model.connect(Interface("telematics", "brake", "can", AccessLevel.REMOTE))
+    return AnalysisTarget(name="baseline-fixture", model=model)
+
+
+def test_from_report_captures_every_finding():
+    report = Linter().run(insecure_target())
+    assert report.findings
+    baseline = Baseline.from_report(report, comment="intentional")
+    assert len(baseline) == len(report.findings)
+    for finding in report.findings:
+        assert baseline.suppresses(finding)
+        assert baseline.entries[finding.fingerprint].comment == "intentional"
+
+
+def test_baselined_run_suppresses_and_exits_clean():
+    linter = Linter()
+    first = linter.run(insecure_target())
+    baseline = Baseline.from_report(first)
+    second = linter.run(insecure_target(), baseline=baseline)
+    assert second.findings == ()
+    assert len(second.suppressed) == len(first.findings)
+    assert second.exit_code(Severity.INFO) == 0
+
+
+def test_new_finding_still_fails_through_baseline():
+    linter = Linter()
+    baseline = Baseline.from_report(linter.run(insecure_target()))
+    target = insecure_target()
+    # A regression appears after the baseline was captured.
+    target.model.add_component(Component("steer", Layer.NETWORK, criticality=5,
+                                         exposed=True))
+    report = linter.run(target, baseline=baseline)
+    assert "SEC005" in report.finding_rule_ids()
+    assert report.exit_code(Severity.LOW) == 1
+
+
+def test_round_trip_through_file(tmp_path):
+    report = Linter().run(insecure_target())
+    baseline = Baseline.from_report(report, comment="pinned")
+    path = tmp_path / "lint-baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.target == "baseline-fixture"
+    assert loaded.entries == baseline.entries
+    assert Linter().run(insecure_target(), baseline=loaded).findings == ()
+
+
+def test_json_is_stable_and_human_reviewable(tmp_path):
+    baseline = Baseline(target="t")
+    baseline.add(BaselineEntry("ab" * 8, "SEC001", "a->b", "why"))
+    text = baseline.to_json()
+    assert '"ruleId": "SEC001"' in text
+    assert '"comment": "why"' in text
+    assert Baseline.from_json(text).entries == baseline.entries
+
+
+def test_unsupported_version_rejected():
+    with pytest.raises(ValueError, match="version"):
+        Baseline.from_json('{"version": 99, "suppressions": []}')

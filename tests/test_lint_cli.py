@@ -1,0 +1,114 @@
+"""The ``python -m repro lint`` subcommand and the shipped scenarios.
+
+Pins the PR's acceptance criteria: the intentionally-insecure scenarios
+flag a wide set of distinct rules, the hardened onboard scenario exits
+0, and the JSON output validates against the documented schema.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.lint import (Linter, build_scenario, scenario_names,
+                        validate_report_dict)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestScenarios:
+    def test_at_least_three_scenarios_registered(self):
+        assert len(scenario_names()) >= 3
+
+    def test_unknown_scenario_raises_with_listing(self):
+        with pytest.raises(KeyError, match="available"):
+            build_scenario("not-a-scenario")
+
+    def test_insecure_setups_flag_many_distinct_rules(self):
+        linter = Linter()
+        flagged = set()
+        for name in ("pkes-legacy", "cariad-breach"):
+            flagged |= linter.run(build_scenario(name)).finding_rule_ids()
+        assert len(flagged) >= 8, sorted(flagged)
+
+    def test_hardened_onboard_is_clean(self):
+        report = Linter().run(build_scenario("onboard-hardened"))
+        assert report.findings == (), report.to_table()
+
+
+class TestCli:
+    def test_hardened_exits_zero(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "onboard-hardened")
+        assert code == 0
+        assert "clean" in out
+
+    def test_insecure_exits_nonzero(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "onboard-insecure")
+        assert code == 1
+        assert "IVN001" in out
+
+    def test_gate_none_reports_without_failing(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "cariad-breach", "--gate", "none")
+        assert code == 0
+        assert "DAT001" in out
+
+    def test_gate_critical_passes_medium_only_target(self, capsys):
+        code, _, _ = run_cli(capsys, "lint", "pkes-legacy", "--gate", "critical")
+        assert code == 1  # pkes-legacy includes a critical SEC002 finding
+        code, _, _ = run_cli(capsys, "lint", "pkes-legacy",
+                             "--disable", "SEC002", "--gate", "critical")
+        assert code == 0
+
+    def test_json_output_validates_against_schema(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "cariad-breach", "--json")
+        assert code == 1
+        document = json.loads(out)
+        validate_report_dict(document)
+        assert document["target"] == "cariad-breach"
+        assert document["summary"]["total"] >= 8
+        assert {r["id"] for r in document["rules"]} \
+            == {r.rule_id for r in Linter().rules}
+
+    def test_disable_removes_rule(self, capsys):
+        _, out, _ = run_cli(capsys, "lint", "onboard-insecure",
+                            "--disable", "IVN001,IVN003")
+        assert "IVN001" not in out
+        assert "IVN003" not in out
+        assert "IVN002" in out
+
+    def test_write_then_apply_baseline(self, capsys, tmp_path):
+        path = tmp_path / "baseline.json"
+        code, out, _ = run_cli(capsys, "lint", "pkes-legacy",
+                               "--write-baseline", str(path))
+        assert code == 0
+        assert path.exists()
+        code, out, _ = run_cli(capsys, "lint", "pkes-legacy",
+                               "--baseline", str(path))
+        assert code == 0
+        assert "baselined" in out
+
+    def test_lint_all_covers_every_scenario(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "all", "--gate", "none")
+        assert code == 0
+        for name in scenario_names():
+            assert name in out
+
+    def test_rules_listing(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "--rules")
+        assert code == 0
+        for rule in Linter().rules:
+            assert rule.rule_id in out
+
+    def test_missing_scenario_is_usage_error(self, capsys):
+        code, _, err = run_cli(capsys, "lint")
+        assert code == 2
+        assert "scenario" in err
+
+    def test_unknown_scenario_is_usage_error(self, capsys):
+        code, _, err = run_cli(capsys, "lint", "bogus")
+        assert code == 2
+        assert "unknown scenario" in err

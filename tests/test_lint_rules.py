@@ -1,0 +1,312 @@
+"""One positive + one negative fixture per lint rule.
+
+For every rule in the catalog: a *bad* target that must trigger exactly
+that rule id, and a *good* target — the minimal fix — that must not.
+Other rules may fire on either fixture; each case asserts only on its
+own rule id.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.entities import Component, Interface, SystemModel
+from repro.core.layers import Layer
+from repro.core.threats import AccessLevel
+from repro.lint import CATALOG, AnalysisTarget, GatewayBinding, Linter
+
+
+# --------------------------------------------------------------------------
+# shared fixture helpers
+# --------------------------------------------------------------------------
+
+def two_node_model(*, authenticated=False, encrypted=False, criticality=5,
+                   layers=(Layer.NETWORK, Layer.NETWORK), exposed=True,
+                   access=AccessLevel.REMOTE):
+    model = SystemModel("fixture")
+    model.add_component(Component("entry", layers[0], criticality=2,
+                                  exposed=exposed))
+    model.add_component(Component("ecu", layers[1], criticality=criticality))
+    model.connect(Interface("entry", "ecu", "link", access,
+                            authenticated=authenticated, encrypted=encrypted))
+    return model
+
+
+def target_with_model(model):
+    return AnalysisTarget(name="fixture", model=model)
+
+
+def secoc_target(profile):
+    target = AnalysisTarget(name="fixture")
+    target.secoc_profiles["pdus"] = profile
+    return target
+
+
+def cloud_target(service, mitigations=()):
+    target = AnalysisTarget(name="fixture")
+    target.add_cloud_service(service)
+    target.mitigations = set(mitigations)
+    return target
+
+
+def simple_service(**endpoint_kwargs):
+    from repro.datalayer.cloud import CloudService, Endpoint
+
+    service = CloudService("svc")
+    service.add_endpoint(Endpoint("/api", **endpoint_kwargs))
+    return service
+
+
+def credential_target(*, validity_s=365 * 86400.0, self_issued=False,
+                      register_issuer=True, revoke=False, now=1000.0):
+    from repro.ssi.did import Did, DidDocument, KeyPair
+    from repro.ssi.registry import VerifiableDataRegistry
+    from repro.ssi.vc import VerifiableCredential
+
+    registry = VerifiableDataRegistry()
+    issuer_did, issuer_key = Did("issuer"), KeyPair.from_seed_label("issuer")
+    subject_did = issuer_did if self_issued else Did("subject")
+    if register_issuer:
+        registry.register(DidDocument.for_keypair(issuer_did, issuer_key))
+    credential = VerifiableCredential.issue(
+        credential_type="TestCredential", issuer=issuer_did,
+        issuer_key=issuer_key, subject=subject_did,
+        claims={"ok": True}, issued_at=0.0, validity_s=validity_s)
+    if revoke:
+        registry.revoke_credential(credential.credential_id, issuer_did)
+    target = AnalysisTarget(name="fixture", registry=registry, now=now)
+    target.add_credential(credential)
+    return target
+
+
+def gateway_target(*, toward_critical: bool, span: int = 16):
+    from repro.ivn.gateway import GatewayFilter
+
+    model = two_node_model()
+    gateway = GatewayFilter("gw")
+    binding = GatewayBinding(gateway)
+    binding.attach("outside", "entry")
+    binding.attach("inside", "ecu")
+    if toward_critical:
+        gateway.allow("outside", "inside", 0x100, 0x100 + span - 1)
+    else:
+        gateway.allow("inside", "outside", 0x100, 0x100 + span - 1)
+    target = target_with_model(model)
+    target.add_gateway(binding)
+    return target
+
+
+def lifecycle_target(rekey_fraction):
+    from repro.ivn.keymgmt import KeyLifecycleManager
+    from repro.ivn.macsec import MacsecPort, MkaSession
+
+    session = MkaSession(b"\x28" * 16, [MacsecPort("a"), MacsecPort("b")])
+    target = AnalysisTarget(name="fixture")
+    target.lifecycle_managers.append(
+        KeyLifecycleManager(session, rekey_fraction=rekey_fraction))
+    return target
+
+
+def cansec_target(encrypt):
+    from repro.ivn.cansec import CansecZone
+
+    target = AnalysisTarget(name="fixture")
+    target.cansec_zones["zone"] = CansecZone(b"\x31" * 16, encrypt=encrypt)
+    return target
+
+
+def zonal_target(low_criticality):
+    from repro.ivn.topology import Endpoint, Zone, ZonalArchitecture
+
+    arch = ZonalArchitecture(telematics_exposed=False)
+    arch.add_zone(Zone("zc", [
+        Endpoint("brake", "can", criticality=5),
+        Endpoint("other", "can", criticality=low_criticality),
+    ]))
+    return AnalysisTarget(name="fixture", zonal=arch)
+
+
+def sos_target(*, third_party=False, realtime=False, secured=False,
+               stakeholder="oem"):
+    from repro.sos.model import SosModel, SosSystem, SystemInterface
+
+    root = SosSystem("platform", 0, stakeholder="consortium")
+    root.add_child(SosSystem("vehicle", 1, stakeholder=stakeholder,
+                             safety_critical=True))
+    root.add_child(SosSystem("backend", 1, stakeholder="operator",
+                             exposed=True))
+    model = SosModel(root)
+    model.connect(SystemInterface("vehicle", "backend", "api",
+                                  realtime=realtime, third_party=third_party,
+                                  secured=secured))
+    return AnalysisTarget(name="fixture", sos=model)
+
+
+def pkes_target(policy):
+    from repro.phy.pkes import PkesSystem
+
+    target = AnalysisTarget(name="fixture")
+    target.pkes_systems.append(PkesSystem(policy=policy))
+    return target
+
+
+def hrp_target(integrity_check):
+    from repro.phy.hrp import HrpReceiver
+
+    target = AnalysisTarget(name="fixture")
+    target.hrp_receivers.append(HrpReceiver(integrity_check=integrity_check))
+    return target
+
+
+def key_domain_target(n_domains):
+    target = AnalysisTarget(name="fixture")
+    target.assign_key("key-1", *[f"zone-{i}" for i in range(n_domains)])
+    return target
+
+
+def registry_target(tampered):
+    from repro.ssi.did import Did, DidDocument, KeyPair
+    from repro.ssi.registry import VerifiableDataRegistry
+
+    registry = VerifiableDataRegistry()
+    for name in ("alpha", "beta"):
+        registry.register(DidDocument.for_keypair(
+            Did(name), KeyPair.from_seed_label(name)))
+    if tampered:
+        registry._ledger[0] = dataclasses.replace(
+            registry._ledger[0], content_hash="f" * 64)
+    return AnalysisTarget(name="fixture", registry=registry)
+
+
+def cariad_target(mitigations=()):
+    from repro.datalayer.breach import build_cariad_service
+
+    service, _ = build_cariad_service(n_vehicles=2, days=1,
+                                      mitigations=set(mitigations))
+    return cloud_target(service, mitigations)
+
+
+def secret_service(scopes, in_memory):
+    from repro.datalayer.cloud import CloudService, Secret
+
+    service = CloudService("svc")
+    service.add_secret(Secret("key-1", frozenset(scopes),
+                              in_process_memory=in_memory))
+    return service
+
+
+def bucket_service(encrypted):
+    from repro.datalayer.cloud import CloudService, StorageBucket
+
+    service = CloudService("svc")
+    bucket = StorageBucket("records", required_scope="read")
+    bucket.records.append({"vin": "V1", "encrypted": encrypted})
+    service.add_bucket(bucket)
+    return service
+
+
+# --------------------------------------------------------------------------
+# the per-rule fixture table
+# --------------------------------------------------------------------------
+
+def _secoc(profile_name, freshness, mac):
+    from repro.ivn.secoc import SecOcProfile
+
+    return SecOcProfile(profile_name, freshness_bits=freshness, mac_bits=mac)
+
+
+FIXTURES = {
+    "SEC001": (lambda: target_with_model(two_node_model(authenticated=False)),
+               lambda: target_with_model(two_node_model(authenticated=True))),
+    "SEC002": (lambda: target_with_model(two_node_model(authenticated=False)),
+               lambda: target_with_model(two_node_model(authenticated=True))),
+    "SEC003": (lambda: target_with_model(two_node_model(
+                   layers=(Layer.NETWORK, Layer.DATA), encrypted=False)),
+               lambda: target_with_model(two_node_model(
+                   layers=(Layer.NETWORK, Layer.DATA), encrypted=True))),
+    "SEC004": (lambda: target_with_model(two_node_model(authenticated=False)),
+               lambda: target_with_model(two_node_model(authenticated=True))),
+    "SEC005": (lambda: target_with_model(_exposed_critical_model(True)),
+               lambda: target_with_model(_exposed_critical_model(False))),
+    "IVN001": (lambda: secoc_target(_secoc("p1", 8, 24)),
+               lambda: secoc_target(_secoc("p3", 16, 64))),
+    "IVN002": (lambda: secoc_target(_secoc("legacy", 0, 64)),
+               lambda: secoc_target(_secoc("p3", 16, 64))),
+    "IVN003": (lambda: secoc_target(_secoc("p1", 8, 64)),
+               lambda: secoc_target(_secoc("p3", 16, 64))),
+    "IVN004": (lambda: key_domain_target(2), lambda: key_domain_target(1)),
+    "IVN005": (lambda: gateway_target(toward_critical=True),
+               lambda: gateway_target(toward_critical=False)),
+    "IVN006": (lambda: gateway_target(toward_critical=False, span=2048),
+               lambda: gateway_target(toward_critical=False, span=16)),
+    "IVN007": (lambda: lifecycle_target(0.98), lambda: lifecycle_target(0.8)),
+    "IVN008": (lambda: cansec_target(False), lambda: cansec_target(True)),
+    "IVN009": (lambda: zonal_target(1), lambda: zonal_target(3)),
+    "DAT001": (lambda: cloud_target(simple_service(debug=True)),
+               lambda: cloud_target(simple_service(debug=False))),
+    "DAT002": (lambda: cloud_target(simple_service(auth_required=False)),
+               lambda: cloud_target(simple_service(auth_required=True))),
+    "DAT003": (lambda: cloud_target(secret_service({"read"}, True)),
+               lambda: cloud_target(secret_service({"read"}, False))),
+    "DAT004": (lambda: cloud_target(secret_service({"iam:mint"}, False)),
+               lambda: cloud_target(secret_service({"telemetry:read"}, False))),
+    "DAT005": (lambda: cloud_target(simple_service()),
+               lambda: cloud_target(simple_service(),
+                                    mitigations={"rate-limit-enumeration"})),
+    "DAT006": (lambda: cloud_target(bucket_service(False)),
+               lambda: cloud_target(bucket_service(True))),
+    "DAT007": (lambda: cariad_target(),
+               lambda: cariad_target({"disable-debug-endpoints"})),
+    "SSI001": (lambda: credential_target(validity_s=100.0, now=1000.0),
+               lambda: credential_target(now=1000.0)),
+    "SSI002": (lambda: credential_target(self_issued=True),
+               lambda: credential_target(self_issued=False)),
+    "SSI003": (lambda: credential_target(register_issuer=False),
+               lambda: credential_target(register_issuer=True)),
+    "SSI004": (lambda: credential_target(revoke=True),
+               lambda: credential_target(revoke=False)),
+    "SSI005": (lambda: registry_target(tampered=True),
+               lambda: registry_target(tampered=False)),
+    "PHY001": (lambda: pkes_target("lf-rssi"), lambda: pkes_target("uwb-hrp")),
+    "PHY002": (lambda: hrp_target(False), lambda: hrp_target(True)),
+    "SOS001": (lambda: sos_target(third_party=True, secured=False),
+               lambda: sos_target(third_party=True, secured=True)),
+    "SOS002": (lambda: sos_target(realtime=True, secured=False),
+               lambda: sos_target(realtime=True, secured=True)),
+    "SOS003": (lambda: sos_target(stakeholder=""),
+               lambda: sos_target(stakeholder="oem")),
+}
+
+
+def _exposed_critical_model(exposed):
+    model = SystemModel("fixture")
+    model.add_component(Component("brake", Layer.NETWORK, criticality=5,
+                                  exposed=exposed))
+    return model
+
+
+def test_every_rule_has_fixtures():
+    assert set(FIXTURES) == {rule.rule_id for rule in CATALOG}
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_rule_fires_on_bad_fixture(rule_id):
+    bad, _ = FIXTURES[rule_id]
+    report = Linter().run(bad())
+    assert rule_id in report.finding_rule_ids(), report.to_table()
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_rule_silent_on_good_fixture(rule_id):
+    _, good = FIXTURES[rule_id]
+    report = Linter().run(good())
+    assert rule_id not in report.finding_rule_ids(), report.to_table()
+
+
+def test_rules_are_side_effect_free():
+    """Linting twice yields identical findings (no state mutated)."""
+    target = cariad_target()
+    first = Linter().run(target)
+    second = Linter().run(target)
+    assert [f.to_dict() for f in first.findings] \
+        == [f.to_dict() for f in second.findings]
