@@ -10,7 +10,10 @@ one incident across four layers of the reproduction:
 2. [sos]      from that foothold, how far could the breach cascade?
 3. [network]  the attacker pivots into the vehicle and injects CAN
               frames; the IDS detects and the response engine isolates;
-4. [holistic] the cross-layer assessment: which defenses mattered.
+4. [holistic] the cross-layer assessment: which defenses mattered;
+5. [timeline] the incident replayed as one `repro.obs` cross-layer
+              timeline — kill-chain steps, masquerade alert, and the
+              response action merged onto a single clock.
 
     python examples/full_stack_attack_story.py
 """
@@ -27,6 +30,7 @@ from repro.core.attackgraph import AttackGraph
 from repro.datalayer import run_breach
 from repro.ivn import FrequencyIds, SenderFingerprintIds
 from repro.ivn.streams import run_dos_response_experiment
+from repro.obs import Timeline, instrumented
 from repro.sos import CascadeSimulator, build_maas_sos
 
 
@@ -96,12 +100,37 @@ def act4_the_postmortem() -> None:
     print("     multi-layer posture the paper argues for covers all of it.")
 
 
+def act5_the_timeline() -> None:
+    print("\n--- act 5 [observability]: the incident on one clock ---")
+    # Replay the attacker's acts with the repro.obs instrumentation on,
+    # capturing each act's event stream separately, then merge them onto
+    # one reference clock: the kill chain ran first, the in-vehicle
+    # pivot started 2 s into the incident.
+    with instrumented() as obs:
+        run_breach(n_vehicles=25, days=14)
+        breach_events = list(obs.events)
+    with instrumented() as obs:
+        engine = ResponseEngine(critical_components={"brake-ecu"})
+        engine.handle(SecurityAlert(0.5, Layer.NETWORK, "compromised-tcu",
+                                    "can-masquerade", Severity.CRITICAL))
+        pivot_events = list(obs.events)
+
+    timeline = Timeline()
+    timeline.add(breach_events)                 # data layer, t=0 base
+    timeline.add(pivot_events, offset_s=2.0)    # pivot started 2 s in
+    print(timeline.render(limit=12))
+    layers = ", ".join(sorted(layer.name.lower() for layer in timeline.layers()))
+    print(f"  => one incident, {len(timeline.merged())} events across "
+          f"layers [{layers}] — the cross-layer narrative §VIII demands")
+
+
 def main() -> None:
     print("full-stack attack story (red team vs blue team, paper §VIII)")
     act1_the_breach()
     act2_the_stakes()
     act3_the_pivot()
     act4_the_postmortem()
+    act5_the_timeline()
 
 
 if __name__ == "__main__":

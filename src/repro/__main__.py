@@ -7,6 +7,7 @@ Usage::
     python -m repro run all              # the full reproduction sweep
     python -m repro lint SCENARIO        # static security analysis
     python -m repro lint --rules         # the seclint rule catalog
+    python -m repro trace SCENARIO       # instrumented simulation trace
 """
 
 from __future__ import annotations
@@ -111,6 +112,50 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (TraceReport, instrumented, render_metrics_table,
+                           run_trace_scenario, trace_scenario_names,
+                           validate_trace_dict)
+    from repro.obs.runtime import OBS
+    from repro.obs.timeline import render_timeline
+
+    if args.scenario is None:
+        print("a scenario name (or 'all') is required; available: "
+              + ", ".join(trace_scenario_names()), file=sys.stderr)
+        return 2
+    names = (trace_scenario_names() if args.scenario == "all"
+             else [args.scenario])
+
+    documents = []
+    for name in names:
+        try:
+            with instrumented(capacity=args.events):
+                result = run_trace_scenario(name)
+                report = TraceReport.from_instrumentation(name, result=result)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        if args.jsonl:
+            written = OBS.events.write_jsonl(args.jsonl)
+            print(f"wrote {written} event(s) to {args.jsonl}", file=sys.stderr)
+        if args.json:
+            document = report.to_json_dict()
+            validate_trace_dict(document)
+            documents.append(document)
+            continue
+        if args.timeline:
+            print(f"=== timeline: {name} ===")
+            print(render_timeline(report.events))
+        else:
+            print(report.to_table())
+        if args.metrics:
+            print(render_metrics_table(report.metrics))
+    if args.json:
+        payload = documents[0] if len(documents) == 1 else documents
+        print(json.dumps(payload, indent=2))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -145,11 +190,30 @@ def main(argv: list[str] | None = None) -> int:
     lint_parser.add_argument("--rules", action="store_true",
                              help="print the rule catalog and exit")
 
+    trace_parser = subparsers.add_parser(
+        "trace", help="run an instrumented simulation and show its trace")
+    trace_parser.add_argument("scenario", nargs="?",
+                              help="scenario name from repro.obs.TRACE_SCENARIOS, "
+                                   "or 'all'")
+    trace_parser.add_argument("--json", action="store_true",
+                              help="emit the schema-validated trace document")
+    trace_parser.add_argument("--metrics", action="store_true",
+                              help="append the counters/gauges/histograms table")
+    trace_parser.add_argument("--timeline", action="store_true",
+                              help="print only the cross-layer event timeline")
+    trace_parser.add_argument("--events", type=int, default=65536,
+                              metavar="N",
+                              help="event ring-buffer capacity (default 65536)")
+    trace_parser.add_argument("--jsonl", metavar="FILE",
+                              help="also export the event log as JSONL")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_run(args.exp_id)
 
 

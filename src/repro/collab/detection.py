@@ -26,6 +26,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.collab.perception import PerceptionWorld, SharedDetection
+from repro.core.layers import Layer
+from repro.obs.events import EventKind
+from repro.obs.runtime import OBS
 
 __all__ = ["FusionConfig", "FusedObject", "CollabFusionReport",
            "SecureCollabFusion", "TrustManager", "member_bias_estimates"]
@@ -121,11 +124,23 @@ class TrustManager:
 
     def penalize(self, member: str) -> None:
         if member in self._scores:
-            self._scores[member] = max(0.0, self._scores[member] - self.penalty)
+            before = self._scores[member]
+            self._scores[member] = max(0.0, before - self.penalty)
+            if OBS.enabled and self._scores[member] != before:
+                OBS.count("collab.trust.penalties")
+                OBS.emit(EventKind.TRUST_UPDATE, Layer.COLLABORATION, member,
+                         f"penalized {before:.2f} -> {self._scores[member]:.2f}",
+                         score=self._scores[member], delta=-self.penalty)
 
     def reward_member(self, member: str) -> None:
         if member in self._scores:
-            self._scores[member] = min(1.0, self._scores[member] + self.reward)
+            before = self._scores[member]
+            self._scores[member] = min(1.0, before + self.reward)
+            if OBS.enabled and self._scores[member] != before:
+                OBS.count("collab.trust.rewards")
+                OBS.emit(EventKind.TRUST_UPDATE, Layer.COLLABORATION, member,
+                         f"rewarded {before:.2f} -> {self._scores[member]:.2f}",
+                         score=self._scores[member], delta=self.reward)
 
     def trusted_members(self, threshold: float) -> set[str]:
         return {m for m, s in self._scores.items() if s >= threshold}
@@ -167,6 +182,11 @@ class SecureCollabFusion:
             dropped = len(shares) - len(authenticated)
         else:
             authenticated = list(shares)
+        if OBS.enabled and dropped:
+            OBS.count("collab.fusion.dropped_unauthenticated", dropped)
+            OBS.emit(EventKind.DETECTION, Layer.COLLABORATION, "fusion",
+                     f"dropped {dropped} unauthenticated share(s)",
+                     dropped=dropped)
 
         trusted = self.trust.trusted_members(config.trust_threshold)
         # Trust scores exist only for members; with authentication off,
@@ -207,6 +227,13 @@ class SecureCollabFusion:
             elif config.cross_validate and coverage >= 2:
                 # Claim contradicted by available redundancy: flag it.
                 flagged += len(cluster)
+                if OBS.enabled:
+                    OBS.count("collab.fusion.flagged_shares", len(cluster))
+                    OBS.emit(EventKind.DETECTION, Layer.COLLABORATION, "fusion",
+                             f"uncorroborated cluster at ({cx:.1f}, {cy:.1f}) "
+                             f"flagged (coverage {coverage})",
+                             x=cx, y=cy, reporters=len(reporters),
+                             coverage=coverage)
                 for reporter in reporters:
                     self.trust.penalize(reporter)
             else:

@@ -20,6 +20,10 @@ from enum import IntEnum
 
 from repro.core.layers import Layer
 
+# NOTE: repro.obs is imported lazily inside the handlers — repro.core's
+# package __init__ pulls this module in, and repro.obs itself depends on
+# repro.core.layers, so a module-level import would be circular.
+
 __all__ = ["Severity", "ResponseAction", "SecurityAlert", "ResponseDecision", "ResponseEngine"]
 
 
@@ -101,16 +105,31 @@ class ResponseEngine:
         self.decisions: list[ResponseDecision] = []
 
     def handle(self, alert: SecurityAlert) -> ResponseDecision:
-        """Process one alert and return (and record) the response decision."""
+        """Process one alert and return (and record) the response decision.
+
+        Alerts and decisions are reported through :mod:`repro.obs` — the
+        repo-wide instrumentation idiom — rather than any ad-hoc logger,
+        so they land on the same cross-layer timeline as the simulator
+        events that triggered them.
+        """
         state = self._state.setdefault(alert.component, _ComponentState())
+        from repro.obs.events import EventKind
+        from repro.obs.runtime import OBS
+
+        if OBS.enabled:
+            OBS.count("core.response.alerts")
+            OBS.emit(EventKind.IDS_ALERT, alert.layer, alert.component,
+                     f"{alert.attack_name} ({alert.severity.name.lower()}, "
+                     f"confidence {alert.confidence:.2f})", t=alert.time,
+                     attack=alert.attack_name, severity=alert.severity.name,
+                     confidence=alert.confidence)
 
         if alert.confidence < self.min_confidence:
             decision = ResponseDecision(
                 alert, ResponseAction.LOG_ONLY, 0,
                 f"confidence {alert.confidence:.2f} below threshold; logging only",
             )
-            self.decisions.append(decision)
-            return decision
+            return self._record(decision)
 
         state.alert_count += 1
         base = self.BASE_POLICY[alert.severity]
@@ -132,7 +151,21 @@ class ResponseEngine:
             f"severity={alert.severity.name}, repeat={state.alert_count}, "
             f"critical={alert.component in self.critical_components}",
         )
+        return self._record(decision)
+
+    def _record(self, decision: ResponseDecision) -> ResponseDecision:
+        """Keep the decision and report it to the observability layer."""
         self.decisions.append(decision)
+        from repro.obs.events import EventKind
+        from repro.obs.runtime import OBS
+
+        if OBS.enabled:
+            OBS.count("core.response.decisions")
+            OBS.emit(EventKind.RESPONSE_ACTION, decision.alert.layer,
+                     decision.alert.component,
+                     f"{decision.action.name.lower()} ({decision.rationale})",
+                     t=decision.alert.time, action=decision.action.name,
+                     escalation=decision.escalation_level)
         return decision
 
     def component_status(self, component: str) -> ResponseAction:

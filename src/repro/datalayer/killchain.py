@@ -19,7 +19,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.layers import Layer
 from repro.datalayer.cloud import AccessDenied, CloudService, Secret
+from repro.obs.events import EventKind
+from repro.obs.runtime import OBS
 
 __all__ = ["AttackContext", "StageResult", "Stage", "KillChain",
            "MITIGATIONS", "cariad_stages"]
@@ -94,11 +97,19 @@ class KillChain:
         context = AttackContext()
         self.last_context = context
         results: list[StageResult] = []
-        for stage in self.stages:
-            result = stage.run(service, context, mitigations)
-            results.append(result)
-            if not result.succeeded:
-                break
+        with OBS.span("datalayer.killchain", stages=len(self.stages),
+                      mitigations=len(mitigations)):
+            for index, stage in enumerate(self.stages):
+                result = stage.run(service, context, mitigations)
+                results.append(result)
+                if OBS.enabled:
+                    verdict = "succeeded" if result.succeeded else "blocked"
+                    OBS.count(f"datalayer.killchain.stages_{verdict}")
+                    OBS.emit(EventKind.ATTACK_STEP, Layer.DATA, result.stage,
+                             f"{verdict}: {result.detail}", t=float(index),
+                             stage_index=index, succeeded=result.succeeded)
+                if not result.succeeded:
+                    break
         return results
 
     def depth_reached(self, results: list[StageResult]) -> int:

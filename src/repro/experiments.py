@@ -73,6 +73,8 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "bench_ext_imaging.py"),
     Experiment("EXT-8", "§V-C", "attack-graph reasoning + gateway containment",
                "bench_ext_attackgraph.py"),
+    Experiment("BENCH-OBS", "§VIII", "observability-layer overhead on the hot paths",
+               "bench_obs_overhead.py"),
 )
 
 

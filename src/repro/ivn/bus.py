@@ -15,6 +15,9 @@ from dataclasses import dataclass
 from typing import Callable, Protocol
 
 from repro.core.events import Simulator
+from repro.core.layers import Layer
+from repro.obs.events import EventKind
+from repro.obs.runtime import OBS
 
 __all__ = ["BusFrame", "CanBus", "BusNode"]
 
@@ -113,6 +116,11 @@ class CanBus:
         if priority is None:
             raise TypeError("frame must carry can_id or priority_id")
         self._queue.append(BusFrame(sender, frame, self.sim.now, priority))
+        if OBS.enabled:
+            OBS.count("ivn.bus.frames_sent")
+            OBS.emit(EventKind.FRAME_SENT, Layer.NETWORK, self.name,
+                     f"{sender} queued id {priority:#x}", t=self.sim.now,
+                     sender=sender, can_id=priority)
         if not self._busy:
             self._start_next()
 
@@ -147,6 +155,13 @@ class CanBus:
                 completed_at=self.sim.now,
             )
             self.delivered.append(record)
+            if OBS.enabled:
+                OBS.count("ivn.bus.frames_delivered")
+                OBS.observe("ivn.bus.latency_s", record.latency_s)
+                OBS.emit(EventKind.FRAME_DELIVERED, Layer.NETWORK, self.name,
+                         f"{queued.sender} id {queued.priority:#x} delivered",
+                         t=self.sim.now, sender=queued.sender,
+                         can_id=queued.priority, latency_s=record.latency_s)
             for node in self.nodes.values():
                 if node.name != queued.sender:
                     node.deliver(record)

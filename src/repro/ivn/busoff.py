@@ -20,6 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.layers import Layer
+from repro.obs.events import EventKind
+from repro.obs.runtime import OBS
+
 __all__ = ["ErrorCounter", "BusOffAttack", "BusOffOutcome", "simulate_busoff"]
 
 _ERROR_PASSIVE = 128
@@ -125,9 +129,19 @@ def simulate_busoff(attack: BusOffAttack, *, rounds: int = 100,
         if defend and detector.observe(round_index, attacked) and attacker_active:
             detection_round = round_index
             attacker_active = False
+            if OBS.enabled:
+                OBS.emit(EventKind.IDS_ALERT, Layer.NETWORK, "busoff-detector",
+                         f"error burst on victim id (round {round_index}); "
+                         "attacker isolated", t=float(round_index),
+                         tec=victim.tec)
         if victim.error_passive and error_passive_round is None:
             error_passive_round = round_index
         if victim.bus_off:
+            if OBS.enabled:
+                OBS.count("ivn.busoff.evictions")
+                OBS.emit(EventKind.BUS_OFF, Layer.NETWORK, "victim-ecu",
+                         f"TEC {victim.tec} >= 256: fault confinement evicted "
+                         "the victim", t=float(round_index), tec=victim.tec)
             return BusOffOutcome(True, round_index, error_passive_round,
                                  detection_round, not attacker_active)
     return BusOffOutcome(False, None, error_passive_round,

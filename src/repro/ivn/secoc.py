@@ -21,7 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.layers import Layer
 from repro.crypto.modes import Cmac
+from repro.obs.events import EventKind
+from repro.obs.runtime import OBS
 
 __all__ = ["SecOcProfile", "PROFILE_1", "PROFILE_3", "SecuredPdu", "FreshnessManager", "SecOcChannel"]
 
@@ -147,6 +150,8 @@ class SecOcChannel:
         freshness = self.tx_freshness.next_tx(pdu_id)
         mac = self._cmac.tag(self._mac_input(pdu_id, payload, freshness),
                              tag_bits=self.profile.mac_bits)
+        if OBS.enabled:
+            OBS.count("ivn.secoc.pdus_secured")
         return SecuredPdu(
             pdu_id=pdu_id,
             payload=payload,
@@ -162,6 +167,18 @@ class SecOcChannel:
             tag_bits=self.profile.mac_bits,
         )
         if expected != pdu.truncated_mac:
+            if OBS.enabled:
+                OBS.count("ivn.secoc.mac_rejected")
+                OBS.emit(EventKind.MAC_REJECTED, Layer.NETWORK,
+                         f"pdu-{pdu.pdu_id:#x}",
+                         f"CMAC mismatch ({self.profile.name})",
+                         freshness=freshness, mac_bits=self.profile.mac_bits)
             return False
         self.rx_freshness.commit_rx(pdu.pdu_id, freshness)
+        if OBS.enabled:
+            OBS.count("ivn.secoc.mac_verified")
+            OBS.emit(EventKind.MAC_VERIFIED, Layer.NETWORK,
+                     f"pdu-{pdu.pdu_id:#x}",
+                     f"CMAC + freshness accepted ({self.profile.name})",
+                     freshness=freshness, mac_bits=self.profile.mac_bits)
         return True

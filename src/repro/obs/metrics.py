@@ -1,0 +1,179 @@
+"""Counter / Gauge / Histogram primitives and the process-wide registry.
+
+The three classic metric shapes, dependency-free and built for the
+simulators' hot paths: a :class:`Counter` increment is one integer add,
+a :class:`Histogram` observation is one list append — aggregation
+(mean, percentiles) is deferred to :meth:`Histogram.summary` at report
+time, where it runs once instead of per-event.
+
+Names are dotted paths (``ivn.bus.frames_sent``); the
+:class:`MetricsRegistry` hands out get-or-create instances so every
+instrumented module shares one namespace without import-order coupling.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value", "updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self.updates = 0
+
+
+class Histogram:
+    """A distribution of observations with exact percentiles.
+
+    Observations are stored raw (bounded only by the simulation size),
+    so percentiles are exact rather than bucket-approximated — the right
+    trade-off for offline analysis of simulation runs.
+    """
+
+    __slots__ = ("name", "_values", "_sorted")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: list[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        values = self._values
+        if values and value < values[-1]:
+            self._sorted = False
+        values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def _ordered(self) -> list[float]:
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        return self._values
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = self._ordered()
+        if not ordered:
+            raise ValueError(f"histogram {self.name!r} has no observations")
+        if p == 0.0:
+            return ordered[0]
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil(n * p / 100)
+        return ordered[int(rank) - 1]
+
+    def summary(self) -> dict:
+        """The aggregate block the JSON export embeds."""
+        ordered = self._ordered()
+        if not ordered:
+            return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": len(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": sum(ordered) / len(ordered),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def reset(self) -> None:
+        self._values.clear()
+        self._sorted = True
+
+
+class MetricsRegistry:
+    """Get-or-create registry for all three metric shapes.
+
+    A name is bound to one shape for the registry's lifetime; asking for
+    the same name as a different shape is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_unique(self, name: str, kind: str) -> None:
+        owners = {"counter": self._counters, "gauge": self._gauges,
+                  "histogram": self._histograms}
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other_kind}")
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_unique(name, "counter")
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_unique(name, "gauge")
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_unique(name, "histogram")
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def reset(self) -> None:
+        """Drop every registered metric."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def to_json_dict(self) -> dict:
+        """The ``metrics`` block of the trace JSON document."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.summary()
+                           for name, h in sorted(self._histograms.items())},
+        }

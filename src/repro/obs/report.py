@@ -1,0 +1,324 @@
+"""Trace reports: span tree / metrics table text and a validated JSON doc.
+
+The JSON schema (version ``1.0``) mirrors ``repro.lint.report``'s
+SARIF-lite conventions — small, flat, stable::
+
+    {
+      "version": "1.0",
+      "tool": {"name": "repro-obs", "version": "<package version>"},
+      "scenario": "<scenario name>",
+      "spans": [
+        {"name", "wallMs", "cpuMs", "status", "tags",
+         "children": [<same shape>], "error"?}
+      ],
+      "events": [
+        {"seq", "t", "kind", "layer", "source", "message", "fields"}
+      ],
+      "metrics": {
+        "counters": {"<name>": <int>},
+        "gauges": {"<name>": <number>},
+        "histograms": {"<name>": {"count", "min", "max", "mean",
+                                  "p50", "p95", "p99"}}
+      },
+      "result": {"<key>": <scalar>},
+      "summary": {"spans": <int>, "events": <int>, "layers": [<str>],
+                  "byKind": {"<kind>": <int>}}
+    }
+
+:func:`validate_trace_dict` checks a parsed document against that
+schema and raises :class:`SchemaError` on any violation — the CI gate
+and the round-trip tests both call it.
+"""
+
+from __future__ import annotations
+
+from repro.core.layers import Layer
+from repro.obs.events import EventKind, SimEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import OBS, Instrumentation
+from repro.obs.timeline import render_timeline
+from repro.obs.trace import Span
+
+__all__ = ["TraceReport", "SchemaError", "validate_trace_dict",
+           "render_span_tree", "render_metrics_table"]
+
+SCHEMA_VERSION = "1.0"
+TOOL_NAME = "repro-obs"
+
+
+class SchemaError(ValueError):
+    """A trace JSON document does not match the documented schema."""
+
+
+# --------------------------------------------------------------------------
+# rendering
+# --------------------------------------------------------------------------
+
+def _render_span(span: Span, indent: int, lines: list[str]) -> None:
+    tags = "".join(f" {k}={v}" for k, v in sorted(span.tags.items()))
+    marker = "" if span.status == "ok" else f"  !! {span.status}: {span.error}"
+    lines.append(f"{'  ' * indent}{span.name:{max(1, 40 - 2 * indent)}s} "
+                 f"wall={span.wall_s * 1e3:9.3f}ms cpu={span.cpu_s * 1e3:9.3f}ms"
+                 f"{tags}{marker}")
+    for child in span.children:
+        _render_span(child, indent + 1, lines)
+
+
+def render_span_tree(roots: list[Span]) -> str:
+    """Indented span tree with wall/CPU timings."""
+    if not roots:
+        return "(no spans recorded)"
+    lines: list[str] = []
+    for root in roots:
+        _render_span(root, 0, lines)
+    return "\n".join(lines)
+
+
+def render_metrics_table(registry: MetricsRegistry) -> str:
+    """Counters, gauges, and histogram summaries as an aligned table."""
+    doc = registry.to_json_dict()
+    rows: list[tuple[str, str, str]] = []
+    for name, value in doc["counters"].items():
+        rows.append((name, "counter", str(value)))
+    for name, value in doc["gauges"].items():
+        rows.append((name, "gauge", f"{value:g}"))
+    for name, summary in doc["histograms"].items():
+        rows.append((name, "histogram",
+                     f"n={summary['count']} mean={summary['mean']:g} "
+                     f"p50={summary['p50']:g} p95={summary['p95']:g} "
+                     f"max={summary['max']:g}"))
+    if not rows:
+        return "(no metrics recorded)"
+    width_name = max(len(r[0]) for r in rows)
+    lines = [f"{'metric'.ljust(width_name)}  {'type':9s} value",
+             f"{'-' * width_name}  {'-' * 9} {'-' * 40}"]
+    for name, kind, value in sorted(rows):
+        lines.append(f"{name.ljust(width_name)}  {kind:9s} {value}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# the report object
+# --------------------------------------------------------------------------
+
+class TraceReport:
+    """Everything one instrumented run produced, ready to render/export."""
+
+    def __init__(self, scenario: str, *, spans: list[Span],
+                 events: list[SimEvent], metrics: MetricsRegistry,
+                 result: dict | None = None) -> None:
+        self.scenario = scenario
+        self.spans = list(spans)
+        self.events = list(events)
+        self.metrics = metrics
+        self.result = dict(result or {})
+
+    @classmethod
+    def from_instrumentation(cls, scenario: str,
+                             obs: Instrumentation | None = None,
+                             result: dict | None = None) -> "TraceReport":
+        """Snapshot the (default: process-wide) instrumentation state."""
+        obs = obs or OBS
+        return cls(scenario, spans=list(obs.tracer.roots),
+                   events=list(obs.events), metrics=obs.metrics,
+                   result=result)
+
+    def layers(self) -> set[Layer]:
+        return {event.layer for event in self.events}
+
+    def span_count(self) -> int:
+        return sum(span.span_count() for span in self.spans)
+
+    def to_table(self) -> str:
+        """Human-readable report: span tree + event timeline + summary."""
+        by_kind = self._by_kind()
+        kinds = ", ".join(f"{count} {kind}" for kind, count
+                          in sorted(by_kind.items()))
+        layer_names = ", ".join(sorted(layer.name.lower()
+                                       for layer in self.layers()))
+        sections = [
+            f"=== trace: {self.scenario} ===",
+            render_span_tree(self.spans),
+            "",
+            render_timeline(self.events, limit=40),
+            "",
+            f"{self.scenario}: {self.span_count()} span(s), "
+            f"{len(self.events)} event(s) ({kinds or 'none'}) "
+            f"across layers [{layer_names or 'none'}]",
+        ]
+        if self.result:
+            sections.append("result: " + ", ".join(
+                f"{key}={value}" for key, value in sorted(self.result.items())))
+        return "\n".join(sections)
+
+    def _by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+        return counts
+
+    def to_json_dict(self) -> dict:
+        """The trace document (see module docstring for the schema)."""
+        from repro import __version__
+
+        return {
+            "version": SCHEMA_VERSION,
+            "tool": {"name": TOOL_NAME, "version": __version__},
+            "scenario": self.scenario,
+            "spans": [span.to_dict() for span in self.spans],
+            "events": [event.to_dict() for event in self.events],
+            "metrics": self.metrics.to_json_dict(),
+            "result": dict(self.result),
+            "summary": {
+                "spans": self.span_count(),
+                "events": len(self.events),
+                "layers": sorted(layer.name.lower() for layer in self.layers()),
+                "byKind": self._by_kind(),
+            },
+        }
+
+
+# --------------------------------------------------------------------------
+# schema validation
+# --------------------------------------------------------------------------
+
+_KIND_VALUES = {kind.value for kind in EventKind}
+_LAYER_NAMES = {layer.name.lower() for layer in Layer}
+_EVENT_KEYS = {"seq", "t", "kind", "layer", "source", "message", "fields"}
+_HIST_KEYS = {"count", "min", "max", "mean", "p50", "p95", "p99"}
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_scalar(value: object) -> bool:
+    return isinstance(value, (str, int, float, bool))
+
+
+def _validate_span(entry: dict, where: str) -> int:
+    """Validate one span node; returns the subtree's span count."""
+    _require(isinstance(entry, dict), f"{where}: span must be an object")
+    required = {"name", "wallMs", "cpuMs", "status", "tags", "children"}
+    keys = set(entry)
+    _require(required <= keys <= required | {"error"},
+             f"{where}: keys {sorted(keys)} != {sorted(required)} (+error?)")
+    _require(isinstance(entry["name"], str) and entry["name"],
+             f"{where}: name must be a non-empty string")
+    for key in ("wallMs", "cpuMs"):
+        _require(_is_number(entry[key]) and entry[key] >= 0,
+                 f"{where}: {key} must be a non-negative number")
+    _require(entry["status"] in ("ok", "error"),
+             f"{where}: bad status {entry['status']!r}")
+    _require(("error" in entry) == (entry["status"] == "error"),
+             f"{where}: error text iff status == 'error'")
+    tags = entry["tags"]
+    _require(isinstance(tags, dict), f"{where}: tags must be an object")
+    for key, value in tags.items():
+        _require(isinstance(key, str) and _is_scalar(value),
+                 f"{where}: tag {key!r} must map a string to a scalar")
+    _require(isinstance(entry["children"], list),
+             f"{where}: children must be a list")
+    count = 1
+    for index, child in enumerate(entry["children"]):
+        count += _validate_span(child, f"{where}.children[{index}]")
+    return count
+
+
+def _validate_event(entry: dict, where: str) -> None:
+    _require(isinstance(entry, dict), f"{where}: event must be an object")
+    _require(set(entry) == _EVENT_KEYS,
+             f"{where}: keys {sorted(entry)} != {sorted(_EVENT_KEYS)}")
+    _require(isinstance(entry["seq"], int) and not isinstance(entry["seq"], bool)
+             and entry["seq"] >= 0, f"{where}: seq must be a non-negative int")
+    _require(_is_number(entry["t"]), f"{where}: t must be a number")
+    _require(entry["kind"] in _KIND_VALUES, f"{where}: bad kind {entry['kind']!r}")
+    _require(entry["layer"] in _LAYER_NAMES,
+             f"{where}: bad layer {entry['layer']!r}")
+    for key in ("source", "message"):
+        _require(isinstance(entry[key], str), f"{where}: {key} must be a string")
+    _require(isinstance(entry["fields"], dict),
+             f"{where}: fields must be an object")
+    for key, value in entry["fields"].items():
+        _require(isinstance(key, str) and _is_scalar(value),
+                 f"{where}: field {key!r} must map a string to a scalar")
+
+
+def _validate_metrics(metrics: dict) -> None:
+    _require(isinstance(metrics, dict)
+             and set(metrics) == {"counters", "gauges", "histograms"},
+             "metrics must be {counters, gauges, histograms}")
+    for name, value in metrics["counters"].items():
+        _require(isinstance(name, str) and isinstance(value, int)
+                 and not isinstance(value, bool) and value >= 0,
+                 f"counters[{name!r}] must be a non-negative int")
+    for name, value in metrics["gauges"].items():
+        _require(isinstance(name, str) and _is_number(value),
+                 f"gauges[{name!r}] must be a number")
+    for name, summary in metrics["histograms"].items():
+        where = f"histograms[{name!r}]"
+        _require(isinstance(summary, dict) and set(summary) == _HIST_KEYS,
+                 f"{where}: keys must be {sorted(_HIST_KEYS)}")
+        for key in _HIST_KEYS:
+            _require(_is_number(summary[key]), f"{where}.{key} must be a number")
+        _require(isinstance(summary["count"], int) and summary["count"] >= 0,
+                 f"{where}.count must be a non-negative int")
+        if summary["count"]:
+            _require(summary["min"] <= summary["p50"] <= summary["max"],
+                     f"{where}: percentiles must lie within [min, max]")
+
+
+def validate_trace_dict(document: dict) -> None:
+    """Raise :class:`SchemaError` unless ``document`` matches the schema."""
+    _require(isinstance(document, dict), "trace report must be an object")
+    required = {"version", "tool", "scenario", "spans", "events", "metrics",
+                "result", "summary"}
+    _require(set(document) == required,
+             f"top-level keys {sorted(document)} != {sorted(required)}")
+    _require(document["version"] == SCHEMA_VERSION,
+             f"unsupported schema version {document['version']!r}")
+    tool = document["tool"]
+    _require(isinstance(tool, dict) and set(tool) == {"name", "version"},
+             "tool must be {name, version}")
+    _require(tool["name"] == TOOL_NAME, f"unexpected tool name {tool['name']!r}")
+    _require(isinstance(document["scenario"], str) and document["scenario"],
+             "scenario must be a non-empty string")
+
+    _require(isinstance(document["spans"], list), "spans must be a list")
+    span_total = 0
+    for index, span in enumerate(document["spans"]):
+        span_total += _validate_span(span, f"spans[{index}]")
+
+    _require(isinstance(document["events"], list), "events must be a list")
+    seen_layers: set[str] = set()
+    by_kind: dict[str, int] = {}
+    for index, event in enumerate(document["events"]):
+        _validate_event(event, f"events[{index}]")
+        seen_layers.add(event["layer"])
+        by_kind[event["kind"]] = by_kind.get(event["kind"], 0) + 1
+
+    _validate_metrics(document["metrics"])
+
+    result = document["result"]
+    _require(isinstance(result, dict), "result must be an object")
+    for key, value in result.items():
+        _require(isinstance(key, str) and _is_scalar(value),
+                 f"result[{key!r}] must map a string to a scalar")
+
+    summary = document["summary"]
+    _require(isinstance(summary, dict)
+             and set(summary) == {"spans", "events", "layers", "byKind"},
+             "summary must be {spans, events, layers, byKind}")
+    _require(summary["spans"] == span_total,
+             "summary.spans must equal the span-tree node count")
+    _require(summary["events"] == len(document["events"]),
+             "summary.events must equal len(events)")
+    _require(summary["layers"] == sorted(seen_layers),
+             "summary.layers must list the event layers, sorted")
+    _require(summary["byKind"] == by_kind,
+             "summary.byKind must count events by kind")

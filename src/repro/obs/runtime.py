@@ -1,0 +1,120 @@
+"""The module-level enable switch and the shared instrumentation facade.
+
+Every instrumented hot path in the simulators goes through the single
+process-wide :data:`OBS` object::
+
+    from repro.obs.runtime import OBS
+    ...
+    if OBS.enabled:                      # one attribute read when disabled
+        OBS.emit(EventKind.FRAME_SENT, Layer.NETWORK, self.name,
+                 f"id={frame.can_id:#x}", t=self.sim.now)
+
+The contract that keeps the disabled mode essentially free (asserted by
+``benchmarks/bench_obs_overhead.py``): call sites guard with
+``OBS.enabled`` before building message strings or touching metrics, so
+a disabled run pays one slot read and a branch per hook.  ``OBS.span``
+may be called unguarded — it returns the shared no-op span when
+disabled.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+from repro.core.layers import Layer
+from repro.obs.events import EventKind, EventLog, SimEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NOOP_SPAN, Tracer
+
+__all__ = ["Instrumentation", "OBS", "enable", "disable", "is_enabled",
+           "instrumented"]
+
+FieldValue = Union[str, int, float, bool]
+
+
+class Instrumentation:
+    """Bundles the enable flag with the tracer, registry, and event log."""
+
+    __slots__ = ("enabled", "tracer", "metrics", "events")
+
+    def __init__(self, *, capacity: int = 65536) -> None:
+        self.enabled = False
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.events = EventLog(capacity=capacity)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self, *, capacity: int | None = None) -> None:
+        """Clear all collected data (the enable flag is left untouched)."""
+        self.tracer.reset()
+        self.metrics.reset()
+        if capacity is None:
+            self.events.clear()
+        else:
+            self.events = EventLog(capacity=capacity)
+
+    # -- hooks (call sites guard with ``if OBS.enabled:``) --------------------
+
+    def emit(self, kind: EventKind, layer: Layer, source: str, message: str,
+             *, t: float = 0.0, **fields: FieldValue) -> SimEvent | None:
+        if not self.enabled:
+            return None
+        return self.events.emit(kind, layer, source, message, t=t, **fields)
+
+    def count(self, name: str, n: int = 1) -> None:
+        if self.enabled:
+            self.metrics.counter(name).inc(n)
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.histogram(name).observe(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.gauge(name).set(value)
+
+    def span(self, name: str, **tags: FieldValue):
+        """A real span when enabled, the shared no-op span otherwise."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return self.tracer.span(name, **tags)
+
+
+#: The process-wide instrumentation instance all simulators report to.
+OBS = Instrumentation()
+
+
+def enable() -> None:
+    """Turn instrumentation on (module-level switch)."""
+    OBS.enable()
+
+
+def disable() -> None:
+    OBS.disable()
+
+
+def is_enabled() -> bool:
+    return OBS.enabled
+
+
+@contextmanager
+def instrumented(*, fresh: bool = True,
+                 capacity: int | None = None) -> Iterator[Instrumentation]:
+    """Enable instrumentation for a ``with`` block, restoring the previous
+    state (and, with ``fresh=True``, starting from empty collectors)."""
+    was_enabled = OBS.enabled
+    if fresh:
+        OBS.reset(capacity=capacity)
+    OBS.enable()
+    try:
+        yield OBS
+    finally:
+        OBS.enabled = was_enabled

@@ -1,0 +1,101 @@
+"""Cross-layer attack timelines: many simulators, one clock.
+
+Each simulator runs its own clock (the event kernel starts at ``t=0``;
+stepwise engines count steps).  A :class:`Timeline` merges several event
+streams onto one reference clock by applying a per-stream offset — e.g.
+"the kill chain ran first, the CAN pivot started 2 s in" — and renders
+the merged sequence as the paper's cross-layer attack narrative: which
+layer saw what, in causal order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable
+
+from repro.core.layers import Layer
+from repro.obs.events import EventLog, SimEvent
+
+__all__ = ["Timeline", "merge_events", "render_timeline"]
+
+
+def merge_events(*streams: Iterable[SimEvent],
+                 offsets: Iterable[float] | None = None) -> list[SimEvent]:
+    """Merge event streams onto one clock, sorted by (shifted t, seq).
+
+    ``offsets[i]`` is added to every timestamp of ``streams[i]``; the
+    default is no shift.  Events are re-stamped (``t`` shifted) but keep
+    their original ``seq`` as the within-stream tiebreaker.
+    """
+    streams_list = [list(stream) for stream in streams]
+    shift = list(offsets) if offsets is not None else [0.0] * len(streams_list)
+    if len(shift) != len(streams_list):
+        raise ValueError("offsets must match the number of streams")
+    merged: list[SimEvent] = []
+    for stream, offset in zip(streams_list, shift):
+        for event in stream:
+            merged.append(event if offset == 0.0
+                          else replace(event, t=event.t + offset))
+    merged.sort(key=lambda e: (e.t, e.seq))
+    return merged
+
+
+def render_timeline(events: list[SimEvent], *, limit: int | None = None) -> str:
+    """Human-readable cross-layer timeline.
+
+    One line per event — timestamp, layer, kind, source, message — plus
+    a truncation note when ``limit`` cuts the listing.
+    """
+    if not events:
+        return "(no events recorded)"
+    shown = events if limit is None else events[:limit]
+    width_layer = max(len(e.layer.name) for e in shown)
+    width_kind = max(len(e.kind.value) for e in shown)
+    width_source = max(len(e.source) for e in shown)
+    lines = []
+    for event in shown:
+        lines.append(
+            f"t={event.t:12.6f}  [{event.layer.name.lower():{width_layer}s}] "
+            f"{event.kind.value:{width_kind}s}  "
+            f"{event.source:{width_source}s}  {event.message}")
+    if limit is not None and len(events) > limit:
+        lines.append(f"... {len(events) - limit} more event(s) truncated")
+    return "\n".join(lines)
+
+
+class Timeline:
+    """An accumulating cross-layer timeline.
+
+    Usage::
+
+        timeline = Timeline()
+        timeline.add(killchain_log)                 # data layer, t=0 base
+        timeline.add(bus_log, offset_s=2.0)         # pivot started 2 s in
+        print(timeline.render())
+    """
+
+    def __init__(self) -> None:
+        self._streams: list[list[SimEvent]] = []
+        self._offsets: list[float] = []
+
+    def add(self, events: EventLog | Iterable[SimEvent], *,
+            offset_s: float = 0.0) -> "Timeline":
+        self._streams.append(list(events))
+        self._offsets.append(offset_s)
+        return self
+
+    def merged(self) -> list[SimEvent]:
+        return merge_events(*self._streams, offsets=self._offsets)
+
+    def layers(self) -> set[Layer]:
+        return {event.layer for stream in self._streams for event in stream}
+
+    def span_s(self) -> float:
+        """Duration between the first and last merged event."""
+        merged = self.merged()
+        if not merged:
+            return 0.0
+        return merged[-1].t - merged[0].t
+
+    def render(self, *, limit: int | None = None) -> str:
+        return render_timeline(self.merged(), limit=limit)

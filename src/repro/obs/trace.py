@@ -1,0 +1,141 @@
+"""Hierarchical spans with wall-clock and CPU timing.
+
+A :class:`Span` measures one named unit of work; spans opened while
+another is active nest under it, so one simulation run yields a tree —
+``scenario → layer → operation`` — that the reporters render as the
+profile the ROADMAP's perf work needs.  Spans are context managers and
+exception-safe: an exception closes the span (marking it ``error``) and
+propagates, leaving the tracer's stack consistent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Union
+
+__all__ = ["Span", "Tracer", "NOOP_SPAN"]
+
+TagValue = Union[str, int, float, bool]
+
+
+@dataclass
+class Span:
+    """One timed unit of work in the span tree."""
+
+    name: str
+    tags: dict[str, TagValue] = field(default_factory=dict)
+    start_wall_s: float = 0.0
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    status: str = "ok"
+    error: str | None = None
+    children: list["Span"] = field(default_factory=list)
+    _t0_wall: float = field(default=0.0, repr=False)
+    _t0_cpu: float = field(default=0.0, repr=False)
+
+    def set_tag(self, key: str, value: TagValue) -> None:
+        self.tags[key] = value
+
+    def span_count(self) -> int:
+        """This span plus all descendants."""
+        return 1 + sum(child.span_count() for child in self.children)
+
+    def to_dict(self) -> dict:
+        data: dict = {
+            "name": self.name,
+            "wallMs": self.wall_s * 1e3,
+            "cpuMs": self.cpu_s * 1e3,
+            "status": self.status,
+            "tags": dict(self.tags),
+            "children": [child.to_dict() for child in self.children],
+        }
+        if self.error is not None:
+            data["error"] = self.error
+        return data
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while tracing is disabled.
+
+    A single module-level instance keeps the disabled path allocation-free:
+    ``with tracer.span(...)`` costs one method call and two no-op calls.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set_tag(self, key: str, value: TagValue) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager binding a :class:`Span` to a tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        span = self._span
+        tracer = self._tracer
+        if tracer._stack:
+            tracer._stack[-1].children.append(span)
+        else:
+            tracer.roots.append(span)
+        tracer._stack.append(span)
+        span.start_wall_s = time.perf_counter() - tracer.epoch_s
+        span._t0_wall = time.perf_counter()
+        span._t0_cpu = time.process_time()
+        return span
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        span = self._span
+        span.wall_s = time.perf_counter() - span._t0_wall
+        span.cpu_s = time.process_time() - span._t0_cpu
+        if exc_type is not None:
+            span.status = "error"
+            span.error = repr(exc)
+        stack = self._tracer._stack
+        # Pop back to (and including) this span even if inner spans leaked
+        # open — exception safety must leave the stack consistent.
+        while stack:
+            if stack.pop() is span:
+                break
+        return None  # never swallow the exception
+
+
+class Tracer:
+    """Produces the span tree for one instrumented run."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self.epoch_s = time.perf_counter()
+
+    def span(self, name: str, **tags: TagValue) -> _ActiveSpan:
+        """Open a child of the innermost active span (or a new root)."""
+        return _ActiveSpan(self, Span(name, tags=dict(tags)))
+
+    @property
+    def depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    def span_count(self) -> int:
+        return sum(root.span_count() for root in self.roots)
+
+    def reset(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
+        self.epoch_s = time.perf_counter()

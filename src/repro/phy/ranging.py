@@ -19,6 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.layers import Layer
+from repro.obs.events import EventKind
+from repro.obs.runtime import OBS
 from repro.phy.pulses import SPEED_OF_LIGHT
 
 __all__ = ["TwrMeasurement", "ss_twr", "ds_twr"]
@@ -59,7 +62,10 @@ def ss_twr(distance_m: float, *, reply_time_s: float = 300e-6,
     t_round = 2.0 * tof + reply_time_s
     t_reply_reported = reply_time_s / drift
     tof_est = (t_round - t_reply_reported) / 2.0
-    return TwrMeasurement("SS-TWR", distance_m, tof_est * SPEED_OF_LIGHT)
+    measurement = TwrMeasurement("SS-TWR", distance_m, tof_est * SPEED_OF_LIGHT)
+    if OBS.enabled:
+        _record_twr(measurement, extra_path_m)
+    return measurement
 
 
 def ds_twr(distance_m: float, *, reply_time_a_s: float = 300e-6,
@@ -81,4 +87,19 @@ def ds_twr(distance_m: float, *, reply_time_a_s: float = 300e-6,
     rb = (2.0 * tof + reply_time_a_s) / drift   # B: response -> final
     da = reply_time_a_s                         # A's reply delay
     tof_est = (ra * rb - da * db) / (ra + rb + da + db)
-    return TwrMeasurement("DS-TWR", distance_m, tof_est * SPEED_OF_LIGHT)
+    measurement = TwrMeasurement("DS-TWR", distance_m, tof_est * SPEED_OF_LIGHT)
+    if OBS.enabled:
+        _record_twr(measurement, extra_path_m)
+    return measurement
+
+
+def _record_twr(measurement: TwrMeasurement, extra_path_m: float) -> None:
+    """Report one TWR exchange to the observability layer."""
+    OBS.count("phy.ranging.measurements")
+    OBS.observe("phy.ranging.error_m", measurement.error_m)
+    OBS.emit(EventKind.RANGING, Layer.PHYSICAL, measurement.method.lower(),
+             f"measured {measurement.measured_distance_m:.2f} m "
+             f"(true {measurement.true_distance_m:.2f} m)",
+             true_m=measurement.true_distance_m,
+             measured_m=measurement.measured_distance_m,
+             extra_path_m=extra_path_m)

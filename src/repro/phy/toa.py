@@ -22,6 +22,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.layers import Layer
+from repro.obs.events import EventKind
+from repro.obs.runtime import OBS
+
 __all__ = ["ToaEstimate", "cross_correlation", "first_path_toa"]
 
 
@@ -84,9 +88,19 @@ def first_path_toa(correlation: np.ndarray, *,
         if magnitude[idx] >= threshold:
             toa = idx
             break
-    return ToaEstimate(
+    estimate = ToaEstimate(
         toa_sample=toa,
         peak_sample=peak,
         peak_value=peak_value,
         first_path_value=float(magnitude[toa]),
     )
+    if OBS.enabled:
+        OBS.count("phy.toa.estimates")
+        if estimate.used_early_path:
+            OBS.count("phy.toa.early_path_selected")
+        OBS.emit(EventKind.TOA_ESTIMATE, Layer.PHYSICAL, "toa-search",
+                 f"first path at sample {toa} (peak at {peak})",
+                 toa_sample=toa, peak_sample=peak,
+                 early_path=estimate.used_early_path,
+                 threshold_ratio=threshold_ratio)
+    return estimate

@@ -1,0 +1,108 @@
+"""Event log semantics: ring wraparound, filtering, JSONL round-trip."""
+
+import pytest
+
+from repro.core.layers import Layer
+from repro.obs.events import EventKind, EventLog, SimEvent
+
+
+def fill(log, n, kind=EventKind.FRAME_SENT, layer=Layer.NETWORK):
+    for i in range(n):
+        log.emit(kind, layer, "bus", f"event {i}", t=float(i), index=i)
+
+
+class TestRingBuffer:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_emission_order_and_seq(self):
+        log = EventLog()
+        fill(log, 3)
+        assert [e.seq for e in log] == [0, 1, 2]
+        assert [e.message for e in log] == ["event 0", "event 1", "event 2"]
+
+    def test_wraparound_keeps_most_recent(self):
+        log = EventLog(capacity=4)
+        fill(log, 10)
+        assert len(log) == 4
+        assert log.dropped == 6
+        assert [e.seq for e in log] == [6, 7, 8, 9]
+        # seq keeps counting across drops
+        event = log.emit(EventKind.BUS_OFF, Layer.NETWORK, "ecu", "gone")
+        assert event.seq == 10
+        assert log.dropped == 7
+
+    def test_filtering_by_kind_and_layer(self):
+        log = EventLog()
+        fill(log, 2)
+        log.emit(EventKind.RANGING, Layer.PHYSICAL, "ds-twr", "ranged")
+        assert len(log.events(kind=EventKind.RANGING)) == 1
+        assert len(log.events(layer=Layer.NETWORK)) == 2
+        assert log.layers() == {Layer.NETWORK, Layer.PHYSICAL}
+
+    def test_clear_resets_seq_and_dropped(self):
+        log = EventLog(capacity=2)
+        fill(log, 5)
+        log.clear()
+        assert len(log) == 0 and log.dropped == 0
+        assert log.emit(EventKind.FRAME_SENT, Layer.NETWORK, "b", "m").seq == 0
+
+
+class TestJsonl:
+    def test_round_trip_preserves_events(self):
+        log = EventLog()
+        fill(log, 3)
+        log.emit(EventKind.MAC_REJECTED, Layer.NETWORK, "pdu-0x300",
+                 "forged", freshness=7, ok=False, label="x")
+        restored = EventLog.from_jsonl(log.to_jsonl())
+        assert list(restored) == list(log)
+
+    def test_file_round_trip(self, tmp_path):
+        log = EventLog()
+        fill(log, 2)
+        path = tmp_path / "events.jsonl"
+        assert log.write_jsonl(path) == 2
+        restored = EventLog.read_jsonl(path)
+        assert list(restored) == list(log)
+
+    def test_every_line_is_valid_json(self):
+        import json
+
+        log = EventLog()
+        fill(log, 3)
+        for line in log.to_jsonl().splitlines():
+            assert json.loads(line)["kind"] == "frame-sent"
+
+    def test_empty_log_round_trip(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert EventLog().write_jsonl(path) == 0
+        assert len(EventLog.read_jsonl(path)) == 0
+
+    def test_bad_json_line_rejected_with_line_number(self):
+        with pytest.raises(ValueError, match="line 1"):
+            EventLog.from_jsonl("not json at all")
+
+    @pytest.mark.parametrize("mutation", [
+        {"kind": "not-a-kind"},
+        {"layer": "not-a-layer"},
+        {"seq": "zero"},
+        {"t": "soon"},
+        {"fields": {"nested": {"too": "deep"}}},
+    ])
+    def test_malformed_records_rejected(self, mutation):
+        import json
+
+        log = EventLog()
+        fill(log, 1)
+        record = json.loads(log.to_jsonl())
+        record.update(mutation)
+        with pytest.raises(ValueError):
+            SimEvent.from_dict(record)
+
+    def test_import_respects_capacity(self):
+        log = EventLog()
+        fill(log, 10)
+        restored = EventLog.from_jsonl(log.to_jsonl(), capacity=3)
+        assert len(restored) == 3
+        assert restored.dropped == 7

@@ -1,0 +1,153 @@
+"""Hot-path instrumentation: each layer reports the right events — and
+stays completely silent when the observability layer is disabled."""
+
+from repro.core.layers import Layer
+from repro.core.response import ResponseEngine, SecurityAlert, Severity
+from repro.obs.events import EventKind
+from repro.obs.runtime import OBS, instrumented
+
+
+def _run_bus_frames(n=3):
+    from repro.core.events import Simulator
+    from repro.ivn.bus import BusNode, CanBus
+    from repro.ivn.frames import CanFrame
+
+    sim = Simulator()
+    bus = CanBus(sim)
+    bus.attach(BusNode("a"))
+    bus.attach(BusNode("b"))
+    for _ in range(n):
+        bus.send("a", CanFrame(0x123, b"\x01" * 8))
+    sim.run()
+
+
+class TestDisabledSilence:
+    def test_no_layer_emits_when_disabled(self):
+        OBS.disable()
+        before_events = len(OBS.events)
+        before_metrics = len(OBS.metrics)
+        _run_bus_frames()
+        from repro.phy.ranging import ds_twr
+
+        ds_twr(10.0)
+        assert len(OBS.events) == before_events
+        assert len(OBS.metrics) == before_metrics
+
+
+class TestNetworkLayer:
+    def test_bus_emits_send_and_delivery(self):
+        with instrumented() as obs:
+            _run_bus_frames(3)
+            assert obs.metrics.counter("ivn.bus.frames_sent").value == 3
+            assert obs.metrics.counter("ivn.bus.frames_delivered").value == 3
+            assert len(obs.events.events(kind=EventKind.FRAME_SENT)) == 3
+            assert len(obs.events.events(kind=EventKind.FRAME_DELIVERED)) == 3
+            assert obs.metrics.histogram("ivn.bus.latency_s").count == 3
+            assert obs.events.layers() == {Layer.NETWORK}
+
+    def test_secoc_reports_verified_and_rejected(self):
+        from dataclasses import replace
+
+        from repro.ivn.secoc import PROFILE_3, SecOcChannel
+
+        with instrumented() as obs:
+            sender = SecOcChannel(b"\x22" * 16, PROFILE_3)
+            receiver = SecOcChannel(b"\x22" * 16, PROFILE_3)
+            assert receiver.verify(sender.secure(0x300, b"ok"))
+            honest = sender.secure(0x300, b"evil")
+            forged = replace(honest,
+                             truncated_mac=bytes(len(honest.truncated_mac)))
+            assert not receiver.verify(forged)
+            assert len(obs.events.events(kind=EventKind.MAC_VERIFIED)) == 1
+            rejected = obs.events.events(kind=EventKind.MAC_REJECTED)
+            assert len(rejected) == 1
+            assert rejected[0].source == "pdu-0x300"
+
+    def test_busoff_emits_ids_alert_and_eviction(self):
+        from repro.ivn.busoff import BusOffAttack, simulate_busoff
+
+        with instrumented() as obs:
+            simulate_busoff(BusOffAttack(), rounds=100, defend=True)
+            outcome_events = obs.events.events(kind=EventKind.BUS_OFF)
+            alert_events = obs.events.events(kind=EventKind.IDS_ALERT)
+            # A defended run must at least raise the detector alert.
+            assert alert_events or outcome_events
+
+
+class TestPhysicalLayer:
+    def test_ranging_observes_error_and_emits(self):
+        from repro.phy.ranging import ds_twr, ss_twr
+
+        with instrumented() as obs:
+            ds_twr(12.0, extra_path_m=5.0)
+            ss_twr(12.0)
+            assert obs.metrics.counter("phy.ranging.measurements").value == 2
+            events = obs.events.events(kind=EventKind.RANGING)
+            assert {event.source for event in events} == {"ds-twr", "ss-twr"}
+            assert obs.metrics.histogram("phy.ranging.error_m").count == 2
+
+
+class TestDataLayer:
+    def test_killchain_spans_and_attack_steps(self):
+        from repro.datalayer.breach import run_breach
+
+        with instrumented() as obs:
+            run_breach()
+            steps = obs.events.events(kind=EventKind.ATTACK_STEP)
+            assert len(steps) >= 1
+            assert all(event.layer is Layer.DATA for event in steps)
+            spans = [span for span in obs.tracer.roots
+                     if span.name == "datalayer.killchain"]
+            assert spans and spans[0].tags["stages"] == 6
+            succeeded = obs.metrics.counter(
+                "datalayer.killchain.stages_succeeded").value
+            assert succeeded == len(steps) or succeeded == len(steps) - 1
+
+
+class TestCollaborationLayer:
+    def test_trust_updates_emitted_only_on_change(self):
+        from repro.collab.detection import TrustManager
+
+        with instrumented() as obs:
+            trust = TrustManager(["veh-a"])
+            trust.penalize("veh-a")
+            trust.reward_member("veh-a")
+            events = obs.events.events(kind=EventKind.TRUST_UPDATE)
+            assert len(events) == 2
+            assert all(event.layer is Layer.COLLABORATION for event in events)
+            # Rewarding at the ceiling changes nothing — no event.
+            fresh = TrustManager(["veh-b"])
+            fresh.reward_member("veh-b")
+            assert len(obs.events.events(kind=EventKind.TRUST_UPDATE)) == 2
+
+
+class TestResponseEngine:
+    def _alert(self, confidence=1.0):
+        return SecurityAlert(time=1.5, layer=Layer.NETWORK, component="ecu-7",
+                             attack_name="busoff", severity=Severity.CRITICAL,
+                             confidence=confidence)
+
+    def test_alert_and_decision_reported(self):
+        with instrumented() as obs:
+            engine = ResponseEngine()
+            decision = engine.handle(self._alert())
+            alerts = obs.events.events(kind=EventKind.IDS_ALERT)
+            actions = obs.events.events(kind=EventKind.RESPONSE_ACTION)
+            assert len(alerts) == 1 and alerts[0].t == 1.5
+            assert len(actions) == 1
+            assert actions[0].fields["action"] == decision.action.name
+            assert obs.metrics.counter("core.response.alerts").value == 1
+            assert obs.metrics.counter("core.response.decisions").value == 1
+
+    def test_low_confidence_branch_also_reported(self):
+        with instrumented() as obs:
+            ResponseEngine(min_confidence=0.9).handle(self._alert(0.1))
+            actions = obs.events.events(kind=EventKind.RESPONSE_ACTION)
+            assert len(actions) == 1
+            assert actions[0].fields["action"] == "LOG_ONLY"
+
+    def test_engine_works_with_obs_disabled(self):
+        OBS.disable()
+        engine = ResponseEngine()
+        decision = engine.handle(self._alert())
+        assert engine.decisions == [decision]

@@ -1,0 +1,117 @@
+"""Counter/Gauge/Histogram aggregation and the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.runtime import OBS, instrumented
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("frames")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("frames").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("util")
+        gauge.set(0.3)
+        gauge.set(0.9)
+        assert gauge.value == 0.9
+        assert gauge.updates == 2
+
+
+class TestHistogram:
+    def test_summary_on_known_distribution(self):
+        hist = Histogram("latency")
+        for value in range(1, 101):           # 1..100
+            hist.observe(float(value))
+        summary = hist.summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["p50"] == 50.0
+        assert summary["p95"] == 95.0
+        assert summary["p99"] == 99.0
+
+    def test_percentiles_interleaved_with_observations(self):
+        # Aggregation must survive out-of-order observes between queries.
+        hist = Histogram("x")
+        for value in (5.0, 1.0, 3.0):
+            hist.observe(value)
+        assert hist.percentile(100) == 5.0
+        hist.observe(2.0)
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(50) == 2.0
+
+    def test_single_observation(self):
+        hist = Histogram("one")
+        hist.observe(7.0)
+        summary = hist.summary()
+        assert summary["p50"] == summary["p99"] == summary["mean"] == 7.0
+
+    def test_empty_summary_and_percentile(self):
+        hist = Histogram("empty")
+        assert hist.summary()["count"] == 0
+        with pytest.raises(ValueError, match="no observations"):
+            hist.percentile(50)
+
+    def test_percentile_range_checked(self):
+        hist = Histogram("x")
+        hist.observe(1.0)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            hist.percentile(101)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert len(registry) == 2
+
+    def test_name_bound_to_one_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_json_export_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(2.0)
+        doc = registry.to_json_dict()
+        assert doc["counters"] == {"c": 3}
+        assert doc["gauges"] == {"g": 1.5}
+        assert doc["histograms"]["h"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert len(registry) == 0
+
+
+class TestDisabledMode:
+    def test_hooks_are_noops_when_disabled(self):
+        OBS.disable()
+        before = len(OBS.metrics)
+        OBS.count("ignored.counter")
+        OBS.observe("ignored.histogram", 1.0)
+        OBS.gauge("ignored.gauge", 2.0)
+        assert len(OBS.metrics) == before
+
+    def test_hooks_record_when_enabled(self):
+        with instrumented() as obs:
+            obs.count("seen.counter", 2)
+            obs.observe("seen.histogram", 3.0)
+            assert obs.metrics.counter("seen.counter").value == 2
+            assert obs.metrics.histogram("seen.histogram").count == 1

@@ -1,0 +1,167 @@
+"""Trace reports: renderers, JSON schema validator, and timeline merge."""
+
+import copy
+import json
+
+import pytest
+
+from repro.core.layers import Layer
+from repro.obs import (SchemaError, TraceReport, Timeline, instrumented,
+                       merge_events, render_metrics_table, render_span_tree,
+                       validate_trace_dict)
+from repro.obs.events import EventKind, EventLog
+from repro.obs.metrics import MetricsRegistry
+
+
+def sample_report():
+    """A small but fully populated report built through the real hooks."""
+    with instrumented() as obs:
+        with obs.span("scenario", profile="PROFILE_3"):
+            with obs.span("bus-exchange"):
+                obs.count("frames", 3)
+                obs.observe("latency_s", 0.004)
+            obs.emit(EventKind.FRAME_SENT, Layer.NETWORK, "bus",
+                     "id=0x300", t=0.1, can_id=0x300)
+            obs.emit(EventKind.MAC_REJECTED, Layer.NETWORK, "pdu-0x300",
+                     "forged", t=0.2)
+            obs.emit(EventKind.RANGING, Layer.PHYSICAL, "ds-twr",
+                     "12.3m", t=0.3)
+        return TraceReport.from_instrumentation(
+            "unit-test", result={"verified": 7, "ok": True})
+
+
+class TestJsonDocument:
+    def test_document_passes_its_own_validator(self):
+        document = sample_report().to_json_dict()
+        validate_trace_dict(document)
+        # and survives a JSON round trip
+        validate_trace_dict(json.loads(json.dumps(document)))
+
+    def test_summary_reflects_contents(self):
+        document = sample_report().to_json_dict()
+        assert document["summary"]["spans"] == 2
+        assert document["summary"]["events"] == 3
+        assert document["summary"]["layers"] == ["network", "physical"]
+        assert document["summary"]["byKind"]["frame-sent"] == 1
+
+    def test_error_span_round_trips(self):
+        with instrumented() as obs:
+            with pytest.raises(RuntimeError):
+                with obs.span("doomed"):
+                    raise RuntimeError("kaput")
+            document = TraceReport.from_instrumentation("x").to_json_dict()
+        validate_trace_dict(document)
+        assert document["spans"][0]["status"] == "error"
+        assert "kaput" in document["spans"][0]["error"]
+
+
+MUTATIONS = [
+    ("drop-version", lambda d: d.pop("version")),
+    ("bad-version", lambda d: d.update(version="2.0")),
+    ("bad-tool", lambda d: d["tool"].update(name="someone-else")),
+    ("extra-top-key", lambda d: d.update(surprise=1)),
+    ("span-negative-wall", lambda d: d["spans"][0].update(wallMs=-1.0)),
+    ("span-bad-status", lambda d: d["spans"][0].update(status="meh")),
+    ("span-error-on-ok", lambda d: d["spans"][0].update(error="no")),
+    ("span-child-bad",
+     lambda d: d["spans"][0]["children"][0].pop("cpuMs")),
+    ("event-bad-kind", lambda d: d["events"][0].update(kind="nope")),
+    ("event-bad-layer", lambda d: d["events"][0].update(layer="nope")),
+    ("event-extra-key", lambda d: d["events"][0].update(extra=1)),
+    ("event-nested-field",
+     lambda d: d["events"][0]["fields"].update(deep={"a": 1})),
+    ("metrics-missing-section", lambda d: d["metrics"].pop("gauges")),
+    ("hist-missing-p99",
+     lambda d: d["metrics"]["histograms"]["latency_s"].pop("p99")),
+    ("result-nested", lambda d: d["result"].update(nested=[1, 2])),
+    ("summary-wrong-span-count", lambda d: d["summary"].update(spans=99)),
+    ("summary-wrong-event-count", lambda d: d["summary"].update(events=99)),
+    ("summary-unsorted-layers",
+     lambda d: d["summary"].update(layers=["physical", "network"])),
+    ("summary-wrong-bykind",
+     lambda d: d["summary"]["byKind"].update(ranging=5)),
+]
+
+
+class TestValidatorRejections:
+    @pytest.mark.parametrize("label,mutate", MUTATIONS,
+                             ids=[m[0] for m in MUTATIONS])
+    def test_mutation_raises_schema_error(self, label, mutate):
+        document = copy.deepcopy(sample_report().to_json_dict())
+        mutate(document)
+        with pytest.raises(SchemaError):
+            validate_trace_dict(document)
+
+    def test_schema_error_is_a_value_error(self):
+        assert issubclass(SchemaError, ValueError)
+
+
+class TestRenderers:
+    def test_span_tree_shows_nesting_and_timings(self):
+        report = sample_report()
+        tree = render_span_tree(report.spans)
+        lines = tree.splitlines()
+        assert "scenario" in lines[0] and "wall=" in lines[0]
+        assert lines[1].startswith("  ") and "bus-exchange" in lines[1]
+
+    def test_metrics_table_lists_all_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(0.5)
+        registry.histogram("h").observe(1.0)
+        table = render_metrics_table(registry)
+        assert "counter" in table and "gauge" in table and "histogram" in table
+        assert "p95=" in table
+
+    def test_empty_renderers_do_not_crash(self):
+        assert "no spans" in render_span_tree([])
+        assert "no metrics" in render_metrics_table(MetricsRegistry())
+
+    def test_to_table_mentions_layers_and_counts(self):
+        text = sample_report().to_table()
+        assert "unit-test" in text
+        assert "network" in text and "physical" in text
+        assert "3 event(s)" in text
+
+
+class TestTimelineMerge:
+    def _log(self, layer, kind, times):
+        log = EventLog()
+        for t in times:
+            log.emit(kind, layer, "src", f"at {t}", t=t)
+        return log
+
+    def test_offset_shifts_stream_onto_shared_clock(self):
+        chain = self._log(Layer.DATA, EventKind.ATTACK_STEP, [0.0, 1.0])
+        bus = self._log(Layer.NETWORK, EventKind.FRAME_SENT, [0.0, 1.0])
+        merged = merge_events(chain, bus, offsets=[0.0, 0.5])
+        assert [e.t for e in merged] == [0.0, 0.5, 1.0, 1.5]
+        assert [e.layer for e in merged] == [
+            Layer.DATA, Layer.NETWORK, Layer.DATA, Layer.NETWORK]
+
+    def test_seq_breaks_timestamp_ties_within_a_stream(self):
+        log = self._log(Layer.NETWORK, EventKind.FRAME_SENT, [1.0, 1.0, 1.0])
+        merged = merge_events(log)
+        assert [e.seq for e in merged] == [0, 1, 2]
+
+    def test_offsets_length_mismatch_rejected(self):
+        log = self._log(Layer.NETWORK, EventKind.FRAME_SENT, [0.0])
+        with pytest.raises(ValueError, match="offsets"):
+            merge_events(log, offsets=[0.0, 1.0])
+
+    def test_timeline_accumulates_and_renders(self):
+        timeline = Timeline()
+        timeline.add(self._log(Layer.DATA, EventKind.ATTACK_STEP, [0.0, 2.0]))
+        timeline.add(self._log(Layer.NETWORK, EventKind.BUS_OFF, [0.0]),
+                     offset_s=3.0)
+        assert timeline.layers() == {Layer.DATA, Layer.NETWORK}
+        assert timeline.span_s() == 3.0
+        rendered = timeline.render()
+        assert rendered.splitlines()[-1].startswith("t=    3.000000")
+        assert "[network]" in rendered and "[data" in rendered
+
+    def test_render_truncation_note(self):
+        log = self._log(Layer.NETWORK, EventKind.FRAME_SENT,
+                        [float(i) for i in range(10)])
+        rendered = Timeline().add(log).render(limit=4)
+        assert "6 more event(s) truncated" in rendered

@@ -1,0 +1,122 @@
+"""Span nesting, timing, exception safety, and the disabled fast path."""
+
+import pytest
+
+from repro.obs.runtime import OBS, instrumented
+from repro.obs.trace import NOOP_SPAN, Tracer
+
+
+class TestNesting:
+    def test_sequential_spans_are_siblings(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["first", "second"]
+        assert all(not s.children for s in tracer.roots)
+
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child-a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child-b"):
+                pass
+        (root,) = tracer.roots
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+        assert tracer.span_count() == 4
+        assert root.span_count() == 4
+
+    def test_depth_tracks_open_spans(self):
+        tracer = Tracer()
+        assert tracer.depth == 0
+        with tracer.span("outer"):
+            assert tracer.depth == 1
+            with tracer.span("inner"):
+                assert tracer.depth == 2
+        assert tracer.depth == 0
+
+    def test_tags_via_kwargs_and_set_tag(self):
+        tracer = Tracer()
+        with tracer.span("tagged", layer="network") as span:
+            span.set_tag("frames", 12)
+        assert tracer.roots[0].tags == {"layer": "network", "frames": 12}
+
+
+class TestTiming:
+    def test_wall_time_measures_the_block(self):
+        import time
+
+        tracer = Tracer()
+        with tracer.span("sleepy"):
+            time.sleep(0.01)
+        span = tracer.roots[0]
+        assert span.wall_s >= 0.009
+        assert span.cpu_s >= 0.0
+
+    def test_child_wall_time_within_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                sum(range(1000))
+        parent = tracer.roots[0]
+        assert parent.children[0].wall_s <= parent.wall_s
+
+
+class TestExceptionSafety:
+    def test_exception_closes_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        span = tracer.roots[0]
+        assert span.status == "error"
+        assert "boom" in span.error
+        assert span.wall_s >= 0.0
+        assert tracer.depth == 0
+
+    def test_exception_in_nested_span_unwinds_cleanly(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("inner failure")
+        outer, = tracer.roots
+        assert outer.status == "error"
+        assert outer.children[0].status == "error"
+        # The tracer is reusable afterwards.
+        with tracer.span("next"):
+            pass
+        assert [s.name for s in tracer.roots] == ["outer", "next"]
+
+    def test_ok_spans_have_no_error_key_in_json(self):
+        tracer = Tracer()
+        with tracer.span("fine"):
+            pass
+        assert "error" not in tracer.roots[0].to_dict()
+
+
+class TestDisabledFastPath:
+    def test_disabled_span_is_the_shared_noop(self):
+        OBS.disable()
+        span = OBS.span("anything", tag=1)
+        assert span is NOOP_SPAN
+        with span as inner:
+            inner.set_tag("ignored", True)
+        assert OBS.tracer.roots == [] or all(
+            s.name != "anything" for s in OBS.tracer.roots)
+
+    def test_enabled_span_is_recorded(self):
+        with instrumented() as obs:
+            with obs.span("recorded"):
+                pass
+            assert [s.name for s in obs.tracer.roots] == ["recorded"]
+
+    def test_instrumented_restores_previous_state(self):
+        OBS.disable()
+        with instrumented():
+            assert OBS.enabled
+        assert not OBS.enabled
