@@ -10,23 +10,36 @@ from __future__ import annotations
 import pytest
 
 
+def format_table(title: str, rows: list[tuple],
+                 header: tuple | None = None) -> str:
+    """Render a titled, aligned table; tolerates ragged rows.
+
+    Rows (and the header) may have different lengths: every row is
+    padded with empty cells to the widest one, so nothing is silently
+    dropped and nothing raises.  Column widths come from the padded
+    table.
+    """
+    table = ([tuple(header)] if header else []) + [tuple(row) for row in rows]
+    lines = [f"\n=== {title} ==="]
+    if table:
+        columns = max(len(row) for row in table)
+        padded = [tuple(str(cell) for cell in row) + ("",) * (columns - len(row))
+                  for row in table]
+        widths = [max(len(row[i]) for row in padded) for i in range(columns)]
+        for idx, row in enumerate(padded):
+            lines.append("  ".join(cell.ljust(width)
+                                   for cell, width in zip(row, widths)).rstrip())
+            if header and idx == 0:
+                lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
 @pytest.fixture()
 def show(capsys):
     """Print a titled table uncaptured, so it lands in the bench log."""
 
     def _show(title: str, rows: list[tuple], header: tuple | None = None) -> None:
         with capsys.disabled():
-            print(f"\n=== {title} ===")
-            table = ([header] if header else []) + list(rows)
-            widths = [
-                max(len(str(row[i])) for row in table)
-                for i in range(len(table[0]))
-            ]
-            for idx, row in enumerate(table):
-                line = "  ".join(str(cell).ljust(width)
-                                 for cell, width in zip(row, widths))
-                print(line)
-                if header and idx == 0:
-                    print("  ".join("-" * width for width in widths))
+            print(format_table(title, rows, header))
 
     return _show

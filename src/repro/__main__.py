@@ -4,7 +4,8 @@ Usage::
 
     python -m repro list                 # enumerate all experiments
     python -m repro run FIG2             # regenerate one figure/table
-    python -m repro run all              # the full reproduction sweep
+    python -m repro run all --jobs 4     # the full sweep, parallel + cached
+    python -m repro run FIG1 TAB1 --json # a sub-sweep, machine-readable
     python -m repro lint SCENARIO        # static security analysis
     python -m repro lint --rules         # the seclint rule catalog
     python -m repro trace SCENARIO       # instrumented simulation trace
@@ -14,10 +15,9 @@ from __future__ import annotations
 
 import argparse
 import json
-import subprocess
 import sys
 
-from repro.experiments import EXPERIMENTS, benchmarks_dir, find
+from repro.experiments import EXPERIMENTS, find
 
 
 def _cmd_list() -> int:
@@ -30,19 +30,66 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(exp_id: str) -> int:
-    directory = benchmarks_dir()
-    if exp_id.lower() == "all":
-        targets = [str(directory)]
+def _render_artifacts(artifacts: list[dict]) -> str:
+    sections = []
+    for artifact in artifacts:
+        sections.append("\n".join([f"=== {artifact['title']} ==="]
+                                  + list(artifact["rows"])))
+    return "\n\n".join(sections)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.runner import SweepRunner, validate_sweep_dict
+
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    if any(exp_id.lower() == "all" for exp_id in args.exp_ids):
+        experiments = list(EXPERIMENTS)
     else:
-        try:
-            experiment = find(exp_id)
-        except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            return 2
-        targets = [str(directory / experiment.bench_file)]
-    command = [sys.executable, "-m", "pytest", *targets, "--benchmark-only", "-q"]
-    return subprocess.call(command)
+        experiments = []
+        for exp_id in args.exp_ids:
+            try:
+                experiment = find(exp_id)
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                return 2
+            if experiment not in experiments:
+                experiments.append(experiment)
+
+    def _stream(result) -> None:
+        if args.json:
+            return
+        header = (f"--- {result.exp_id}: {result.status} "
+                  f"({result.duration_s:.2f}s"
+                  f"{', cached' if result.cached else ''}) ---")
+        print(header)
+        if result.cached:
+            body = _render_artifacts(result.artifacts)
+        else:
+            body = result.output_tail.rstrip()
+        if body:
+            print(body)
+        if result.error:
+            print(f"error: {result.error}", file=sys.stderr)
+
+    runner = SweepRunner(
+        experiments, jobs=args.jobs, use_cache=not args.no_cache,
+        cache_dir=args.cache_dir, base_seed=args.base_seed,
+        timeout_s=args.timeout, on_result=_stream)
+    report = runner.run()
+
+    if args.json:
+        document = report.to_json_dict()
+        validate_sweep_dict(document)
+        print(json.dumps(document, indent=2))
+    else:
+        print()
+        print(report.to_table())
+        if args.timeline:
+            print()
+            print(report.render_timeline())
+    return report.exit_code()
 
 
 def _cmd_lint_rules() -> int:
@@ -88,6 +135,31 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
 
+    if args.write_baseline:
+        # One baseline file for the whole invocation: findings from every
+        # scenario are merged (a per-scenario loop writing to the same
+        # path would keep only the last scenario's suppressions).
+        combined: Baseline | None = None
+        for name in names:
+            try:
+                target = build_scenario(name)
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                return 2
+            report = linter.run(target, baseline=baseline)
+            captured = Baseline.from_report(report,
+                                            comment=args.baseline_comment)
+            if combined is None:
+                combined = captured
+            else:
+                combined.target = "all"
+                combined.entries.update(captured.entries)
+        assert combined is not None
+        combined.save(args.write_baseline)
+        print(f"wrote baseline with {len(combined)} suppression(s) "
+              f"from {len(names)} scenario(s) to {args.write_baseline}")
+        return 0
+
     exit_code = 0
     for name in names:
         try:
@@ -96,12 +168,6 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(exc.args[0], file=sys.stderr)
             return 2
         report = linter.run(target, baseline=baseline)
-        if args.write_baseline:
-            Baseline.from_report(report, comment=args.baseline_comment).save(
-                args.write_baseline)
-            print(f"wrote baseline with {len(report.findings)} suppression(s) "
-                  f"to {args.write_baseline}")
-            continue
         if args.json:
             document = report.to_json_dict(linter.enabled_rules())
             validate_report_dict(document)
@@ -163,8 +229,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="enumerate experiments")
-    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
-    run_parser.add_argument("exp_id", help="experiment id from `list`, or 'all'")
+    run_parser = subparsers.add_parser(
+        "run", help="run experiments (parallel, cached sweep)")
+    run_parser.add_argument("exp_ids", nargs="+", metavar="EXP_ID",
+                            help="experiment id(s) from `list`, or 'all'")
+    run_parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                            help="worker processes for the sweep (default 1)")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="ignore and don't update the result cache")
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit the schema-validated sweep document")
+    run_parser.add_argument("--timeline", action="store_true",
+                            help="append the sweep dispatch/completion "
+                                 "timeline")
+    run_parser.add_argument("--timeout", type=float, default=900.0,
+                            metavar="S",
+                            help="per-experiment timeout in seconds "
+                                 "(default 900)")
+    run_parser.add_argument("--base-seed", type=int, default=0, metavar="N",
+                            help="sweep base seed; re-shards every "
+                                 "experiment's rng streams (default 0)")
+    run_parser.add_argument("--cache-dir", metavar="DIR",
+                            help="result-cache directory "
+                                 "(default .repro-cache/runner)")
 
     lint_parser = subparsers.add_parser(
         "lint", help="static security-configuration analysis")
@@ -214,7 +301,7 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_lint(args)
     if args.command == "trace":
         return _cmd_trace(args)
-    return _cmd_run(args.exp_id)
+    return _cmd_run(args)
 
 
 if __name__ == "__main__":

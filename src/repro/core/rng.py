@@ -10,6 +10,7 @@ without manual seed bookkeeping.
 from __future__ import annotations
 
 import hashlib
+import os
 import random
 
 import numpy as np
@@ -17,17 +18,36 @@ import numpy as np
 __all__ = ["derive_seed", "numpy_rng", "python_rng"]
 
 
-def derive_seed(label: str, base_seed: int = 0) -> int:
-    """Derive a stable 63-bit seed from a label and a base seed."""
+def _default_base_seed() -> int:
+    """The sweep-wide base seed (``REPRO_BASE_SEED``, default 0).
+
+    The experiment runner exports this per worker, so a sweep can
+    re-shard every derived stream without touching any call site.
+    """
+    try:
+        return int(os.environ.get("REPRO_BASE_SEED", "0"))
+    except ValueError:
+        return 0
+
+
+def derive_seed(label: str, base_seed: int | None = None) -> int:
+    """Derive a stable 63-bit seed from a label and a base seed.
+
+    With ``base_seed=None`` the ambient :func:`_default_base_seed` is
+    used — identical to the historical default of 0 unless a sweep set
+    ``REPRO_BASE_SEED``.
+    """
+    if base_seed is None:
+        base_seed = _default_base_seed()
     digest = hashlib.sha256(f"{base_seed}:{label}".encode()).digest()
     return int.from_bytes(digest[:8], "big") >> 1
 
 
-def numpy_rng(label: str, base_seed: int = 0) -> np.random.Generator:
+def numpy_rng(label: str, base_seed: int | None = None) -> np.random.Generator:
     """A numpy Generator seeded deterministically from ``label``."""
     return np.random.default_rng(derive_seed(label, base_seed))
 
 
-def python_rng(label: str, base_seed: int = 0) -> random.Random:
+def python_rng(label: str, base_seed: int | None = None) -> random.Random:
     """A stdlib Random seeded deterministically from ``label``."""
     return random.Random(derive_seed(label, base_seed))

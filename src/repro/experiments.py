@@ -75,6 +75,8 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "bench_ext_attackgraph.py"),
     Experiment("BENCH-OBS", "§VIII", "observability-layer overhead on the hot paths",
                "bench_obs_overhead.py"),
+    Experiment("BENCH-RUN", "§VIII", "sweep-runner parallel speedup + warm-cache cost",
+               "bench_runner.py"),
 )
 
 

@@ -46,6 +46,9 @@ class EventKind(str, Enum):
     TRUST_UPDATE = "trust-update"
     DETECTION = "detection"
     RESPONSE_ACTION = "response-action"
+    # experiment sweeps (repro.runner)
+    EXPERIMENT_START = "experiment-start"
+    EXPERIMENT_DONE = "experiment-done"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

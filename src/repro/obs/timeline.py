@@ -21,23 +21,28 @@ __all__ = ["Timeline", "merge_events", "render_timeline"]
 
 def merge_events(*streams: Iterable[SimEvent],
                  offsets: Iterable[float] | None = None) -> list[SimEvent]:
-    """Merge event streams onto one clock, sorted by (shifted t, seq).
+    """Merge event streams onto one clock, sorted by
+    ``(shifted t, stream index, seq)``.
 
     ``offsets[i]`` is added to every timestamp of ``streams[i]``; the
     default is no shift.  Events are re-stamped (``t`` shifted) but keep
-    their original ``seq`` as the within-stream tiebreaker.
+    their original ``seq``.  ``seq`` values only order events *within*
+    one stream — each log numbers from 0 — so cross-stream timestamp
+    ties are broken by stream position first (earlier ``add()`` wins),
+    and ``seq`` only orders events of the same stream.
     """
     streams_list = [list(stream) for stream in streams]
     shift = list(offsets) if offsets is not None else [0.0] * len(streams_list)
     if len(shift) != len(streams_list):
         raise ValueError("offsets must match the number of streams")
-    merged: list[SimEvent] = []
-    for stream, offset in zip(streams_list, shift):
+    decorated: list[tuple[float, int, int, SimEvent]] = []
+    for index, (stream, offset) in enumerate(zip(streams_list, shift)):
         for event in stream:
-            merged.append(event if offset == 0.0
-                          else replace(event, t=event.t + offset))
-    merged.sort(key=lambda e: (e.t, e.seq))
-    return merged
+            shifted = (event if offset == 0.0
+                       else replace(event, t=event.t + offset))
+            decorated.append((shifted.t, index, event.seq, shifted))
+    decorated.sort(key=lambda item: item[:3])
+    return [item[3] for item in decorated]
 
 
 def render_timeline(events: list[SimEvent], *, limit: int | None = None) -> str:

@@ -1,0 +1,285 @@
+"""The parallel, cached experiment-sweep scheduler.
+
+:class:`SweepRunner` takes experiments from the registry and runs them
+to completion across a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+- **Parallelism** — ``jobs`` worker processes; each worker runs one
+  experiment's bench file as a subprocess (so a crashing bench can never
+  take the scheduler down) and hands back a plain result document.
+- **Timeout + retry** — every experiment gets a hard per-run timeout;
+  infrastructure failures (``timeout``/``error``, *not* deterministic
+  test failures) are retried exactly once.
+- **Caching** — results are looked up in / written to a
+  content-addressed :class:`~repro.runner.cache.ResultCache`; a warm
+  re-run reports unchanged experiments as ``cached`` without spawning
+  anything.
+- **Seed sharding** — each experiment's worker receives a seed derived
+  with :func:`repro.core.rng.derive_seed` from the sweep's base seed,
+  so replicated sweeps (``--base-seed N``) are deterministic per
+  experiment and decorrelated across experiments.
+- **Observability** — a ``runner.sweep`` span with one child span per
+  executed experiment, ``runner.*`` counters/histograms, and
+  experiment start/done events collected on a sweep
+  :class:`~repro.obs.timeline.Timeline` (mirrored into the global
+  :data:`~repro.obs.runtime.OBS` when instrumentation is enabled).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.core.layers import Layer
+from repro.core.rng import derive_seed
+from repro.experiments import Experiment, benchmarks_dir
+from repro.obs.events import EventKind, EventLog, SimEvent
+from repro.obs.runtime import OBS
+from repro.obs.trace import Span
+from repro.runner.cache import ResultCache, experiment_key, tree_digest
+from repro.runner.worker import execute
+
+__all__ = ["ExperimentResult", "SweepRunner", "DEFAULT_COMMAND_TEMPLATE",
+           "DEFAULT_TIMEOUT_S"]
+
+#: Worker argv template; ``{python}`` and ``{bench}`` are substituted.
+DEFAULT_COMMAND_TEMPLATE: tuple[str, ...] = (
+    "{python}", "-m", "pytest", "{bench}", "--benchmark-only", "-q",
+    "-p", "no:cacheprovider",
+)
+
+DEFAULT_TIMEOUT_S = 900.0
+
+#: Statuses that count as success (a cache hit implies a past pass).
+OK_STATUSES = frozenset({"passed", "cached"})
+
+#: Statuses worth one automatic retry (worker trouble, not test verdicts).
+RETRYABLE_STATUSES = frozenset({"timeout", "error"})
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment within a sweep."""
+
+    exp_id: str
+    status: str
+    exit_code: int
+    duration_s: float
+    seed: int
+    retries: int = 0
+    cached: bool = False
+    cache_key: str = ""
+    artifacts: list[dict] = field(default_factory=list)
+    output_tail: str = ""
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status in OK_STATUSES
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.exp_id,
+            "status": self.status,
+            "exitCode": self.exit_code,
+            "durationS": self.duration_s,
+            "seed": self.seed,
+            "retries": self.retries,
+            "cached": self.cached,
+            "cacheKey": self.cache_key,
+            "artifacts": [dict(a) for a in self.artifacts],
+            "error": self.error,
+        }
+
+
+class SweepRunner:
+    """Schedule a set of experiments and collect a sweep report."""
+
+    def __init__(self, experiments: Iterable[Experiment], *,
+                 jobs: int = 1,
+                 use_cache: bool = True,
+                 cache: ResultCache | None = None,
+                 cache_dir: str | Path | None = None,
+                 base_seed: int = 0,
+                 timeout_s: float = DEFAULT_TIMEOUT_S,
+                 retry: bool = True,
+                 bench_dir: Path | None = None,
+                 command_template: Sequence[str] = DEFAULT_COMMAND_TEMPLATE,
+                 digest_paths: Sequence[Path] | None = None,
+                 on_result: Callable[[ExperimentResult], None] | None = None,
+                 ) -> None:
+        self.experiments = list(experiments)
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.use_cache = use_cache
+        # NB: not `cache or ...` — an *empty* ResultCache is falsy (len 0)
+        self.cache = cache if cache is not None else ResultCache(cache_dir)
+        self.base_seed = base_seed
+        self.timeout_s = timeout_s
+        self.retry = retry
+        self.bench_dir = Path(bench_dir) if bench_dir else benchmarks_dir()
+        self.command_template = tuple(command_template)
+        if digest_paths is None:
+            src_tree = Path(__file__).resolve().parents[1]  # src/repro
+            digest_paths = [src_tree, benchmarks_dir() / "conftest.py"]
+        self.digest_paths = list(digest_paths)
+        self.on_result = on_result
+        self.events = EventLog(capacity=8192)
+        self._t0 = 0.0
+
+    # -- helpers -------------------------------------------------------------
+
+    def seed_for(self, exp_id: str) -> int:
+        """The deterministic per-experiment seed shard."""
+        return derive_seed(f"sweep/{exp_id}", self.base_seed)
+
+    def _command(self, bench_path: Path) -> list[str]:
+        return [part.format(python=sys.executable, bench=str(bench_path))
+                for part in self.command_template]
+
+    def _spec(self, experiment: Experiment) -> dict:
+        bench_path = self.bench_dir / experiment.bench_file
+        return {
+            "exp_id": experiment.exp_id,
+            "command": self._command(bench_path),
+            "timeout_s": self.timeout_s,
+            "seed": self.seed_for(experiment.exp_id),
+            "base_seed": self.base_seed,
+        }
+
+    def _emit(self, kind: EventKind, exp_id: str, message: str,
+              **fields: str | int | float | bool) -> SimEvent:
+        t = time.perf_counter() - self._t0
+        event = self.events.emit(kind, Layer.SYSTEM_OF_SYSTEMS, exp_id,
+                                 message, t=t, **fields)
+        if OBS.enabled:
+            OBS.emit(kind, Layer.SYSTEM_OF_SYSTEMS, exp_id, message,
+                     t=t, **fields)
+        return event
+
+    def _record(self, result: ExperimentResult, root: object) -> None:
+        """Book-keeping common to fresh and cached results."""
+        if OBS.enabled:
+            OBS.count(f"runner.{result.status}")
+            OBS.count("runner.completed")
+            if not result.cached:
+                OBS.observe("runner.experiment_s", result.duration_s)
+            if isinstance(root, Span):
+                root.children.append(Span(
+                    name=f"runner.exp.{result.exp_id}",
+                    tags={"status": result.status,
+                          "cached": result.cached,
+                          "retries": result.retries},
+                    wall_s=0.0 if result.cached else result.duration_s,
+                    cpu_s=0.0,
+                    status="ok" if result.ok else "error",
+                    error=None if result.ok else (result.error
+                                                  or result.status),
+                ))
+        self._emit(EventKind.EXPERIMENT_DONE, result.exp_id,
+                   f"{result.status} in {result.duration_s:.3f}s"
+                   + (" (cached)" if result.cached else ""),
+                   status=result.status, cached=result.cached,
+                   retries=result.retries)
+        if self.on_result is not None:
+            self.on_result(result)
+
+    @staticmethod
+    def _result_from_doc(document: dict, *, key: str, cached: bool,
+                         retries: int = 0) -> ExperimentResult:
+        return ExperimentResult(
+            exp_id=str(document.get("id", "")),
+            status="cached" if cached else str(document.get("status", "error")),
+            exit_code=int(document.get("exitCode", -1)),
+            duration_s=float(document.get("durationS", 0.0)),
+            seed=int(document.get("seed", 0)),
+            retries=retries,
+            cached=cached,
+            cache_key=key,
+            artifacts=list(document.get("artifacts", [])),
+            output_tail=str(document.get("outputTail", "")),
+            error=str(document.get("error", "")),
+        )
+
+    # -- the sweep -----------------------------------------------------------
+
+    def run(self) -> "SweepReport":
+        from repro.runner.report import SweepReport
+
+        self._t0 = time.perf_counter()
+        tree = tree_digest(self.digest_paths)
+        results: dict[str, ExperimentResult] = {}
+        pending: list[tuple[Experiment, str]] = []
+
+        with OBS.span("runner.sweep", jobs=self.jobs,
+                      experiments=len(self.experiments)) as root:
+            for experiment in self.experiments:
+                key = experiment_key(
+                    experiment.exp_id, self.bench_dir / experiment.bench_file,
+                    tree=tree, base_seed=self.base_seed,
+                    command_template=self.command_template)
+                document = self.cache.get(key) if self.use_cache else None
+                if document is not None:
+                    result = self._result_from_doc(document, key=key,
+                                                   cached=True)
+                    result.exp_id = experiment.exp_id
+                    results[experiment.exp_id] = result
+                    self._record(result, root)
+                else:
+                    pending.append((experiment, key))
+
+            if pending:
+                workers = max(1, min(self.jobs, len(pending)))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    future_map = {}
+                    for experiment, key in pending:
+                        self._emit(EventKind.EXPERIMENT_START,
+                                   experiment.exp_id, "dispatched", attempt=0)
+                        if OBS.enabled:
+                            OBS.count("runner.scheduled")
+                        future = pool.submit(execute, self._spec(experiment))
+                        future_map[future] = (experiment, key, 0)
+                    while future_map:
+                        done, _ = wait(future_map, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            experiment, key, attempt = future_map.pop(future)
+                            try:
+                                document = future.result()
+                            except Exception as exc:  # worker process died
+                                document = {
+                                    "id": experiment.exp_id, "status": "error",
+                                    "exitCode": -1, "durationS": 0.0,
+                                    "seed": self.seed_for(experiment.exp_id),
+                                    "artifacts": [], "outputTail": "",
+                                    "error": f"worker crashed: {exc!r}",
+                                }
+                            if (document["status"] in RETRYABLE_STATUSES
+                                    and attempt == 0 and self.retry):
+                                if OBS.enabled:
+                                    OBS.count("runner.retries")
+                                self._emit(EventKind.EXPERIMENT_START,
+                                           experiment.exp_id,
+                                           f"retrying after "
+                                           f"{document['status']}", attempt=1)
+                                retry_future = pool.submit(
+                                    execute, self._spec(experiment))
+                                future_map[retry_future] = (experiment, key, 1)
+                                continue
+                            result = self._result_from_doc(
+                                document, key=key, cached=False,
+                                retries=attempt)
+                            if self.use_cache and result.status == "passed":
+                                self.cache.put(key, document)
+                            results[experiment.exp_id] = result
+                            self._record(result, root)
+
+        wall_s = time.perf_counter() - self._t0
+        ordered = [results[e.exp_id] for e in self.experiments]
+        return SweepReport(ordered, jobs=self.jobs,
+                           cache_enabled=self.use_cache,
+                           base_seed=self.base_seed, wall_s=wall_s,
+                           tree=tree, events=list(self.events))

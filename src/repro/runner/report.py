@@ -1,0 +1,239 @@
+"""Sweep reports: summary table / timeline text and a validated JSON doc.
+
+The JSON schema (version ``1.0``) mirrors the ``repro.lint`` and
+``repro.obs`` report conventions — small, flat, stable::
+
+    {
+      "version": "1.0",
+      "tool": {"name": "repro-runner", "version": "<package version>"},
+      "sweep": {"jobs", "cache", "baseSeed", "wallS", "treeDigest"},
+      "experiments": [
+        {"id", "status", "exitCode", "durationS", "seed", "retries",
+         "cached", "cacheKey", "artifacts": [{"title", "rows"}], "error"}
+      ],
+      "summary": {"total", "passed", "failed", "errors", "timeouts",
+                  "cached", "ok"}
+    }
+
+:func:`validate_sweep_dict` checks a parsed document against that
+schema and raises :class:`SweepSchemaError` on any violation — the CI
+gate and the round-trip tests both call it.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import SimEvent
+from repro.obs.timeline import Timeline, render_timeline
+from repro.runner.engine import ExperimentResult
+
+__all__ = ["SweepReport", "SweepSchemaError", "validate_sweep_dict"]
+
+SCHEMA_VERSION = "1.0"
+TOOL_NAME = "repro-runner"
+
+STATUSES = ("passed", "failed", "error", "timeout", "cached")
+
+_STATUS_TO_SUMMARY = {"passed": "passed", "failed": "failed",
+                      "error": "errors", "timeout": "timeouts",
+                      "cached": "cached"}
+
+
+class SweepSchemaError(ValueError):
+    """A sweep JSON document does not match the documented schema."""
+
+
+class SweepReport:
+    """Everything one sweep produced, ready to render/export."""
+
+    def __init__(self, results: list[ExperimentResult], *, jobs: int,
+                 cache_enabled: bool, base_seed: int, wall_s: float,
+                 tree: str, events: list[SimEvent] | None = None) -> None:
+        self.results = list(results)
+        self.jobs = jobs
+        self.cache_enabled = cache_enabled
+        self.base_seed = base_seed
+        self.wall_s = wall_s
+        self.tree = tree
+        self.events = list(events or [])
+
+    # -- verdicts ------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def counts(self) -> dict[str, int]:
+        counts = {name: 0 for name in _STATUS_TO_SUMMARY.values()}
+        for result in self.results:
+            counts[_STATUS_TO_SUMMARY[result.status]] += 1
+        return counts
+
+    # -- rendering -----------------------------------------------------------
+
+    def timeline(self) -> Timeline:
+        """The sweep's dispatch/completion events as a Timeline."""
+        return Timeline().add(self.events)
+
+    def render_timeline(self) -> str:
+        return render_timeline(self.events)
+
+    def to_table(self) -> str:
+        """Aligned per-experiment summary plus a totals line."""
+        width = max([len(r.exp_id) for r in self.results] + [len("id")])
+        lines = [f"{'id'.ljust(width)}  {'status':8s}  {'time':>8s}  note",
+                 f"{'-' * width}  {'-' * 8}  {'-' * 8}  {'-' * 30}"]
+        for result in self.results:
+            note = ""
+            if result.cached:
+                note = "cache hit"
+            elif result.retries:
+                note = f"after {result.retries} retry"
+            if result.error:
+                note = (note + "; " if note else "") + result.error
+            lines.append(f"{result.exp_id.ljust(width)}  {result.status:8s}  "
+                         f"{result.duration_s:7.2f}s  {note}")
+        counts = self.counts()
+        lines.append(
+            f"sweep: {len(self.results)} experiment(s) in {self.wall_s:.2f}s "
+            f"with {self.jobs} job(s) — {counts['passed']} passed, "
+            f"{counts['cached']} cached, {counts['failed']} failed, "
+            f"{counts['errors']} error(s), {counts['timeouts']} timeout(s)")
+        return "\n".join(lines)
+
+    # -- export --------------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        """The sweep document (see module docstring for the schema)."""
+        from repro import __version__
+
+        counts = self.counts()
+        return {
+            "version": SCHEMA_VERSION,
+            "tool": {"name": TOOL_NAME, "version": __version__},
+            "sweep": {
+                "jobs": self.jobs,
+                "cache": self.cache_enabled,
+                "baseSeed": self.base_seed,
+                "wallS": self.wall_s,
+                "treeDigest": self.tree,
+            },
+            "experiments": [result.to_dict() for result in self.results],
+            "summary": {"total": len(self.results), **counts, "ok": self.ok},
+        }
+
+
+# --------------------------------------------------------------------------
+# schema validation
+# --------------------------------------------------------------------------
+
+_EXPERIMENT_KEYS = {"id", "status", "exitCode", "durationS", "seed",
+                    "retries", "cached", "cacheKey", "artifacts", "error"}
+_SUMMARY_KEYS = {"total", "passed", "failed", "errors", "timeouts",
+                 "cached", "ok"}
+_SWEEP_KEYS = {"jobs", "cache", "baseSeed", "wallS", "treeDigest"}
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SweepSchemaError(message)
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_int(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _validate_artifact(entry: object, where: str) -> None:
+    _require(isinstance(entry, dict) and set(entry) == {"title", "rows"},
+             f"{where}: artifact must be {{title, rows}}")
+    _require(isinstance(entry["title"], str) and entry["title"],
+             f"{where}: title must be a non-empty string")
+    _require(isinstance(entry["rows"], list)
+             and all(isinstance(row, str) for row in entry["rows"]),
+             f"{where}: rows must be a list of strings")
+
+
+def _validate_experiment(entry: object, where: str) -> str:
+    _require(isinstance(entry, dict), f"{where}: experiment must be an object")
+    _require(set(entry) == _EXPERIMENT_KEYS,
+             f"{where}: keys {sorted(entry)} != {sorted(_EXPERIMENT_KEYS)}")
+    _require(isinstance(entry["id"], str) and entry["id"],
+             f"{where}: id must be a non-empty string")
+    _require(entry["status"] in STATUSES,
+             f"{where}: bad status {entry['status']!r}")
+    _require(_is_int(entry["exitCode"]), f"{where}: exitCode must be an int")
+    _require(_is_number(entry["durationS"]) and entry["durationS"] >= 0,
+             f"{where}: durationS must be a non-negative number")
+    _require(_is_int(entry["seed"]) and entry["seed"] >= 0,
+             f"{where}: seed must be a non-negative int")
+    _require(_is_int(entry["retries"]) and entry["retries"] >= 0,
+             f"{where}: retries must be a non-negative int")
+    _require(isinstance(entry["cached"], bool),
+             f"{where}: cached must be a bool")
+    _require(entry["cached"] == (entry["status"] == "cached"),
+             f"{where}: cached flag must match status == 'cached'")
+    _require(isinstance(entry["cacheKey"], str),
+             f"{where}: cacheKey must be a string")
+    _require(isinstance(entry["error"], str),
+             f"{where}: error must be a string")
+    _require(isinstance(entry["artifacts"], list),
+             f"{where}: artifacts must be a list")
+    for index, artifact in enumerate(entry["artifacts"]):
+        _validate_artifact(artifact, f"{where}.artifacts[{index}]")
+    return entry["status"]
+
+
+def validate_sweep_dict(document: dict) -> None:
+    """Raise :class:`SweepSchemaError` unless ``document`` matches."""
+    _require(isinstance(document, dict), "sweep report must be an object")
+    required = {"version", "tool", "sweep", "experiments", "summary"}
+    _require(set(document) == required,
+             f"top-level keys {sorted(document)} != {sorted(required)}")
+    _require(document["version"] == SCHEMA_VERSION,
+             f"unsupported schema version {document['version']!r}")
+    tool = document["tool"]
+    _require(isinstance(tool, dict) and set(tool) == {"name", "version"},
+             "tool must be {name, version}")
+    _require(tool["name"] == TOOL_NAME,
+             f"unexpected tool name {tool['name']!r}")
+
+    sweep = document["sweep"]
+    _require(isinstance(sweep, dict) and set(sweep) == _SWEEP_KEYS,
+             f"sweep must be {sorted(_SWEEP_KEYS)}")
+    _require(_is_int(sweep["jobs"]) and sweep["jobs"] >= 1,
+             "sweep.jobs must be an int >= 1")
+    _require(isinstance(sweep["cache"], bool), "sweep.cache must be a bool")
+    _require(_is_int(sweep["baseSeed"]), "sweep.baseSeed must be an int")
+    _require(_is_number(sweep["wallS"]) and sweep["wallS"] >= 0,
+             "sweep.wallS must be a non-negative number")
+    _require(isinstance(sweep["treeDigest"], str) and sweep["treeDigest"],
+             "sweep.treeDigest must be a non-empty string")
+
+    _require(isinstance(document["experiments"], list),
+             "experiments must be a list")
+    counts = {name: 0 for name in _STATUS_TO_SUMMARY.values()}
+    seen_ids: set[str] = set()
+    for index, entry in enumerate(document["experiments"]):
+        status = _validate_experiment(entry, f"experiments[{index}]")
+        counts[_STATUS_TO_SUMMARY[status]] += 1
+        _require(entry["id"] not in seen_ids,
+                 f"experiments[{index}]: duplicate id {entry['id']!r}")
+        seen_ids.add(entry["id"])
+
+    summary = document["summary"]
+    _require(isinstance(summary, dict) and set(summary) == _SUMMARY_KEYS,
+             f"summary must be {sorted(_SUMMARY_KEYS)}")
+    _require(summary["total"] == len(document["experiments"]),
+             "summary.total must equal len(experiments)")
+    for name, value in counts.items():
+        _require(summary[name] == value,
+                 f"summary.{name} must count statuses (expected {value})")
+    ok = counts["failed"] == counts["errors"] == counts["timeouts"] == 0
+    _require(summary["ok"] == ok,
+             "summary.ok must be true iff no failed/error/timeout entries")

@@ -1,11 +1,14 @@
 """Tests for the experiment registry and the `python -m repro` CLI."""
 
+import json
 import subprocess
 import sys
 
 import pytest
 
+from repro.__main__ import main
 from repro.experiments import EXPERIMENTS, benchmarks_dir, find
+from repro.runner import validate_sweep_dict
 
 
 class TestRegistry:
@@ -52,7 +55,70 @@ class TestCli:
         assert result.returncode == 2
         assert "unknown experiment" in result.stderr
 
-    def test_run_single_experiment(self):
-        result = self._run("run", "FIG1")
+    def test_run_single_experiment(self, tmp_path):
+        result = self._run("run", "FIG1", "--cache-dir", str(tmp_path))
         assert result.returncode == 0
         assert "Fig. 1" in result.stdout
+        assert "1 passed" in result.stdout
+
+    def test_run_lowercase_id_matches(self, tmp_path):
+        result = self._run("run", "fig2", "--cache-dir", str(tmp_path))
+        assert result.returncode == 0
+        assert "FIG2" in result.stdout
+
+
+class TestRunnerCli:
+    """The sweep flags (--jobs/--no-cache/--json), in-process for speed."""
+
+    def _run(self, capsys, *argv):
+        code = main(["run", *argv])
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_unknown_id_with_flags_is_usage_error(self, capsys, tmp_path):
+        code, _, err = self._run(capsys, "FIG99", "--jobs", "2",
+                                 "--cache-dir", str(tmp_path))
+        assert code == 2
+        assert "unknown experiment" in err
+
+    def test_bad_jobs_rejected(self, capsys, tmp_path):
+        code, _, err = self._run(capsys, "FIG1", "--jobs", "0",
+                                 "--cache-dir", str(tmp_path))
+        assert code == 2
+        assert "--jobs" in err
+
+    def test_json_sweep_validates_then_warm_cache_hits(self, capsys,
+                                                       tmp_path):
+        code, out, _ = self._run(capsys, "FIG1", "--jobs", "2", "--json",
+                                 "--cache-dir", str(tmp_path))
+        assert code == 0
+        document = json.loads(out)
+        validate_sweep_dict(document)
+        assert document["sweep"]["jobs"] == 2
+        entry = document["experiments"][0]
+        assert entry["id"] == "FIG1" and entry["status"] == "passed"
+        assert any(a["title"].startswith("Fig. 1")
+                   for a in entry["artifacts"])
+
+        code, out, _ = self._run(capsys, "FIG1", "--json",
+                                 "--cache-dir", str(tmp_path))
+        assert code == 0
+        warm = json.loads(out)
+        validate_sweep_dict(warm)
+        assert warm["experiments"][0]["status"] == "cached"
+        assert warm["summary"]["cached"] == 1
+
+        # --no-cache forces a re-run despite the warm cache
+        code, out, _ = self._run(capsys, "FIG1", "--json", "--no-cache",
+                                 "--cache-dir", str(tmp_path))
+        assert code == 0
+        fresh = json.loads(out)
+        assert fresh["experiments"][0]["status"] == "passed"
+        assert fresh["sweep"]["cache"] is False
+
+    def test_multiple_ids_deduplicated(self, capsys, tmp_path):
+        code, out, _ = self._run(capsys, "FIG1", "fig1", "--json",
+                                 "--cache-dir", str(tmp_path))
+        assert code == 0
+        document = json.loads(out)
+        assert [e["id"] for e in document["experiments"]] == ["FIG1"]

@@ -91,6 +91,30 @@ class TestCli:
         assert code == 0
         assert "baselined" in out
 
+    def test_write_baseline_all_merges_every_scenario(self, capsys, tmp_path):
+        # regression: the old loop wrote the baseline once per scenario
+        # to the same path, keeping only the *last* scenario's entries
+        merged_path = tmp_path / "all.json"
+        code, out, _ = run_cli(capsys, "lint", "all",
+                               "--write-baseline", str(merged_path))
+        assert code == 0
+        assert "scenario(s)" in out
+        merged = json.loads(merged_path.read_text())
+        assert merged["target"] == "all"
+
+        single_path = tmp_path / "pkes.json"
+        run_cli(capsys, "lint", "pkes-legacy",
+                "--write-baseline", str(single_path))
+        single = json.loads(single_path.read_text())
+        merged_prints = {e["fingerprint"] for e in merged["suppressions"]}
+        single_prints = {e["fingerprint"] for e in single["suppressions"]}
+        assert single_prints < merged_prints  # strict superset across scenarios
+
+        # the merged baseline suppresses every scenario's findings
+        code, _, _ = run_cli(capsys, "lint", "all",
+                             "--baseline", str(merged_path))
+        assert code == 0
+
     def test_lint_all_covers_every_scenario(self, capsys):
         code, out, _ = run_cli(capsys, "lint", "all", "--gate", "none")
         assert code == 0

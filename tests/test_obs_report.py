@@ -144,6 +144,26 @@ class TestTimelineMerge:
         merged = merge_events(log)
         assert [e.seq for e in merged] == [0, 1, 2]
 
+    def test_cross_stream_ties_keep_streams_contiguous(self):
+        # regression: ties on t used to be broken by seq values from
+        # *different* streams, interleaving them arbitrarily — each
+        # stream numbers its own events from 0
+        first = self._log(Layer.DATA, EventKind.ATTACK_STEP, [1.0, 1.0])
+        second = self._log(Layer.NETWORK, EventKind.FRAME_SENT, [1.0, 1.0])
+        merged = merge_events(first, second)
+        assert [(e.layer, e.seq) for e in merged] == [
+            (Layer.DATA, 0), (Layer.DATA, 1),
+            (Layer.NETWORK, 0), (Layer.NETWORK, 1)]
+
+    def test_cross_stream_ties_after_offset_shift(self):
+        # two streams colliding at t=2.0 only after the offset is applied
+        first = self._log(Layer.DATA, EventKind.ATTACK_STEP, [2.0])
+        second = self._log(Layer.NETWORK, EventKind.FRAME_SENT, [0.0])
+        merged = merge_events(first, second, offsets=[0.0, 2.0])
+        assert [e.layer for e in merged] == [Layer.DATA, Layer.NETWORK]
+        merged = merge_events(second, first, offsets=[2.0, 0.0])
+        assert [e.layer for e in merged] == [Layer.NETWORK, Layer.DATA]
+
     def test_offsets_length_mismatch_rejected(self):
         log = self._log(Layer.NETWORK, EventKind.FRAME_SENT, [0.0])
         with pytest.raises(ValueError, match="offsets"):
