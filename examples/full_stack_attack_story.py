@@ -13,7 +13,11 @@ one incident across four layers of the reproduction:
 4. [holistic] the cross-layer assessment: which defenses mattered;
 5. [timeline] the incident replayed as one `repro.obs` cross-layer
               timeline — kill-chain steps, masquerade alert, and the
-              response action merged onto a single clock.
+              response action merged onto a single clock;
+6. [static]   the epilogue: `repro.flow` proves — without running
+              anything — that the deployed configuration admitted the
+              incident's path, and names the minimal set of edges whose
+              hardening would have cut it.
 
     python examples/full_stack_attack_story.py
 """
@@ -28,6 +32,8 @@ from repro.core import (
 )
 from repro.core.attackgraph import AttackGraph
 from repro.datalayer import run_breach
+from repro.flow import analyze
+from repro.lint.scenarios import build_scenario
 from repro.ivn import FrequencyIds, SenderFingerprintIds
 from repro.ivn.streams import run_dos_response_experiment
 from repro.obs import Timeline, instrumented
@@ -124,6 +130,28 @@ def act5_the_timeline() -> None:
           f"layers [{layers}] — the cross-layer narrative §VIII demands")
 
 
+def act6_the_foresight() -> None:
+    print("\n--- act 6 [static analysis]: could it have been predicted? ---")
+    # Every act above *ran* the incident.  The flow analyzer executes
+    # nothing: it compiles the deployed configuration into one
+    # cross-layer flow graph, taints the untrusted entry points, and
+    # proves whether taint can reach a safety-critical sink — the same
+    # paths the red team just walked, found before deployment.
+    result = analyze(build_scenario("cariad-breach"))
+    print(f"  cariad-breach: {len(result.witnesses)} unprotected "
+          f"source->sink path(s) proved statically")
+    witness = result.witnesses[0]
+    for i, line in enumerate(witness.describe(), 1):
+        print(f"    [{i}] {line}")
+    cut = sorted(result.cuts.get(witness.sink, set()))
+    edges = ", ".join(f"{src}->{dst}" for src, dst in cut)
+    print(f"  minimal hardening cut: secure {len(cut)} edge(s): {edges}")
+
+    hardened = analyze(build_scenario("onboard-hardened"))
+    print(f"  onboard-hardened: {'PATH-CLEAN' if hardened.path_clean else 'paths remain'}"
+          f" — the S1-S3 + SSI posture closes every such path before it exists")
+
+
 def main() -> None:
     print("full-stack attack story (red team vs blue team, paper §VIII)")
     act1_the_breach()
@@ -131,6 +159,7 @@ def main() -> None:
     act3_the_pivot()
     act4_the_postmortem()
     act5_the_timeline()
+    act6_the_foresight()
 
 
 if __name__ == "__main__":

@@ -8,6 +8,8 @@ Usage::
     python -m repro run FIG1 TAB1 --json # a sub-sweep, machine-readable
     python -m repro lint SCENARIO        # static security analysis
     python -m repro lint --rules         # the seclint rule catalog
+    python -m repro flow SCENARIO        # taint/reachability analysis
+    python -m repro flow SCENARIO --paths --cut   # witnesses + hardening cut
     python -m repro trace SCENARIO       # instrumented simulation trace
 """
 
@@ -93,11 +95,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint_rules() -> int:
-    from repro.lint import CATALOG
+    from repro.lint import full_catalog
 
     print(f"{'id':8s} {'layer':18s} {'severity':9s} {'paper':16s} title")
     print(f"{'-' * 8} {'-' * 18} {'-' * 9} {'-' * 16} {'-' * 40}")
-    for rule in sorted(CATALOG, key=lambda r: r.rule_id):
+    for rule in sorted(full_catalog(), key=lambda r: r.rule_id):
         print(f"{rule.rule_id:8s} {rule.layer.name.lower():18s} "
               f"{rule.severity.name.lower():9s} {rule.paper_ref:16s} {rule.title}")
     return 0
@@ -168,12 +170,93 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(exc.args[0], file=sys.stderr)
             return 2
         report = linter.run(target, baseline=baseline)
-        if args.json:
+        if args.sarif:
+            from repro.lint.sarif import to_sarif_dict, validate_sarif_dict
+
+            document = to_sarif_dict(report, linter.enabled_rules())
+            validate_sarif_dict(document)
+            print(json.dumps(document, indent=2))
+        elif args.json:
             document = report.to_json_dict(linter.enabled_rules())
             validate_report_dict(document)
             print(json.dumps(document, indent=2))
         else:
             print(report.to_table())
+        exit_code = max(exit_code, report.exit_code(gate))
+    return exit_code
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from repro.flow import (analyze, flow_linter, render_cut, render_summary,
+                            render_witnesses)
+    from repro.lint import (Baseline, Severity, build_scenario, scenario_names,
+                            validate_report_dict)
+
+    if args.scenario is None:
+        print("a scenario name (or 'all') is required; available: "
+              + ", ".join(scenario_names()), file=sys.stderr)
+        return 2
+    names = scenario_names() if args.scenario == "all" else [args.scenario]
+    gate = None if args.gate == "none" else Severity.from_name(args.gate)
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+
+    linter = flow_linter()
+    if args.write_baseline:
+        # Mirror `lint --write-baseline`: one merged file per invocation.
+        combined: Baseline | None = None
+        for name in names:
+            try:
+                target = build_scenario(name)
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                return 2
+            report = linter.run(target, baseline=baseline)
+            captured = Baseline.from_report(report)
+            if combined is None:
+                combined = captured
+            else:
+                combined.target = "all"
+                combined.entries.update(captured.entries)
+        assert combined is not None
+        combined.save(args.write_baseline)
+        print(f"wrote baseline with {len(combined)} suppression(s) "
+              f"from {len(names)} scenario(s) to {args.write_baseline}")
+        return 0
+
+    exit_code = 0
+    for name in names:
+        try:
+            target = build_scenario(name)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        report = linter.run(target, baseline=baseline)
+        if args.sarif:
+            from repro.lint.sarif import to_sarif_dict, validate_sarif_dict
+
+            document = to_sarif_dict(report, linter.enabled_rules())
+            validate_sarif_dict(document)
+            print(json.dumps(document, indent=2))
+        elif args.json:
+            document = report.to_json_dict(linter.enabled_rules())
+            validate_report_dict(document)
+            print(json.dumps(document, indent=2))
+        else:
+            result = analyze(target)
+            print(render_summary(result))
+            if args.paths:
+                print()
+                print(render_witnesses(result))
+            if args.cut:
+                print()
+                print(render_cut(result))
         exit_code = max(exit_code, report.exit_code(gate))
     return exit_code
 
@@ -276,6 +359,34 @@ def main(argv: list[str] | None = None) -> int:
                              help="comma-separated rule ids to skip")
     lint_parser.add_argument("--rules", action="store_true",
                              help="print the rule catalog and exit")
+    lint_parser.add_argument("--sarif", action="store_true",
+                             help="emit a SARIF 2.1.0 log instead of a table")
+
+    flow_parser = subparsers.add_parser(
+        "flow", help="static cross-layer taint/reachability analysis")
+    flow_parser.add_argument("scenario", nargs="?",
+                             help="scenario name from repro.lint.SCENARIOS, "
+                                  "or 'all'")
+    flow_parser.add_argument("--paths", action="store_true",
+                             help="print every source->sink witness hop by hop")
+    flow_parser.add_argument("--cut", action="store_true",
+                             help="print the minimal hardening cut per sink")
+    flow_parser.add_argument("--json", action="store_true",
+                             help="emit the SARIF-lite JSON report "
+                                  "(FLOW rules only)")
+    flow_parser.add_argument("--sarif", action="store_true",
+                             help="emit a SARIF 2.1.0 log (FLOW rules only)")
+    flow_parser.add_argument("--gate", default="low",
+                             choices=["info", "low", "medium", "high",
+                                      "critical", "none"],
+                             help="fail (exit 1) on findings at or above this "
+                                  "severity (default: low; 'none' never fails)")
+    flow_parser.add_argument("--baseline", metavar="FILE",
+                             help="suppress findings pinned in this baseline "
+                                  "file")
+    flow_parser.add_argument("--write-baseline", metavar="FILE",
+                             help="capture current flow findings as the "
+                                  "baseline and exit 0")
 
     trace_parser = subparsers.add_parser(
         "trace", help="run an instrumented simulation and show its trace")
@@ -299,6 +410,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "flow":
+        return _cmd_flow(args)
     if args.command == "trace":
         return _cmd_trace(args)
     return _cmd_run(args)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterable
 
 import networkx as nx
 
@@ -144,23 +145,34 @@ class AttackGraph:
             survive *= 1.0 - path.probability
         return 1.0 - survive
 
-    def minimal_hardening_cut(self, target: str) -> set[tuple[str, str]]:
+    def minimal_hardening_cut(self, target: str, *,
+                              sources: Iterable[str] | None = None) -> set[tuple[str, str]]:
         """Smallest interface set disconnecting all entry points from ``target``.
 
         Classic min-cut: add a super-source over the entry points, unit
         capacities (we minimize the *count* of interfaces to harden),
-        then max-flow/min-cut.
+        then max-flow/min-cut.  ``sources`` restricts the entry set (the
+        flow analyzer passes only the *tainted* sources that actually
+        reach the sink); the default is every exposed component.
         """
-        if target not in {c.name for c in self.model.components()}:
+        known = {c.name for c in self.model.components()}
+        if target not in known:
             raise KeyError(f"unknown component {target!r}")
+        if sources is None:
+            entries = [c.name for c in self.model.entry_points()]
+        else:
+            entries = list(sources)
+            for name in entries:
+                if name not in known:
+                    raise KeyError(f"unknown source {name!r}")
         flow = nx.DiGraph()
         flow.add_nodes_from(self._graph.nodes)
         for u, v in self._graph.edges:
             flow.add_edge(u, v, capacity=1.0)
         super_source = "__entry__"
-        for entry in self.model.entry_points():
-            if entry.name != target:
-                flow.add_edge(super_source, entry.name, capacity=float("inf"))
+        for entry in entries:
+            if entry != target:
+                flow.add_edge(super_source, entry, capacity=float("inf"))
         if super_source not in flow or flow.out_degree(super_source) == 0:
             return set()
         cut_value, (reachable, _) = nx.minimum_cut(flow, super_source, target)

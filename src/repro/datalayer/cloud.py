@@ -127,6 +127,32 @@ class CloudService:
         """Secrets recoverable from a process memory dump."""
         return [s for s in self.secrets.values() if s.in_process_memory]
 
+    def public_endpoints(self) -> list[Endpoint]:
+        """Active endpoints that answer without credentials.
+
+        These are the service's *untrusted entry points* for
+        whole-system dataflow analysis: anything the internet can drive
+        directly, debug or not.  Sorted by path for determinism.
+        """
+        return sorted((e for e in self.active_endpoints() if not e.auth_required),
+                      key=lambda e: e.path)
+
+    def bucket_access_paths(self, bucket: StorageBucket) -> list[tuple[Secret, str]]:
+        """Secrets that statically unlock ``bucket``, with how.
+
+        A secret reaches a bucket either by holding the required scope
+        (or ``admin``) outright, or by being able to *mint* a key with
+        that scope (``iam:mint`` — the incident's escalation).  Sorted
+        by key id for determinism.
+        """
+        paths: list[tuple[Secret, str]] = []
+        for secret in sorted(self.secrets.values(), key=lambda s: s.key_id):
+            if secret.allows(bucket.required_scope):
+                paths.append((secret, f"holds scope {bucket.required_scope!r}"))
+            elif secret.allows("iam:mint"):
+                paths.append((secret, f"can mint scope {bucket.required_scope!r}"))
+        return paths
+
     def mint_access_key(self, master: Secret, scope: str) -> Secret:
         """The incident's API: master keys could generate per-user keys."""
         if not master.allows("iam:mint"):

@@ -77,6 +77,8 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "bench_obs_overhead.py"),
     Experiment("BENCH-RUN", "§VIII", "sweep-runner parallel speedup + warm-cache cost",
                "bench_runner.py"),
+    Experiment("BENCH-FLOW", "§V-C", "whole-system taint analysis cost per scenario",
+               "bench_flow.py"),
 )
 
 

@@ -1,0 +1,417 @@
+"""The unified cross-layer flow graph (paper §V-C / §VIII).
+
+`repro.lint` (PR 1) judges each configured object locally; this module
+compiles the *whole* :class:`~repro.lint.target.AnalysisTarget` into one
+directed graph so end-to-end exposure can be proved or refuted:
+
+* **nodes** — every :class:`~repro.core.entities.SystemModel` component,
+  plus cloud services with their endpoints and storage buckets, SSI
+  actors (credential issuers/subjects), and V2X channels;
+* **edges** — model interfaces, gateway forwarding rules (through
+  :class:`~repro.lint.target.GatewayBinding` port attachments), cloud
+  HTTP/IAM access paths, credential/provisioning relations, and V2X
+  attachments;
+* **protection lattice** — each edge is annotated with the strongest
+  protection crossing it (:class:`Protection`: none < filtered < SECOC
+  < CANsec < MACsec < TLS < VC-verified).  A *weakness* recorded on an
+  edge (truncated SECOC profile, a MACsec session rekeying at the PN
+  cliff, a heap-resident cloud key, an expired credential) downgrades
+  it to non-blocking even when a mechanism is nominally deployed.
+
+The graph is deliberately a static over-approximation: if *any* SECOC
+profile in the target is broken, every SECOC-protected CAN edge is
+treated as forgeable — the analyzer proves the absence of paths, not
+their exploitability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.entities import Component, Interface, SystemModel
+from repro.core.layers import Layer
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.lint.target import AnalysisTarget
+
+__all__ = [
+    "Protection",
+    "FlowNode",
+    "FlowEdge",
+    "FlowGraph",
+    "build_flow_graph",
+    "SINK_CRITICALITY",
+]
+
+#: Components at or above this criticality are safety-critical sinks.
+SINK_CRITICALITY = 4
+
+
+class Protection(IntEnum):
+    """The protection lattice, ordered by how much an edge resists taint.
+
+    ``FILTERED`` (a gateway allow-rule) constrains *which* frames cross
+    but authenticates nothing, so it never blocks taint; everything from
+    ``SECOC`` upward blocks unless a recorded weakness voids it.
+    """
+
+    NONE = 0
+    FILTERED = 1
+    SECOC = 2
+    CANSEC = 3
+    MACSEC = 4
+    TLS = 5
+    VC_VERIFIED = 6
+
+    @property
+    def label(self) -> str:
+        return self.name.lower().replace("_", "-")
+
+
+#: Protections at or above this rank block taint (absent a weakness).
+_BLOCKING_FLOOR = Protection.SECOC
+
+#: What to deploy on an unprotected edge, by edge kind.
+_SUGGESTIONS = {
+    "interface": "authenticate the link (SECOC/MACsec/TLS as appropriate)",
+    "gateway": "tighten the forwarding whitelist to the ids the zone needs",
+    "http": "require credentials on the endpoint (or disable it)",
+    "iam": "hold the key in an HSM/KMS and strip escalation scopes",
+    "credential": "re-issue a registry-anchored, unexpired credential",
+    "provisioning": "gate provisioning on a verifiable onboarding credential",
+    "v2x": "sign V2X messages (1609.2 certificates / verifiable credentials)",
+}
+
+
+@dataclass(frozen=True)
+class FlowNode:
+    """One vertex of the unified flow graph."""
+
+    name: str
+    kind: str                 # component | service | endpoint | datastore | actor | channel
+    layer: Layer
+    criticality: int = 1
+    source: bool = False      # an untrusted entry point (REMOTE/ADJACENT)
+    sink: bool = False        # safety-critical ECU or personal-data store
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class FlowEdge:
+    """One directed hop, annotated with its strongest crossing protection."""
+
+    src: str
+    dst: str
+    kind: str                 # interface | gateway | http | iam | credential | provisioning | v2x
+    protection: Protection = Protection.NONE
+    weakness: str = ""        # why a nominal protection does not hold
+    note: str = ""            # protocol / rule detail for witnesses
+
+    @property
+    def blocking(self) -> bool:
+        """Does this edge stop taint?"""
+        return self.protection >= _BLOCKING_FLOOR and not self.weakness
+
+    @property
+    def missing_boundary(self) -> str:
+        """The witness annotation: what is absent or broken on this hop."""
+        if self.blocking:
+            return f"protected by {self.protection.label}"
+        suggestion = _SUGGESTIONS.get(self.kind, "add an authenticated boundary")
+        if self.weakness:
+            return (f"{self.protection.label} deployed but void "
+                    f"({self.weakness}); {suggestion}")
+        if self.protection == Protection.FILTERED:
+            detail = f" ({self.note})" if self.note else ""
+            return f"filtered only{detail}; {suggestion}"
+        detail = f" {self.note}" if self.note else ""
+        return f"no protection on{detail or ' this hop'}; {suggestion}"
+
+
+class FlowGraph:
+    """A directed multigraph of :class:`FlowNode`/:class:`FlowEdge`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._nodes: dict[str, FlowNode] = {}
+        self._out: dict[str, list[FlowEdge]] = {}
+        self._edges: list[FlowEdge] = []
+
+    # -- construction --------------------------------------------------------
+
+    def add_node(self, node: FlowNode) -> FlowNode:
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate flow node {node.name!r}")
+        self._nodes[node.name] = node
+        self._out[node.name] = []
+        return node
+
+    def add_edge(self, edge: FlowEdge) -> FlowEdge:
+        for end in (edge.src, edge.dst):
+            if end not in self._nodes:
+                raise KeyError(f"unknown flow node {end!r}")
+        self._edges.append(edge)
+        self._out[edge.src].append(edge)
+        return edge
+
+    # -- queries -------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> FlowNode:
+        return self._nodes[name]
+
+    def nodes(self) -> list[FlowNode]:
+        return list(self._nodes.values())
+
+    def edges(self) -> list[FlowEdge]:
+        return list(self._edges)
+
+    def out_edges(self, name: str) -> list[FlowEdge]:
+        return list(self._out[name])
+
+    def sources(self) -> list[FlowNode]:
+        return [n for n in self._nodes.values() if n.source]
+
+    def sinks(self) -> list[FlowNode]:
+        return [n for n in self._nodes.values() if n.sink]
+
+    def open_edges(self) -> Iterator[FlowEdge]:
+        """Edges taint can cross."""
+        return (e for e in self._edges if not e.blocking)
+
+    def to_system_model(self) -> SystemModel:
+        """Export the *open* subgraph as a core :class:`SystemModel`.
+
+        Sources become entry points and every open edge an
+        unauthenticated interface, so
+        :meth:`~repro.core.attackgraph.AttackGraph.minimal_hardening_cut`
+        computes where to spend the hardening budget; blocking edges are
+        omitted — they are already paid for.
+        """
+        model = SystemModel(f"flow:{self.name}")
+        for node in self._nodes.values():
+            model.add_component(Component(
+                node.name, node.layer,
+                criticality=min(max(node.criticality, 1), 5),
+                exposed=node.source))
+        seen: set[tuple[str, str]] = set()
+        for edge in self.open_edges():
+            if edge.src == edge.dst or (edge.src, edge.dst) in seen:
+                continue
+            seen.add((edge.src, edge.dst))
+            model.connect(Interface(edge.src, edge.dst, edge.kind))
+        return model
+
+
+# --------------------------------------------------------------------------
+# building the graph from an AnalysisTarget
+# --------------------------------------------------------------------------
+
+#: Interface protocols mapped to the mechanism that secures them when
+#: ``authenticated`` is set.
+_CAN_PROTOCOLS = {"can", "canfd", "lin"}
+_T1S_PROTOCOLS = {"t1s", "10base-t1s"}
+_ETHERNET_PROTOCOLS = {"ethernet", "macsec"}
+
+
+def _secoc_weakness(target: "AnalysisTarget") -> str:
+    """Conservative downgrade: any broken profile voids SECOC everywhere."""
+    from repro.lint.rules import MIN_MAC_BITS
+
+    for label, profile in sorted(target.secoc_profiles.items()):
+        if profile.mac_bits < MIN_MAC_BITS:
+            return (f"profile {profile.name!r} ({label}) truncates the MAC "
+                    f"to {profile.mac_bits} bits")
+        if profile.freshness_bits == 0:
+            return f"profile {profile.name!r} ({label}) has no freshness"
+    return ""
+
+
+def _macsec_weakness(target: "AnalysisTarget") -> str:
+    from repro.lint.rules import MAX_REKEY_FRACTION
+
+    for index, manager in enumerate(target.lifecycle_managers):
+        if manager.rekey_fraction > MAX_REKEY_FRACTION:
+            return (f"lifecycle[{index}] rekeys at "
+                    f"{manager.rekey_fraction:.0%} of the PN space")
+    return ""
+
+
+def _interface_edge(interface: Interface, *, secoc_weak: str,
+                    macsec_weak: str) -> FlowEdge:
+    note = f"{interface.protocol!r} interface"
+    if not interface.authenticated:
+        return FlowEdge(interface.source, interface.target, "interface",
+                        Protection.NONE, note=note)
+    protocol = interface.protocol.lower()
+    if protocol in _CAN_PROTOCOLS:
+        return FlowEdge(interface.source, interface.target, "interface",
+                        Protection.SECOC, weakness=secoc_weak, note=note)
+    if protocol in _T1S_PROTOCOLS:
+        return FlowEdge(interface.source, interface.target, "interface",
+                        Protection.CANSEC, note=note)
+    if protocol in _ETHERNET_PROTOCOLS:
+        return FlowEdge(interface.source, interface.target, "interface",
+                        Protection.MACSEC, weakness=macsec_weak, note=note)
+    return FlowEdge(interface.source, interface.target, "interface",
+                    Protection.TLS, note=note)
+
+
+def _add_model_nodes(graph: FlowGraph, target: "AnalysisTarget") -> None:
+    assert target.model is not None
+    for component in target.model.components():
+        graph.add_node(FlowNode(
+            component.name, "component", component.layer,
+            criticality=component.criticality,
+            source=component.exposed,
+            sink=component.criticality >= SINK_CRITICALITY,
+            note=component.description))
+    secoc_weak = _secoc_weakness(target)
+    macsec_weak = _macsec_weakness(target)
+    for interface in target.model.interfaces():
+        graph.add_edge(_interface_edge(
+            interface, secoc_weak=secoc_weak, macsec_weak=macsec_weak))
+
+
+def _add_gateway_edges(graph: FlowGraph, target: "AnalysisTarget") -> None:
+    for binding in target.gateways:
+        for src_port, dst_port, count in binding.gateway.forward_pairs():
+            for src in sorted(binding.components_on(src_port)):
+                for dst in sorted(binding.components_on(dst_port)):
+                    if src == dst or src not in graph or dst not in graph:
+                        continue
+                    graph.add_edge(FlowEdge(
+                        src, dst, "gateway", Protection.FILTERED,
+                        note=f"{binding.gateway.name} forwards {count} id(s) "
+                             f"{src_port}->{dst_port}"))
+
+
+def _add_cloud_nodes(graph: FlowGraph, target: "AnalysisTarget") -> None:
+    for service in target.cloud_services:
+        service_node = f"cloud:{service.name}"
+        graph.add_node(FlowNode(service_node, "service", Layer.DATA,
+                                criticality=3, note=service.framework))
+        for endpoint in sorted(service.active_endpoints(), key=lambda e: e.path):
+            name = f"cloud:{service.name}:{endpoint.path}"
+            untrusted = not endpoint.auth_required
+            graph.add_node(FlowNode(
+                name, "endpoint", Layer.DATA, criticality=1,
+                source=untrusted,
+                note="debug endpoint" if endpoint.debug else "endpoint"))
+            if untrusted:
+                detail = "debug " if endpoint.debug else ""
+                edge = FlowEdge(name, service_node, "http", Protection.NONE,
+                                note=f"unauthenticated {detail}endpoint "
+                                     f"{endpoint.path}")
+            else:
+                edge = FlowEdge(name, service_node, "http", Protection.TLS,
+                                note=f"credentialed endpoint {endpoint.path}")
+            graph.add_edge(edge)
+        for bucket in sorted(service.buckets.values(), key=lambda b: b.name):
+            name = f"cloud:{service.name}:bucket:{bucket.name}"
+            graph.add_node(FlowNode(
+                name, "datastore", Layer.DATA, criticality=3,
+                sink=bool(bucket.records),
+                note=f"{len(bucket.records)} record(s), "
+                     f"scope {bucket.required_scope!r}"))
+            access = service.bucket_access_paths(bucket)
+            heap_resident = [(s, how) for s, how in access if s.in_process_memory]
+            if heap_resident:
+                secret, how = heap_resident[0]
+                graph.add_edge(FlowEdge(
+                    service_node, name, "iam", Protection.TLS,
+                    weakness=f"heap-resident secret {secret.key_id!r} {how}",
+                    note=f"bucket {bucket.name}"))
+            elif access:
+                graph.add_edge(FlowEdge(
+                    service_node, name, "iam", Protection.TLS,
+                    note=f"scope-gated bucket {bucket.name}"))
+
+
+def _credential_weakness(target: "AnalysisTarget", credential: object) -> str:
+    from repro.ssi.vc import VerifiableCredential
+
+    assert isinstance(credential, VerifiableCredential)
+    if credential.issuer == credential.subject:
+        return "self-issued (issuer == subject)"
+    if target.registry is None:
+        return "no verifiable data registry to resolve the issuer against"
+    result = credential.verify(target.registry, now=target.now)
+    if not result:
+        return result.reason
+    return ""
+
+
+def _add_ssi_nodes(graph: FlowGraph, target: "AnalysisTarget") -> None:
+    from repro.ssi.vc import VerifiableCredential
+
+    def actor(did: str) -> str:
+        name = f"ssi:{did}"
+        if name not in graph:
+            resolvable = False
+            if target.registry is not None:
+                try:
+                    target.registry.resolve(did)
+                    resolvable = True
+                except (KeyError, ValueError):
+                    resolvable = False
+            graph.add_node(FlowNode(
+                name, "actor", Layer.SOFTWARE_PLATFORM, criticality=2,
+                source=not resolvable,
+                note="resolvable DID" if resolvable else "unresolvable DID"))
+        return name
+
+    for credential in target.credentials:
+        assert isinstance(credential, VerifiableCredential)
+        weakness = _credential_weakness(target, credential)
+        issuer = actor(credential.issuer)
+        subject = actor(credential.subject)
+        if issuer != subject:
+            graph.add_edge(FlowEdge(
+                issuer, subject, "credential", Protection.VC_VERIFIED,
+                weakness=weakness,
+                note=f"{credential.credential_type} "
+                     f"{credential.credential_id[:8]}"))
+        zones = credential.claims.get("zones", [])
+        if isinstance(zones, (list, tuple)):
+            for zone in zones:
+                if isinstance(zone, str) and zone in graph:
+                    graph.add_edge(FlowEdge(
+                        subject, zone, "provisioning", Protection.VC_VERIFIED,
+                        weakness=weakness,
+                        note=f"key provisioning authorized by "
+                             f"{credential.credential_type}"))
+
+
+def _add_v2x_nodes(graph: FlowGraph, target: "AnalysisTarget") -> None:
+    for channel in target.v2x_channels:
+        name = f"v2x:{channel.name}"
+        if name in graph:
+            continue
+        graph.add_node(FlowNode(
+            name, "channel", Layer.COLLABORATION, criticality=1,
+            source=not channel.authenticated,
+            note="signed V2X channel" if channel.authenticated
+                 else "unsigned V2X channel"))
+        if channel.component in graph:
+            protection = (Protection.VC_VERIFIED if channel.authenticated
+                          else Protection.NONE)
+            graph.add_edge(FlowEdge(
+                name, channel.component, "v2x", protection,
+                note=f"radio attachment of {channel.name!r}"))
+
+
+def build_flow_graph(target: "AnalysisTarget") -> FlowGraph:
+    """Compile an :class:`AnalysisTarget` into one unified flow graph."""
+    graph = FlowGraph(target.name)
+    if target.model is not None:
+        _add_model_nodes(graph, target)
+    _add_gateway_edges(graph, target)
+    _add_cloud_nodes(graph, target)
+    _add_ssi_nodes(graph, target)
+    _add_v2x_nodes(graph, target)
+    return graph

@@ -88,3 +88,20 @@ class GatewayFilter:
         for id_min, id_max in self.reachable_ids(source_port, dest_port):
             total += id_max - id_min + 1
         return total
+
+    def ports(self) -> list[str]:
+        """Every port named by at least one rule, sorted."""
+        names = {r.source_port for r in self.rules} | {r.dest_port for r in self.rules}
+        return sorted(names)
+
+    def forward_pairs(self) -> list[tuple[str, str, int]]:
+        """Directed ``(source_port, dest_port, forwardable_ids)`` triples.
+
+        One entry per port pair with a non-empty allow surface — the
+        edges a whole-system dataflow analysis must draw through this
+        gateway.  Sorted for deterministic iteration.
+        """
+        pairs = sorted({(r.source_port, r.dest_port) for r in self.rules})
+        return [(src, dst, self.exposure_count(src, dst))
+                for src, dst in pairs
+                if self.exposure_count(src, dst) > 0]

@@ -24,9 +24,10 @@ CLI::
 from repro.lint.baseline import Baseline, BaselineEntry
 from repro.lint.engine import Finding, Linter, Rule, Severity
 from repro.lint.report import Report, SchemaError, validate_report_dict
-from repro.lint.rules import CATALOG, rules_by_id
+from repro.lint.rules import CATALOG, full_catalog, rules_by_id
 from repro.lint.scenarios import SCENARIOS, build_scenario, scenario_names
-from repro.lint.target import AnalysisTarget, GatewayBinding
+from repro.lint.target import (AnalysisTarget, GatewayBinding,
+                               V2xChannelBinding)
 
 __all__ = [
     "AnalysisTarget",
@@ -41,7 +42,9 @@ __all__ = [
     "SCENARIOS",
     "SchemaError",
     "Severity",
+    "V2xChannelBinding",
     "build_scenario",
+    "full_catalog",
     "rules_by_id",
     "scenario_names",
     "validate_report_dict",

@@ -129,9 +129,9 @@ class Linter:
 
     def __init__(self, rules: Iterable[Rule] | None = None) -> None:
         if rules is None:
-            from repro.lint.rules import CATALOG
+            from repro.lint.rules import full_catalog
 
-            rules = CATALOG
+            rules = full_catalog()
         self._rules: dict[str, Rule] = {}
         for rule in rules:
             if rule.rule_id in self._rules:

@@ -29,7 +29,7 @@ from repro.core.layers import Layer
 from repro.lint.engine import Rule, Severity
 from repro.lint.target import AnalysisTarget
 
-__all__ = ["CATALOG", "rules_by_id"]
+__all__ = ["CATALOG", "full_catalog", "rules_by_id"]
 
 CATALOG: list[Rule] = []
 
@@ -54,11 +54,14 @@ MAX_GATEWAY_RULE_SPAN = 256
 MAX_REKEY_FRACTION = 0.95
 
 
+_CheckFn = Callable[[AnalysisTarget], Iterable[tuple[str, str]]]
+
+
 def _rule(rule_id: str, title: str, *, layer: Layer, severity: Severity,
-          paper_ref: str, remediation: str):
+          paper_ref: str, remediation: str) -> Callable[[_CheckFn], _CheckFn]:
     """Register a check function into the catalog."""
 
-    def decorator(check: Callable[[AnalysisTarget], Iterable[tuple[str, str]]]):
+    def decorator(check: _CheckFn) -> _CheckFn:
         CATALOG.append(Rule(rule_id, title, layer, severity,
                             paper_ref, remediation, check))
         return check
@@ -67,7 +70,7 @@ def _rule(rule_id: str, title: str, *, layer: Layer, severity: Severity,
 
 
 def rules_by_id() -> dict[str, Rule]:
-    return {rule.rule_id: rule for rule in CATALOG}
+    return {rule.rule_id: rule for rule in full_catalog()}
 
 
 # --------------------------------------------------------------------------
@@ -542,3 +545,21 @@ def check_missing_stakeholder(target: AnalysisTarget) -> Iterator[tuple[str, str
     for system in target.sos.root.walk():
         if system.safety_critical and not system.stakeholder:
             yield (system.name, "no stakeholder/operator recorded")
+
+
+# --------------------------------------------------------------------------
+# FLOW: whole-system taint/reachability rules (repro.flow, §V-C / §VIII)
+# --------------------------------------------------------------------------
+
+def full_catalog() -> list[Rule]:
+    """Every rule: this module's CATALOG plus the FLOW family.
+
+    The FLOW rules live in :mod:`repro.flow.rules` (they need the whole
+    taint analyzer); importing them lazily here — instead of at module
+    import — keeps ``repro.lint`` and ``repro.flow`` free of a circular
+    import in either load order.  :class:`~repro.lint.engine.Linter`
+    defaults to this combined catalog.
+    """
+    from repro.flow.rules import FLOW_RULES
+
+    return CATALOG + FLOW_RULES

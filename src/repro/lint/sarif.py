@@ -1,0 +1,206 @@
+"""Real SARIF 2.1.0 export for lint and flow reports.
+
+The ``--json`` report (:mod:`repro.lint.report`) is a compact in-house
+schema; this module emits the actual OASIS `SARIF 2.1.0`_ shape so
+findings load into standard tooling (GitHub code scanning, VS Code
+SARIF viewers, ...).  The mapping:
+
+* one ``run`` per report, ``tool.driver`` carrying the rule catalog as
+  ``reportingDescriptor`` objects (title, full remediation text, the
+  paper section as ``helpUri`` fragment);
+* one ``result`` per finding — ``ruleId``, SARIF ``level`` mapped from
+  the severity ladder, the subject as a ``logicalLocation`` (these are
+  system *components*, not files, so physical locations do not apply);
+* the stable lint fingerprint under ``partialFingerprints`` — the same
+  value the baseline machinery keys on;
+* baselined findings are still emitted, with a ``suppressions`` entry
+  (kind ``external``), matching how SARIF models accepted findings.
+
+:func:`validate_sarif_dict` structurally checks the emitted subset —
+enough to keep the golden file and the CI gates honest without a full
+JSON-schema engine.
+
+.. _SARIF 2.1.0: https://docs.oasis-open.org/sarif/sarif/v2.1.0/
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.engine import Finding, Rule, Severity
+from repro.lint.report import Report, SchemaError
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "to_sarif_dict",
+           "validate_sarif_dict"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/"
+                    "os/schemas/sarif-schema-2.1.0.json")
+_TOOL_NAME = "repro-seclint"
+_INFO_URI = "https://github.com/paper-repro/repro"
+
+#: Severity -> SARIF level.  SARIF has no "critical"; both HIGH and
+#: CRITICAL map to "error" and the precise severity rides along in the
+#: result's properties bag.
+_LEVELS: dict[Severity, str] = {
+    Severity.INFO: "note",
+    Severity.LOW: "note",
+    Severity.MEDIUM: "warning",
+    Severity.HIGH: "error",
+    Severity.CRITICAL: "error",
+}
+
+
+def _descriptor(rule: Rule) -> dict:
+    return {
+        "id": rule.rule_id,
+        "name": rule.title,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.remediation},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+        "properties": {
+            "layer": rule.layer.name.lower(),
+            "paperRef": rule.paper_ref,
+            "severity": rule.severity.name.lower(),
+        },
+    }
+
+
+def _result(finding: Finding, rule_index: dict[str, int], *,
+            suppressed: bool) -> dict:
+    result = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "logicalLocations": [
+                    {"name": finding.subject, "kind": "resource"}
+                ]
+            }
+        ],
+        "partialFingerprints": {"seclint/v1": finding.fingerprint},
+        "properties": {
+            "layer": finding.layer.name.lower(),
+            "paperRef": finding.paper_ref,
+            "severity": finding.severity.name.lower(),
+        },
+    }
+    if finding.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule_id]
+    if suppressed:
+        result["suppressions"] = [
+            {"kind": "external", "justification": "accepted via lint baseline"}
+        ]
+    return result
+
+
+def to_sarif_dict(report: Report, rules: Iterable[Rule] = ()) -> dict:
+    """Render ``report`` as a SARIF 2.1.0 log with one run."""
+    from repro import __version__
+
+    rule_list = list(rules)
+    rule_index = {rule.rule_id: i for i, rule in enumerate(rule_list)}
+    results = [_result(f, rule_index, suppressed=False)
+               for f in report.findings]
+    results += [_result(f, rule_index, suppressed=True)
+                for f in report.suppressed]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "version": __version__,
+                        "informationUri": _INFO_URI,
+                        "rules": [_descriptor(rule) for rule in rule_list],
+                    }
+                },
+                "automationDetails": {"id": f"seclint/{report.target_name}"},
+                "results": results,
+            }
+        ],
+    }
+
+
+# --------------------------------------------------------------------------
+# validation of the emitted subset
+# --------------------------------------------------------------------------
+
+_VALID_LEVELS = {"none", "note", "warning", "error"}
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def _validate_result(result: dict, where: str, rule_ids: set[str]) -> None:
+    _require(isinstance(result, dict), f"{where}: result must be an object")
+    _require(isinstance(result.get("ruleId"), str) and result["ruleId"],
+             f"{where}: ruleId must be a non-empty string")
+    if rule_ids:
+        _require(result["ruleId"] in rule_ids,
+                 f"{where}: ruleId {result['ruleId']!r} not in driver.rules")
+    _require(result.get("level") in _VALID_LEVELS,
+             f"{where}: bad level {result.get('level')!r}")
+    message = result.get("message")
+    _require(isinstance(message, dict) and isinstance(message.get("text"), str),
+             f"{where}: message.text must be a string")
+    locations = result.get("locations")
+    _require(isinstance(locations, list) and len(locations) >= 1,
+             f"{where}: at least one location required")
+    for location in locations:
+        logical = location.get("logicalLocations")
+        _require(isinstance(logical, list) and len(logical) >= 1,
+                 f"{where}: logicalLocations required")
+        for entry in logical:
+            _require(isinstance(entry.get("name"), str) and entry["name"],
+                     f"{where}: logical location needs a name")
+    prints = result.get("partialFingerprints")
+    _require(isinstance(prints, dict) and prints,
+             f"{where}: partialFingerprints required")
+    for key, value in prints.items():
+        _require(isinstance(value, str) and value,
+                 f"{where}: partialFingerprints[{key!r}] must be a string")
+    if "suppressions" in result:
+        for suppression in result["suppressions"]:
+            _require(suppression.get("kind") in ("inSource", "external"),
+                     f"{where}: bad suppression kind")
+
+
+def validate_sarif_dict(document: dict) -> None:
+    """Raise :class:`SchemaError` unless ``document`` is valid SARIF-as-emitted."""
+    _require(isinstance(document, dict), "SARIF log must be an object")
+    _require(document.get("version") == SARIF_VERSION,
+             f"version must be {SARIF_VERSION!r}")
+    _require(document.get("$schema") == SARIF_SCHEMA_URI,
+             "$schema must point at the 2.1.0 schema")
+    runs = document.get("runs")
+    _require(isinstance(runs, list) and len(runs) == 1,
+             "exactly one run expected")
+    run = runs[0]
+    driver = run.get("tool", {}).get("driver")
+    _require(isinstance(driver, dict), "runs[0].tool.driver required")
+    _require(driver.get("name") == _TOOL_NAME,
+             f"unexpected tool name {driver.get('name')!r}")
+    _require(isinstance(driver.get("version"), str) and driver["version"],
+             "driver.version must be a non-empty string")
+    rules = driver.get("rules", [])
+    _require(isinstance(rules, list), "driver.rules must be a list")
+    rule_ids = set()
+    for index, rule in enumerate(rules):
+        where = f"driver.rules[{index}]"
+        _require(isinstance(rule.get("id"), str) and rule["id"],
+                 f"{where}: id required")
+        _require(rule["id"] not in rule_ids, f"{where}: duplicate id")
+        rule_ids.add(rule["id"])
+        config = rule.get("defaultConfiguration", {})
+        _require(config.get("level") in _VALID_LEVELS,
+                 f"{where}: bad defaultConfiguration.level")
+    results = run.get("results")
+    _require(isinstance(results, list), "runs[0].results must be a list")
+    for index, result in enumerate(results):
+        _validate_result(result, f"results[{index}]", rule_ids)

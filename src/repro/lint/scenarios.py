@@ -14,7 +14,7 @@ from typing import Callable
 from repro.core.entities import Component, Interface, SystemModel
 from repro.core.layers import Layer
 from repro.core.threats import AccessLevel
-from repro.lint.target import AnalysisTarget, GatewayBinding
+from repro.lint.target import AnalysisTarget, GatewayBinding, V2xChannelBinding
 
 __all__ = ["SCENARIOS", "build_scenario", "scenario_names"]
 
@@ -112,6 +112,10 @@ def onboard_insecure() -> AnalysisTarget:
     target.lifecycle_managers.append(
         KeyLifecycleManager(session, rekey_fraction=0.98))
     target.cansec_zones["rear-zone"] = CansecZone(b"\x31" * 16, encrypt=False)
+
+    # The ADAS camera listens to unsigned V2V messages — a §VII
+    # adjacent-attacker entry point straight onto a criticality-4 ECU.
+    target.add_v2x_channel(V2xChannelBinding("v2v-sidelink", "adas-cam"))
     return target
 
 
@@ -163,6 +167,11 @@ def onboard_hardened() -> AnalysisTarget:
         issued_at=0.0, validity_s=365 * 86400.0)
     target.registry = registry
     target.add_credential(credential)
+
+    # The hardened deployment signs its V2X traffic (§VII), so the
+    # sidelink is not an untrusted entry point.
+    target.add_v2x_channel(
+        V2xChannelBinding("v2v-sidelink", "ecu-t1s-1", authenticated=True))
     return target
 
 

@@ -34,7 +34,24 @@ if TYPE_CHECKING:  # pragma: no cover - hints only; keeps import time low
     from repro.ssi.registry import VerifiableDataRegistry
     from repro.ssi.vc import VerifiableCredential
 
-__all__ = ["GatewayBinding", "AnalysisTarget"]
+__all__ = ["GatewayBinding", "V2xChannelBinding", "AnalysisTarget"]
+
+
+@dataclass(frozen=True)
+class V2xChannelBinding:
+    """A V2X/collaboration radio channel attached to one component.
+
+    The collaboration layer (§VII) enters the vehicle through a radio:
+    a V2V sidelink on the ADAS camera, an RSU link on the telematics
+    unit.  For whole-system dataflow analysis the channel is an
+    *adjacent-attacker* entry point unless its messages are
+    authenticated (signed with verifiable credentials / 1609.2-style
+    certificates).
+    """
+
+    name: str
+    component: str
+    authenticated: bool = False
 
 
 @dataclass
@@ -79,6 +96,8 @@ class AnalysisTarget:
     pkes_systems: list["PkesSystem"] = field(default_factory=list)
     hrp_receivers: list["HrpReceiver"] = field(default_factory=list)
     sos: "SosModel | None" = None
+    #: V2X/collaboration channels (flow-analysis entry points, §VII).
+    v2x_channels: list[V2xChannelBinding] = field(default_factory=list)
     #: reference time (epoch seconds) for validity-window checks.
     now: float = 0.0
 
@@ -98,6 +117,10 @@ class AnalysisTarget:
 
     def add_credential(self, credential: "VerifiableCredential") -> None:
         self.credentials.append(credential)
+
+    def add_v2x_channel(self, channel: V2xChannelBinding) -> V2xChannelBinding:
+        self.v2x_channels.append(channel)
+        return channel
 
     @classmethod
     def from_model(cls, model: SystemModel) -> "AnalysisTarget":

@@ -1,0 +1,219 @@
+"""The flow-graph builder: protection lattice, node/edge assembly."""
+
+import pytest
+
+from repro.core.entities import Component, Interface, SystemModel
+from repro.core.layers import Layer
+from repro.core.threats import AccessLevel
+from repro.flow import FlowEdge, FlowGraph, FlowNode, Protection, build_flow_graph
+from repro.lint import AnalysisTarget, GatewayBinding, V2xChannelBinding
+from repro.lint.scenarios import build_scenario
+
+
+def node(name, **kwargs):
+    kwargs.setdefault("kind", "component")
+    kwargs.setdefault("layer", Layer.NETWORK)
+    return FlowNode(name, **kwargs)
+
+
+class TestProtectionLattice:
+    def test_ordering_matches_strength(self):
+        assert (Protection.NONE < Protection.FILTERED < Protection.SECOC
+                < Protection.CANSEC < Protection.MACSEC < Protection.TLS
+                < Protection.VC_VERIFIED)
+
+    def test_filtered_never_blocks(self):
+        edge = FlowEdge("a", "b", "gateway", Protection.FILTERED)
+        assert not edge.blocking
+        assert "filtered only" in edge.missing_boundary
+
+    def test_secoc_and_above_block_without_weakness(self):
+        for protection in (Protection.SECOC, Protection.CANSEC,
+                           Protection.MACSEC, Protection.TLS,
+                           Protection.VC_VERIFIED):
+            edge = FlowEdge("a", "b", "interface", protection)
+            assert edge.blocking, protection
+
+    def test_weakness_voids_any_protection(self):
+        edge = FlowEdge("a", "b", "interface", Protection.TLS,
+                        weakness="heap-resident key")
+        assert not edge.blocking
+        assert "void" in edge.missing_boundary
+        assert "heap-resident key" in edge.missing_boundary
+
+    def test_label_is_kebab_case(self):
+        assert Protection.VC_VERIFIED.label == "vc-verified"
+
+
+class TestFlowGraph:
+    def test_duplicate_node_rejected(self):
+        graph = FlowGraph("t")
+        graph.add_node(node("a"))
+        with pytest.raises(ValueError, match="duplicate"):
+            graph.add_node(node("a"))
+
+    def test_edge_requires_known_endpoints(self):
+        graph = FlowGraph("t")
+        graph.add_node(node("a"))
+        with pytest.raises(KeyError):
+            graph.add_edge(FlowEdge("a", "missing", "interface"))
+
+    def test_sources_sinks_and_open_edges(self):
+        graph = FlowGraph("t")
+        graph.add_node(node("entry", source=True))
+        graph.add_node(node("ecu", criticality=5, sink=True))
+        graph.add_edge(FlowEdge("entry", "ecu", "interface", Protection.NONE))
+        graph.add_edge(FlowEdge("ecu", "entry", "interface", Protection.TLS))
+        assert [n.name for n in graph.sources()] == ["entry"]
+        assert [n.name for n in graph.sinks()] == ["ecu"]
+        assert [e.dst for e in graph.open_edges()] == ["ecu"]
+
+    def test_to_system_model_keeps_only_open_edges(self):
+        graph = FlowGraph("t")
+        graph.add_node(node("entry", source=True))
+        graph.add_node(node("mid"))
+        graph.add_node(node("ecu", criticality=5))
+        graph.add_edge(FlowEdge("entry", "mid", "interface", Protection.NONE))
+        graph.add_edge(FlowEdge("mid", "ecu", "interface", Protection.TLS))
+        model = graph.to_system_model()
+        assert {c.name for c in model.entry_points()} == {"entry"}
+        pairs = {(i.source, i.target) for i in model.interfaces()}
+        assert pairs == {("entry", "mid")}
+
+
+def simple_target(*, authenticated, protocol="can"):
+    model = SystemModel("t")
+    model.add_component(Component("entry", Layer.NETWORK, criticality=2,
+                                  exposed=True))
+    model.add_component(Component("ecu", Layer.NETWORK, criticality=5))
+    model.connect(Interface("entry", "ecu", protocol, AccessLevel.REMOTE,
+                            authenticated=authenticated))
+    return AnalysisTarget(name="t", model=model)
+
+
+class TestBuildFromModel:
+    def test_exposed_component_is_source_critical_is_sink(self):
+        graph = build_flow_graph(simple_target(authenticated=False))
+        assert graph.node("entry").source
+        assert graph.node("ecu").sink
+
+    @pytest.mark.parametrize("protocol,expected", [
+        ("can", Protection.SECOC),
+        ("lin", Protection.SECOC),
+        ("10base-t1s", Protection.CANSEC),
+        ("ethernet", Protection.MACSEC),
+        ("https", Protection.TLS),
+    ])
+    def test_authenticated_protocol_maps_to_mechanism(self, protocol, expected):
+        graph = build_flow_graph(
+            simple_target(authenticated=True, protocol=protocol))
+        (edge,) = graph.edges()
+        assert edge.protection == expected
+        assert edge.blocking
+
+    def test_unauthenticated_interface_has_no_protection(self):
+        graph = build_flow_graph(simple_target(authenticated=False))
+        (edge,) = graph.edges()
+        assert edge.protection == Protection.NONE
+
+    def test_weak_secoc_profile_voids_every_can_edge(self):
+        from repro.ivn.secoc import SecOcProfile
+
+        target = simple_target(authenticated=True, protocol="can")
+        target.secoc_profiles["pdus"] = SecOcProfile(
+            "trunc", freshness_bits=8, mac_bits=24)
+        graph = build_flow_graph(target)
+        (edge,) = graph.edges()
+        assert edge.protection == Protection.SECOC
+        assert not edge.blocking
+        assert "24 bits" in edge.weakness
+
+    def test_late_rekey_voids_macsec_edges(self):
+        from repro.ivn.keymgmt import KeyLifecycleManager
+        from repro.ivn.macsec import MacsecPort, MkaSession
+
+        target = simple_target(authenticated=True, protocol="ethernet")
+        session = MkaSession(b"\x28" * 16,
+                            [MacsecPort("a"), MacsecPort("b")])
+        target.lifecycle_managers.append(
+            KeyLifecycleManager(session, rekey_fraction=0.99))
+        graph = build_flow_graph(target)
+        (edge,) = graph.edges()
+        assert edge.protection == Protection.MACSEC
+        assert not edge.blocking
+
+
+class TestBuildGatewayEdges:
+    def test_forwarding_rules_become_filtered_edges(self):
+        from repro.ivn.gateway import GatewayFilter
+
+        target = simple_target(authenticated=True)
+        gateway = GatewayFilter("gw")
+        gateway.allow("out", "in", 0x100, 0x1FF)
+        binding = GatewayBinding(gateway)
+        binding.attach("out", "entry")
+        binding.attach("in", "ecu")
+        target.add_gateway(binding)
+        graph = build_flow_graph(target)
+        gw_edges = [e for e in graph.edges() if e.kind == "gateway"]
+        assert [(e.src, e.dst) for e in gw_edges] == [("entry", "ecu")]
+        assert gw_edges[0].protection == Protection.FILTERED
+        assert "256 id(s)" in gw_edges[0].note
+
+
+class TestBuildCloud:
+    def test_cariad_subgraph_shape(self):
+        graph = build_flow_graph(build_scenario("cariad-breach"))
+        heapdump = graph.node("cloud:telemetry-backend:/actuator/heapdump")
+        assert heapdump.source
+        bucket = graph.node("cloud:telemetry-backend:bucket:telemetry-records")
+        assert bucket.sink
+        iam = [e for e in graph.edges() if e.kind == "iam"]
+        assert len(iam) == 1
+        assert "aws-master" in iam[0].weakness
+
+    def test_authenticated_endpoint_is_not_a_source(self):
+        graph = build_flow_graph(build_scenario("cariad-breach"))
+        api = graph.node("cloud:telemetry-backend:/api")
+        assert not api.source
+
+
+class TestBuildSsiAndV2x:
+    def test_valid_credential_edges_block(self):
+        target = build_scenario("onboard-hardened")
+        graph = build_flow_graph(target)
+        cred = [e for e in graph.edges() if e.kind == "credential"]
+        prov = [e for e in graph.edges() if e.kind == "provisioning"]
+        assert cred and all(e.blocking for e in cred)
+        assert {e.dst for e in prov} == {"zc-left", "zc-right"}
+        assert all(e.blocking for e in prov)
+
+    def test_unsigned_v2x_channel_is_source(self):
+        graph = build_flow_graph(build_scenario("onboard-insecure"))
+        channel = graph.node("v2x:v2v-sidelink")
+        assert channel.source
+        (edge,) = [e for e in graph.edges() if e.kind == "v2x"]
+        assert edge.dst == "adas-cam" and not edge.blocking
+
+    def test_signed_v2x_channel_is_trusted(self):
+        graph = build_flow_graph(build_scenario("onboard-hardened"))
+        channel = graph.node("v2x:v2v-sidelink")
+        assert not channel.source
+        (edge,) = [e for e in graph.edges() if e.kind == "v2x"]
+        assert edge.blocking
+
+    def test_v2x_binding_to_unknown_component_is_dangling_but_safe(self):
+        target = AnalysisTarget(name="t")
+        target.add_v2x_channel(V2xChannelBinding("side", "nowhere"))
+        graph = build_flow_graph(target)
+        assert "v2x:side" in graph
+        assert graph.edges() == []
+
+
+def test_build_is_deterministic():
+    def snapshot():
+        graph = build_flow_graph(build_scenario("onboard-insecure"))
+        return ([n.name for n in graph.nodes()],
+                [(e.src, e.dst, e.kind, e.protection) for e in graph.edges()])
+
+    assert snapshot() == snapshot()

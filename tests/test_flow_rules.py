@@ -1,0 +1,80 @@
+"""The FLOW rule family riding the ordinary lint machinery: findings,
+fingerprints, baselines, and JSON-report round-trips."""
+
+import json
+
+from repro.flow import FLOW_RULES, flow_linter
+from repro.lint import (Baseline, Linter, Severity, build_scenario,
+                        validate_report_dict)
+from repro.lint.scenarios import SCENARIOS
+
+
+class TestFamily:
+    def test_four_rules_with_stable_ids(self):
+        assert [r.rule_id for r in FLOW_RULES] \
+            == ["FLOW001", "FLOW002", "FLOW003", "FLOW004"]
+
+    def test_flow_linter_runs_only_flow_rules(self):
+        linter = flow_linter()
+        assert {r.rule_id for r in linter.rules} \
+            == {r.rule_id for r in FLOW_RULES}
+
+    def test_messages_carry_witness_and_cut(self):
+        report = flow_linter().run(build_scenario("pkes-legacy"))
+        (finding,) = [f for f in report.findings if f.rule_id == "FLOW001"]
+        assert finding.subject == "keyfob=>immobilizer"
+        assert "keyfob -> pkes-receiver" in finding.message
+        assert "harden first:" in finding.message
+
+    def test_flow002_fires_on_cariad_bucket(self):
+        report = flow_linter().run(build_scenario("cariad-breach"))
+        subjects = {f.subject for f in report.findings
+                    if f.rule_id == "FLOW002"}
+        assert any("bucket:telemetry-records" in s for s in subjects)
+
+    def test_flow003_names_gateway_edges(self):
+        report = flow_linter().run(build_scenario("onboard-insecure"))
+        subjects = {f.subject for f in report.findings
+                    if f.rule_id == "FLOW003"}
+        assert "telematics->brake-ecu" in subjects
+
+    def test_hardened_scenario_yields_no_flow_findings(self):
+        report = flow_linter().run(build_scenario("onboard-hardened"))
+        assert report.findings == (), report.to_table()
+
+
+class TestMachineryRoundTrip:
+    def test_findings_round_trip_through_json_report(self):
+        linter = flow_linter()
+        for name in SCENARIOS:
+            report = linter.run(build_scenario(name))
+            document = report.to_json_dict(linter.enabled_rules())
+            validate_report_dict(document)
+            reparsed = json.loads(json.dumps(document))
+            assert reparsed["summary"]["total"] == len(report.findings)
+            assert {f["ruleId"] for f in reparsed["findings"]} \
+                <= {"FLOW001", "FLOW002", "FLOW003", "FLOW004"}
+
+    def test_baseline_suppresses_flow_findings(self):
+        linter = flow_linter()
+        target = build_scenario("onboard-insecure")
+        first = linter.run(target)
+        assert first.findings
+        baseline = Baseline.from_report(first, comment="accepted")
+        second = linter.run(build_scenario("onboard-insecure"),
+                            baseline=baseline)
+        assert second.findings == ()
+        assert len(second.suppressed) == len(first.findings)
+        assert second.exit_code(Severity.LOW) == 0
+
+    def test_fingerprints_stable_across_runs(self):
+        linter = flow_linter()
+        first = linter.run(build_scenario("onboard-insecure"))
+        second = linter.run(build_scenario("onboard-insecure"))
+        assert [f.fingerprint for f in first.findings] \
+            == [f.fingerprint for f in second.findings]
+
+    def test_full_linter_includes_flow_alongside_classic_rules(self):
+        report = Linter().run(build_scenario("onboard-insecure"))
+        ids = report.finding_rule_ids()
+        assert "FLOW001" in ids and "IVN001" in ids

@@ -1,0 +1,161 @@
+"""Taint propagation, path witnesses, hardening cuts — and the PR's
+acceptance criteria over the scenario fleet."""
+
+import pytest
+
+from repro.flow import (FlowEdge, FlowGraph, FlowNode, Protection, analyze,
+                        propagate_taint, render_cut, render_summary,
+                        render_witnesses)
+from repro.lint.scenarios import build_scenario
+
+INSECURE = ["pkes-legacy", "onboard-insecure", "cariad-breach", "maas-platform"]
+
+
+def chain_graph(*protections):
+    """n0 -> n1 -> ... with the given per-hop protections; n0 is the
+    source, the last node a criticality-5 sink."""
+    graph = FlowGraph("chain")
+    count = len(protections) + 1
+    for i in range(count):
+        from repro.core.layers import Layer
+
+        graph.add_node(FlowNode(
+            f"n{i}", "component", Layer.NETWORK,
+            criticality=5 if i == count - 1 else 2,
+            source=i == 0, sink=i == count - 1))
+    for i, protection in enumerate(protections):
+        graph.add_edge(FlowEdge(f"n{i}", f"n{i + 1}", "interface", protection))
+    return graph
+
+
+class TestPropagation:
+    def test_taint_crosses_open_edges_only(self):
+        graph = chain_graph(Protection.NONE, Protection.TLS, Protection.NONE)
+        tainted = propagate_taint(graph)
+        assert set(tainted) == {"n0", "n1"}
+
+    def test_source_has_no_parent_edge(self):
+        graph = chain_graph(Protection.NONE)
+        tainted = propagate_taint(graph)
+        assert tainted["n0"] is None
+        assert tainted["n1"].src == "n0"
+
+    def test_weakness_reopens_protected_edge(self):
+        graph = FlowGraph("t")
+        from repro.core.layers import Layer
+
+        graph.add_node(FlowNode("a", "component", Layer.NETWORK, source=True))
+        graph.add_node(FlowNode("b", "component", Layer.NETWORK,
+                                criticality=5, sink=True))
+        graph.add_edge(FlowEdge("a", "b", "interface", Protection.SECOC,
+                                weakness="24-bit MAC"))
+        assert set(propagate_taint(graph)) == {"a", "b"}
+
+    def test_bfs_finds_shortest_witness(self):
+        # two routes to the sink: 1 hop direct, 2 hops via mid
+        from repro.core.layers import Layer
+
+        graph = FlowGraph("t")
+        graph.add_node(FlowNode("src", "component", Layer.NETWORK, source=True))
+        graph.add_node(FlowNode("mid", "component", Layer.NETWORK))
+        graph.add_node(FlowNode("sink", "component", Layer.NETWORK,
+                                criticality=5, sink=True))
+        graph.add_edge(FlowEdge("src", "mid", "interface", Protection.NONE))
+        graph.add_edge(FlowEdge("mid", "sink", "interface", Protection.NONE))
+        graph.add_edge(FlowEdge("src", "sink", "interface", Protection.NONE))
+        tainted = propagate_taint(graph)
+        assert tainted["sink"].src == "src"
+
+
+class TestAnalyze:
+    def test_clean_chain_has_no_witnesses(self):
+        graph = chain_graph(Protection.TLS, Protection.TLS)
+        tainted = propagate_taint(graph)
+        assert set(tainted) == {"n0"}
+
+    def test_witness_structure(self):
+        result = analyze(build_scenario("pkes-legacy"))
+        (witness,) = result.witnesses
+        assert witness.source == "keyfob"
+        assert witness.sink == "immobilizer"
+        assert witness.nodes == ("keyfob", "pkes-receiver", "body-control",
+                                 "immobilizer")
+        for line in witness.describe():
+            assert "->" in line and ";" in line  # hop + suggestion
+
+    def test_cut_disconnects_when_applied(self):
+        """Securing exactly the cut edges makes the sink unreachable."""
+        result = analyze(build_scenario("pkes-legacy"))
+        cut = result.cuts["immobilizer"]
+        assert cut
+        model = result.graph.to_system_model()
+        removed = model  # rebuild reachability without the cut edges
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(c.name for c in removed.components())
+        for interface in removed.interfaces():
+            pair = (interface.source, interface.target)
+            if pair not in cut:
+                graph.add_edge(*pair)
+        assert not nx.has_path(graph, "keyfob", "immobilizer")
+
+    def test_witness_for_lookup(self):
+        result = analyze(build_scenario("pkes-legacy"))
+        assert result.witness_for("immobilizer") is not None
+        assert result.witness_for("keyfob") is None
+
+
+class TestAcceptanceCriteria:
+    """The PR gate: every insecure scenario yields a witnessed path and a
+    non-empty hardening cut; the hardened scenario is path-clean."""
+
+    @pytest.mark.parametrize("name", INSECURE)
+    def test_insecure_scenario_has_witnessed_path(self, name):
+        result = analyze(build_scenario(name))
+        assert not result.path_clean
+        assert len(result.witnesses) >= 1
+        for witness in result.witnesses:
+            assert len(witness.hops) >= 1
+            assert witness.describe()
+
+    @pytest.mark.parametrize("name", INSECURE)
+    def test_insecure_scenario_has_nonempty_cut(self, name):
+        result = analyze(build_scenario(name))
+        assert any(result.cuts.get(w.sink) for w in result.witnesses), \
+            result.cuts
+
+    def test_hardened_scenario_is_path_clean(self):
+        result = analyze(build_scenario("onboard-hardened"))
+        assert result.path_clean, render_witnesses(result)
+
+    @pytest.mark.parametrize("name", INSECURE + ["onboard-hardened"])
+    def test_analysis_is_deterministic(self, name):
+        def snapshot():
+            result = analyze(build_scenario(name))
+            return ([(w.source, w.sink, w.nodes) for w in result.witnesses],
+                    {sink: sorted(cut) for sink, cut in result.cuts.items()})
+
+        assert snapshot() == snapshot()
+
+
+class TestRenderers:
+    def test_summary_names_verdict(self):
+        assert "PATH-CLEAN" in render_summary(
+            analyze(build_scenario("onboard-hardened")))
+        assert "unprotected" in render_summary(
+            analyze(build_scenario("pkes-legacy")))
+
+    def test_witnesses_render_hops(self):
+        text = render_witnesses(analyze(build_scenario("pkes-legacy")))
+        assert "keyfob => immobilizer" in text
+        assert "[1]" in text and "[3]" in text
+
+    def test_cut_renders_edges(self):
+        text = render_cut(analyze(build_scenario("pkes-legacy")))
+        assert "immobilizer" in text and "->" in text
+
+    def test_clean_renders_benign_messages(self):
+        result = analyze(build_scenario("onboard-hardened"))
+        assert render_witnesses(result) == "no unprotected paths"
+        assert "nothing to cut" in render_cut(result)

@@ -58,9 +58,9 @@ class TestCli:
 
     def test_gate_critical_passes_medium_only_target(self, capsys):
         code, _, _ = run_cli(capsys, "lint", "pkes-legacy", "--gate", "critical")
-        assert code == 1  # pkes-legacy includes a critical SEC002 finding
+        assert code == 1  # pkes-legacy includes critical SEC002/FLOW001 findings
         code, _, _ = run_cli(capsys, "lint", "pkes-legacy",
-                             "--disable", "SEC002", "--gate", "critical")
+                             "--disable", "SEC002,FLOW001", "--gate", "critical")
         assert code == 0
 
     def test_json_output_validates_against_schema(self, capsys):

@@ -4,7 +4,8 @@ import pytest
 
 from repro.core.entities import Component, SystemModel
 from repro.core.layers import Layer
-from repro.lint import CATALOG, AnalysisTarget, Finding, Linter, Rule, Severity
+from repro.lint import (CATALOG, AnalysisTarget, Finding, Linter, Rule,
+                        Severity, full_catalog)
 
 
 def make_rule(rule_id="TST001", severity=Severity.HIGH, subjects=("thing",)):
@@ -91,7 +92,14 @@ class TestLinter:
         assert [f.rule_id for f in report.findings] == ["ZZZ001", "AAA001"]
 
     def test_default_linter_uses_full_catalog(self):
-        assert {r.rule_id for r in Linter().rules} == {r.rule_id for r in CATALOG}
+        assert ({r.rule_id for r in Linter().rules}
+                == {r.rule_id for r in full_catalog()})
+
+    def test_full_catalog_appends_flow_family(self):
+        # the FLOW rules live in repro.flow but must always be part of
+        # the default linter (lazy import, no catalog cycle)
+        extra = {r.rule_id for r in full_catalog()} - {r.rule_id for r in CATALOG}
+        assert extra == {"FLOW001", "FLOW002", "FLOW003", "FLOW004"}
 
 
 class TestFinding:

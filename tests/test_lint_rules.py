@@ -13,7 +13,7 @@ import pytest
 from repro.core.entities import Component, Interface, SystemModel
 from repro.core.layers import Layer
 from repro.core.threats import AccessLevel
-from repro.lint import CATALOG, AnalysisTarget, GatewayBinding, Linter
+from repro.lint import AnalysisTarget, GatewayBinding, Linter, full_catalog
 
 
 # --------------------------------------------------------------------------
@@ -205,6 +205,21 @@ def bucket_service(encrypted):
     return service
 
 
+def flow_datastore_target(leaky):
+    """FLOW002 fixture: public endpoint + heap key + populated bucket."""
+    from repro.datalayer.cloud import (CloudService, Endpoint, Secret,
+                                       StorageBucket)
+
+    service = CloudService("svc")
+    service.add_endpoint(Endpoint("/public", auth_required=not leaky))
+    service.add_secret(Secret("master", frozenset({"read"}),
+                              in_process_memory=leaky))
+    bucket = StorageBucket("records", required_scope="read")
+    bucket.records.append({"vin": "V1", "encrypted": True})
+    service.add_bucket(bucket)
+    return cloud_target(service)
+
+
 # --------------------------------------------------------------------------
 # the per-rule fixture table
 # --------------------------------------------------------------------------
@@ -275,6 +290,14 @@ FIXTURES = {
                lambda: sos_target(realtime=True, secured=True)),
     "SOS003": (lambda: sos_target(stakeholder=""),
                lambda: sos_target(stakeholder="oem")),
+    "FLOW001": (lambda: target_with_model(two_node_model(authenticated=False)),
+                lambda: target_with_model(two_node_model(authenticated=True))),
+    "FLOW002": (lambda: flow_datastore_target(True),
+                lambda: flow_datastore_target(False)),
+    "FLOW003": (lambda: gateway_target(toward_critical=True),
+                lambda: gateway_target(toward_critical=False)),
+    "FLOW004": (lambda: credential_target(validity_s=100.0, now=1000.0),
+                lambda: credential_target(now=1000.0)),
 }
 
 
@@ -286,7 +309,13 @@ def _exposed_critical_model(exposed):
 
 
 def test_every_rule_has_fixtures():
-    assert set(FIXTURES) == {rule.rule_id for rule in CATALOG}
+    """Catalog-coverage meta-test: every rule in the *full* catalog
+    (including the cross-package FLOW family) must ship one positive and
+    one negative fixture; a new rule without fixtures fails here."""
+    assert set(FIXTURES) == {rule.rule_id for rule in full_catalog()}
+    for rule_id, pair in FIXTURES.items():
+        assert len(pair) == 2, f"{rule_id}: need (bad, good) builders"
+        assert all(callable(builder) for builder in pair), rule_id
 
 
 @pytest.mark.parametrize("rule_id", sorted(FIXTURES))
