@@ -17,7 +17,11 @@ one incident across four layers of the reproduction:
 6. [static]   the epilogue: `repro.flow` proves — without running
               anything — that the deployed configuration admitted the
               incident's path, and names the minimal set of edges whose
-              hardening would have cut it.
+              hardening would have cut it;
+7. [chaos]    the drill: the same incident weather, injected as a
+              deterministic fault campaign (`repro.faults`) against the
+              insecure and hardened postures — one collapses to
+              safe-stop, the other degrades, rides it out, and recovers.
 
     python examples/full_stack_attack_story.py
 """
@@ -152,6 +156,32 @@ def act6_the_foresight() -> None:
           f" — the S1-S3 + SSI posture closes every such path before it exists")
 
 
+def act7_the_drill() -> None:
+    print("\n--- act 7 [chaos]: the drill — would we survive it again? ---")
+    # The postmortem's last question is prospective: inject the same
+    # weather (babbling ECU, backend outage, registry downtime, ...) as
+    # a seeded fault campaign and watch the degradation ladder.  Same
+    # base seed => byte-identical report — the drill is reproducible.
+    from repro.faults import get_plan, run_chaos_scenario
+
+    plan = get_plan("baseline")
+    for name in ("onboard-insecure", "onboard-hardened"):
+        result = run_chaos_scenario(name, plan, base_seed=0)
+        degradation = result["degradation"]
+        recover = degradation["timeToRecoverS"]
+        print(f"  {name:17s} min level {degradation['minLevel']:12s} "
+              f"final {degradation['finalLevel']:8s} "
+              f"{'recovered at t=' + format(recover, 'g') + ' s' if recover is not None else 'never recovered'}")
+        retry = result["retry"]
+        if result["resilient"]:
+            print(f"  {'':17s} absorbed by resilience: {retry['recovered']} "
+                  f"retried calls recovered, breaker opened "
+                  f"{result['breakers'][0]['opens']}x, "
+                  f"{result['ssi']['staleHits']} stale-cache DID resolutions")
+    print("  => identical faults; only the posture differs — fail-operational")
+    print("     is machinery, not luck (§VIII).")
+
+
 def main() -> None:
     print("full-stack attack story (red team vs blue team, paper §VIII)")
     act1_the_breach()
@@ -160,6 +190,7 @@ def main() -> None:
     act4_the_postmortem()
     act5_the_timeline()
     act6_the_foresight()
+    act7_the_drill()
 
 
 if __name__ == "__main__":

@@ -11,6 +11,8 @@ Usage::
     python -m repro flow SCENARIO        # taint/reachability analysis
     python -m repro flow SCENARIO --paths --cut   # witnesses + hardening cut
     python -m repro trace SCENARIO       # instrumented simulation trace
+    python -m repro chaos SCENARIO       # fault campaign + resilience report
+    python -m repro chaos all --plan severe --json   # machine-readable
 """
 
 from __future__ import annotations
@@ -305,6 +307,87 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_chaos_scenario(result: dict) -> str:
+    """Human-readable block for one chaos scenario result."""
+    lines = [f"=== chaos: {result['scenario']} "
+             f"({'resilient' if result['resilient'] else 'no resilience'}) ==="]
+    window = result["window"]
+    lines.append(f"fault window [{window['start']:g}, {window['end']:g}) over "
+                 f"{result['durationTicks']} ticks — "
+                 f"{result['faults']['injected']} fault(s) injected")
+    lines.append(f"{'layer':18s}  {'avail':>6s}  {'in-window':>9s}")
+    for entry in result["layers"]:
+        lines.append(f"{entry['layer']:18s}  {entry['availability']:6.2%}  "
+                     f"{entry['windowAvailability']:9.2%}")
+    degradation = result["degradation"]
+    ttd, ttr = degradation["timeToDegradeS"], degradation["timeToRecoverS"]
+    lines.append(
+        f"service level: min={degradation['minLevel']} "
+        f"final={degradation['finalLevel']} "
+        f"degraded@{'never' if ttd is None else f'{ttd:g}s'} "
+        f"recovered@{'never' if ttr is None else f'{ttr:g}s'}")
+    retry = result["retry"]
+    if retry["calls"]:
+        lines.append(f"retries: {retry['retries']} across {retry['calls']} "
+                     f"call(s), {retry['recovered']} recovered, "
+                     f"{retry['exhausted']} exhausted")
+    for breaker in result["breakers"]:
+        lines.append(f"breaker {breaker['name']}: {breaker['opens']} open(s), "
+                     f"{breaker['rejections']} rejection(s), "
+                     f"final {breaker['finalState']}")
+    if result["ssi"] is not None:
+        ssi = result["ssi"]
+        lines.append(f"ssi resolver: {ssi['hits']} fresh, {ssi['staleHits']} "
+                     f"stale-cache, {ssi['failures']} failure(s)")
+    if result["alerts"]:
+        lines.append(f"ids alerts handled: {result['alerts']}")
+    return "\n".join(lines)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import (chaos_scenario_names, plan_names,
+                              run_chaos_campaign, validate_chaos_dict)
+
+    if args.scenario is None:
+        print("a scenario name (or 'all') is required; available: "
+              + ", ".join(chaos_scenario_names()), file=sys.stderr)
+        return 2
+    if args.plan not in plan_names():
+        print(f"unknown fault plan {args.plan!r}; available: "
+              + ", ".join(plan_names()), file=sys.stderr)
+        return 2
+    names = (chaos_scenario_names() if args.scenario == "all"
+             else [args.scenario])
+    try:
+        document = run_chaos_campaign(names, args.plan,
+                                      base_seed=args.base_seed,
+                                      duration=args.duration)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    validate_chaos_dict(document)
+
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote chaos report to {args.report}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        blocks = [_render_chaos_scenario(result)
+                  for result in document["scenarios"]]
+        summary = document["summary"]
+        blocks.append(
+            f"campaign '{args.plan}': {summary['scenarioCount']} scenario(s), "
+            f"{summary['faultsInjected']} fault(s) injected; layers sustained "
+            f"in-window: {', '.join(summary['layersSustained']) or 'none'}; "
+            f"at minimal-risk or below: "
+            f"{', '.join(summary['scenariosAtMinimalRiskOrBelow']) or 'none'}")
+        print("\n\n".join(blocks))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -405,6 +488,27 @@ def main(argv: list[str] | None = None) -> int:
     trace_parser.add_argument("--jsonl", metavar="FILE",
                               help="also export the event log as JSONL")
 
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="run a scenario under an injected fault campaign")
+    chaos_parser.add_argument("scenario", nargs="?",
+                              help="scenario name from "
+                                   "repro.faults.CHAOS_SCENARIOS, or 'all'")
+    chaos_parser.add_argument("--plan", default="baseline",
+                              metavar="PLAN",
+                              help="fault plan to inject "
+                                   "(baseline or severe; default baseline)")
+    chaos_parser.add_argument("--base-seed", type=int, default=0, metavar="N",
+                              help="campaign base seed; identical seed + plan "
+                                   "replays the exact fault sequence "
+                                   "(default 0)")
+    chaos_parser.add_argument("--duration", type=int, default=30, metavar="N",
+                              help="campaign length in virtual-clock ticks "
+                                   "(default 30)")
+    chaos_parser.add_argument("--json", action="store_true",
+                              help="emit the schema-validated chaos document")
+    chaos_parser.add_argument("--report", metavar="FILE",
+                              help="also write the chaos JSON document to FILE")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -414,6 +518,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_flow(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return _cmd_run(args)
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
+from typing import Callable
 
 from repro.core.layers import Layer
 
@@ -103,6 +104,15 @@ class ResponseEngine:
         self.min_confidence = min_confidence
         self._state: dict[str, _ComponentState] = {}
         self.decisions: list[ResponseDecision] = []
+        self._listeners: list[Callable[[ResponseDecision], None]] = []
+
+    def subscribe(self, listener: Callable[[ResponseDecision], None]) -> None:
+        """Register a callback invoked for every recorded decision.
+
+        This is how the degradation manager (:mod:`repro.faults`) hears
+        about escalations without the response engine depending on it.
+        """
+        self._listeners.append(listener)
 
     def handle(self, alert: SecurityAlert) -> ResponseDecision:
         """Process one alert and return (and record) the response decision.
@@ -166,6 +176,8 @@ class ResponseEngine:
                      f"{decision.action.name.lower()} ({decision.rationale})",
                      t=decision.alert.time, action=decision.action.name,
                      escalation=decision.escalation_level)
+        for listener in self._listeners:
+            listener(decision)
         return decision
 
     def component_status(self, component: str) -> ResponseAction:

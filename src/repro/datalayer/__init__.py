@@ -21,10 +21,16 @@ from repro.datalayer.access import (
 from repro.datalayer.breach import BreachReport, build_cariad_service, run_breach
 from repro.datalayer.cloud import (
     AccessDenied,
+    CloudError,
     CloudService,
+    CloudTimeout,
     Endpoint,
+    EndpointDisabled,
+    EndpointNotFound,
     Secret,
+    ServiceUnavailable,
     StorageBucket,
+    TransientCloudError,
 )
 from repro.datalayer.killchain import (
     MITIGATIONS,
@@ -53,6 +59,12 @@ __all__ = [
     "Secret",
     "StorageBucket",
     "AccessDenied",
+    "CloudError",
+    "EndpointNotFound",
+    "EndpointDisabled",
+    "TransientCloudError",
+    "CloudTimeout",
+    "ServiceUnavailable",
     "FleetTelemetryGenerator",
     "TelemetryRecord",
     "VehicleProfile",

@@ -19,11 +19,44 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["Endpoint", "Secret", "StorageBucket", "CloudService", "AccessDenied"]
+__all__ = ["Endpoint", "Secret", "StorageBucket", "CloudService",
+           "CloudError", "AccessDenied", "EndpointNotFound", "EndpointDisabled",
+           "TransientCloudError", "CloudTimeout", "ServiceUnavailable"]
 
 
-class AccessDenied(Exception):
-    """Raised when an operation lacks the required scope."""
+class CloudError(Exception):
+    """Base class for every typed cloud-operation failure.
+
+    The hierarchy splits *permanent* failures (denied, not found,
+    disabled — retrying cannot help) from :class:`TransientCloudError`
+    (timeouts, outages — the classes resilience machinery is allowed to
+    retry).  ``fetch`` raises these instead of collapsing every miss to
+    ``None``, so callers and retry policies can tell them apart.
+    """
+
+
+class AccessDenied(CloudError):
+    """Raised when an operation lacks the required scope (permanent)."""
+
+
+class EndpointNotFound(CloudError):
+    """The path does not exist on the service (permanent)."""
+
+
+class EndpointDisabled(CloudError):
+    """The path exists but its feature flag is off (permanent)."""
+
+
+class TransientCloudError(CloudError):
+    """Base for failures worth retrying (timeouts, 5xx outages)."""
+
+
+class CloudTimeout(TransientCloudError):
+    """The request exceeded its deadline."""
+
+
+class ServiceUnavailable(TransientCloudError):
+    """The service answered 5xx / was unreachable."""
 
 
 @dataclass(frozen=True)
@@ -108,19 +141,27 @@ class CloudService:
         endpoint = self.endpoints.get(path)
         return endpoint is not None and endpoint.feature in self.enabled_features
 
-    def fetch(self, path: str, *, secret: Secret | None = None) -> str | None:
-        """GET an endpoint; returns its response tag or None.
+    def fetch(self, path: str, *, secret: Secret | None = None) -> str:
+        """GET an endpoint; returns its response tag.
 
-        Unauthenticated fetches succeed only on endpoints with
-        ``auth_required=False`` — the heap-dump actuator in the incident
-        was exactly such an endpoint in production.
+        Failures are *typed*: :class:`EndpointNotFound` for unknown
+        paths, :class:`EndpointDisabled` when the feature flag is off,
+        :class:`AccessDenied` for missing credentials.  All three are
+        permanent — retry machinery must not retry them, unlike the
+        :class:`TransientCloudError` classes an unreliable transport
+        layers on top.  Unauthenticated fetches succeed only on
+        endpoints with ``auth_required=False`` — the heap-dump actuator
+        in the incident was exactly such an endpoint in production.
         """
         self.access_log.append(f"GET {path}")
         endpoint = self.endpoints.get(path)
-        if endpoint is None or endpoint.feature not in self.enabled_features:
-            return None
+        if endpoint is None:
+            raise EndpointNotFound(f"no endpoint at {path!r}")
+        if endpoint.feature not in self.enabled_features:
+            raise EndpointDisabled(
+                f"{path!r} requires disabled feature {endpoint.feature!r}")
         if endpoint.auth_required and secret is None:
-            return None
+            raise AccessDenied(f"{path!r} requires credentials")
         return endpoint.response_tag
 
     def heap_dump_contents(self) -> list[Secret]:

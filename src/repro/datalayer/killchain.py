@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.layers import Layer
-from repro.datalayer.cloud import AccessDenied, CloudService, Secret
+from repro.datalayer.cloud import AccessDenied, CloudError, CloudService, Secret
 from repro.obs.events import EventKind
 from repro.obs.runtime import OBS
 
@@ -149,7 +149,10 @@ def _supply_chain_identification(service: CloudService, context: AttackContext) 
 
 def _heap_dump(service: CloudService, context: AttackContext) -> StageResult:
     """Fetch the unauthenticated heap-dump endpoint."""
-    response = service.fetch("/actuator/heapdump")
+    try:
+        response = service.fetch("/actuator/heapdump")
+    except CloudError as exc:
+        return StageResult("heap-dump", False, f"heap dump not retrievable ({exc})")
     if response != "heapdump":
         return StageResult("heap-dump", False, "heap dump not retrievable")
     context.dumped_secrets = service.heap_dump_contents()

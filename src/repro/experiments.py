@@ -79,6 +79,8 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "bench_runner.py"),
     Experiment("BENCH-FLOW", "§V-C", "whole-system taint analysis cost per scenario",
                "bench_flow.py"),
+    Experiment("BENCH-FAULTS", "§VIII", "fault-injector overhead + chaos campaign cost",
+               "bench_faults.py"),
 )
 
 

@@ -1,0 +1,89 @@
+"""Deterministic fault injection and resilience (paper §VIII).
+
+The paper's fail-operational requirement — autonomous systems must
+*degrade* under attack and partial failure, never just crash — is only
+testable against injected faults.  This package provides:
+
+* :mod:`repro.faults.plan` — the typed fault taxonomy
+  (:class:`FaultKind`) and windowed, probabilistic campaign plans
+  (``baseline`` and ``severe``);
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, per-``(kind,
+  target)`` seeded firing decisions with zero ambient randomness;
+* :mod:`repro.faults.resilience` — :func:`retry_with_backoff`,
+  :class:`CircuitBreaker`, :class:`Watchdog`, :class:`HealthMonitor`,
+  all on a :class:`VirtualClock`;
+* :mod:`repro.faults.degradation` — the FULL → DEGRADED → MINIMAL_RISK
+  → SAFE_STOP ladder with hysteresis, fed by health signals and
+  :class:`repro.core.response.ResponseEngine` escalations;
+* :mod:`repro.faults.chaos` — the five scenarios run as chaos
+  campaigns (``python -m repro chaos``);
+* :mod:`repro.faults.report` — the schema-validated chaos JSON.
+"""
+
+from repro.faults.chaos import (
+    CHAOS_SCENARIOS,
+    DEFAULT_DURATION,
+    ChaosPosture,
+    chaos_scenario_names,
+    run_chaos_campaign,
+    run_chaos_scenario,
+)
+from repro.faults.degradation import DegradationManager, LevelChange, ServiceLevel
+from repro.faults.injector import FaultInjector, InjectionRecord
+from repro.faults.plan import (
+    KIND_LAYER,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    baseline_plan,
+    get_plan,
+    plan_names,
+    severe_plan,
+)
+from repro.faults.report import ChaosSchemaError, validate_chaos_dict
+from repro.faults.resilience import (
+    BreakerOpen,
+    BreakerState,
+    CircuitBreaker,
+    HealthMonitor,
+    RetryBudgetExceeded,
+    RetryPolicy,
+    RetryStats,
+    VirtualClock,
+    Watchdog,
+    retry_with_backoff,
+)
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "KIND_LAYER",
+    "baseline_plan",
+    "severe_plan",
+    "get_plan",
+    "plan_names",
+    "FaultInjector",
+    "InjectionRecord",
+    "VirtualClock",
+    "RetryPolicy",
+    "RetryStats",
+    "RetryBudgetExceeded",
+    "retry_with_backoff",
+    "BreakerState",
+    "BreakerOpen",
+    "CircuitBreaker",
+    "Watchdog",
+    "HealthMonitor",
+    "ServiceLevel",
+    "LevelChange",
+    "DegradationManager",
+    "ChaosPosture",
+    "CHAOS_SCENARIOS",
+    "chaos_scenario_names",
+    "run_chaos_scenario",
+    "run_chaos_campaign",
+    "DEFAULT_DURATION",
+    "ChaosSchemaError",
+    "validate_chaos_dict",
+]

@@ -1,0 +1,178 @@
+"""The deterministic fault injector.
+
+:class:`FaultInjector` turns a :class:`~repro.faults.plan.FaultPlan`
+into per-opportunity firing decisions with **zero ambient randomness**:
+every ``(kind, target)`` pair owns a :mod:`repro.core.rng` stream seeded
+from ``faults/<plan>/<kind>/<target>`` and the campaign base seed, so an
+identical ``(plan, base seed)`` replays the exact same fault sequence —
+the property the chaos CLI's byte-identical-report guarantee rests on.
+
+The no-fault fast path matters: simulators consult the injector on hot
+paths (per CAN frame, per ranging exchange), so a ``(kind, target)``
+pair with no scheduled specs returns ``False`` after one dict probe —
+``benchmarks/bench_faults.py`` pins this below 5% of the CAN per-frame
+budget.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.rng import numpy_rng, python_rng
+from repro.faults.plan import KIND_LAYER, FaultKind, FaultPlan, FaultSpec
+from repro.obs.events import EventKind
+from repro.obs.runtime import OBS
+
+__all__ = ["InjectionRecord", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One fault that actually fired."""
+
+    t: float
+    kind: FaultKind
+    target: str
+    magnitude: float
+
+
+class FaultInjector:
+    """Schedule and fire the faults of one plan, deterministically.
+
+    Args:
+        plan: the campaign to execute.
+        base_seed: shards every per-``(kind, target)`` stream; ``None``
+            uses the ambient ``REPRO_BASE_SEED`` default like the rest
+            of :mod:`repro.core.rng`.
+    """
+
+    def __init__(self, plan: FaultPlan, *, base_seed: int | None = None) -> None:
+        self.plan = plan
+        self.base_seed = base_seed
+        self.records: list[InjectionRecord] = []
+        self._specs: dict[tuple[FaultKind, str], tuple[FaultSpec, ...]] = {}
+        for spec in plan.specs:
+            key = (spec.kind, spec.target)
+            self._specs[key] = self._specs.get(key, ()) + (spec,)
+        self._streams: dict[tuple[FaultKind, str], random.Random] = {}
+        self._noise: dict[tuple[FaultKind, str], np.random.Generator] = {}
+
+    # -- streams -------------------------------------------------------------
+
+    def _label(self, kind: FaultKind, target: str) -> str:
+        return f"faults/{self.plan.name}/{kind.value}/{target}"
+
+    def _stream(self, kind: FaultKind, target: str) -> random.Random:
+        key = (kind, target)
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = python_rng(self._label(kind, target), self.base_seed)
+            self._streams[key] = stream
+        return stream
+
+    def _noise_stream(self, kind: FaultKind, target: str) -> np.random.Generator:
+        key = (kind, target)
+        stream = self._noise.get(key)
+        if stream is None:
+            stream = numpy_rng(self._label(kind, target) + "/noise",
+                               self.base_seed)
+            self._noise[key] = stream
+        return stream
+
+    # -- firing decisions ----------------------------------------------------
+
+    def scheduled(self, kind: FaultKind, target: str) -> bool:
+        """Does the plan schedule this fault at all (any window)?"""
+        return (kind, target) in self._specs
+
+    def active_spec(self, kind: FaultKind, target: str,
+                    t: float) -> FaultSpec | None:
+        """The first spec armed at ``t`` for ``(kind, target)``, if any."""
+        specs = self._specs.get((kind, target))
+        if not specs:
+            return None
+        for spec in specs:
+            if spec.active(t):
+                return spec
+        return None
+
+    def fires(self, kind: FaultKind, target: str, t: float) -> bool:
+        """Decide (and record) whether the fault fires at instant ``t``.
+
+        One stream draw per armed opportunity — retrying an operation
+        at the same instant re-rolls, which is exactly how a retransmit
+        can slip through a probabilistic frame-drop window.
+        """
+        spec = self.active_spec(kind, target, t)
+        if spec is None:
+            return False
+        if spec.probability < 1.0 and \
+                self._stream(kind, target).random() >= spec.probability:
+            return False
+        self.records.append(InjectionRecord(t, kind, target, spec.magnitude))
+        if OBS.enabled:
+            OBS.count("faults.injected")
+            OBS.count(f"faults.injected.{kind.value}")
+            OBS.emit(EventKind.FAULT_INJECTED, KIND_LAYER[kind], target,
+                     f"{kind.value} fired (magnitude {spec.magnitude:g})",
+                     t=t, kind=kind.value, magnitude=spec.magnitude)
+        return True
+
+    def magnitude(self, kind: FaultKind, target: str, t: float) -> float:
+        """The armed spec's magnitude at ``t`` (0.0 when disarmed)."""
+        spec = self.active_spec(kind, target, t)
+        return spec.magnitude if spec is not None else 0.0
+
+    # -- fault payloads ------------------------------------------------------
+
+    def corruption_noise(self, kind: FaultKind, target: str,
+                         n: int, magnitude: float) -> np.ndarray:
+        """A burst of Gaussian sample noise from the pair's noise stream."""
+        return self._noise_stream(kind, target).normal(0.0, magnitude, size=n)
+
+    def worker_crash_hook(self) -> Callable[[dict, int], dict | None]:
+        """A :class:`~repro.runner.engine.SweepRunner` ``fault_hook``.
+
+        The hook consults :data:`FaultKind.RUNNER_WORKER_CRASH` with the
+        attempt index as the virtual instant, so a spec windowed
+        ``[0, 1)`` kills only the first attempt while ``[0, 2)`` kills
+        the retry too.  A fired crash consumes ``magnitude`` of the
+        attempt's timeout budget — the scheduler must grant the retry
+        only what remains.
+        """
+        def hook(spec: dict, attempt: int) -> dict | None:
+            exp_id = str(spec["exp_id"])
+            t = float(attempt)
+            if not self.fires(FaultKind.RUNNER_WORKER_CRASH, exp_id, t):
+                return None
+            consumed = self.magnitude(FaultKind.RUNNER_WORKER_CRASH,
+                                      exp_id, t) * float(spec["timeout_s"])
+            return {
+                "id": exp_id,
+                "status": "error",
+                "exitCode": -1,
+                "durationS": consumed,
+                "seed": int(spec["seed"]),
+                "artifacts": [],
+                "outputTail": "",
+                "error": f"injected worker crash (attempt {attempt})",
+            }
+
+        return hook
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+    def count_by_kind(self) -> dict[str, int]:
+        """Fired-fault totals keyed by kind value (sorted for stability)."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.kind.value] = counts.get(record.kind.value, 0) + 1
+        return dict(sorted(counts.items()))

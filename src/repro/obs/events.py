@@ -49,6 +49,10 @@ class EventKind(str, Enum):
     # experiment sweeps (repro.runner)
     EXPERIMENT_START = "experiment-start"
     EXPERIMENT_DONE = "experiment-done"
+    # fault injection / resilience (repro.faults)
+    FAULT_INJECTED = "fault-injected"
+    BREAKER_STATE = "breaker-state"
+    DEGRADATION_CHANGE = "degradation-change"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

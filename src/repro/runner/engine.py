@@ -59,6 +59,9 @@ OK_STATUSES = frozenset({"passed", "cached"})
 #: Statuses worth one automatic retry (worker trouble, not test verdicts).
 RETRYABLE_STATUSES = frozenset({"timeout", "error"})
 
+#: Minimum leftover timeout budget (seconds) worth spending on a retry.
+RETRY_BUDGET_FLOOR_S = 0.05
+
 
 @dataclass
 class ExperimentResult:
@@ -110,6 +113,7 @@ class SweepRunner:
                  command_template: Sequence[str] = DEFAULT_COMMAND_TEMPLATE,
                  digest_paths: Sequence[Path] | None = None,
                  on_result: Callable[[ExperimentResult], None] | None = None,
+                 fault_hook: Callable[[dict, int], dict | None] | None = None,
                  ) -> None:
         self.experiments = list(experiments)
         if jobs < 1:
@@ -128,6 +132,10 @@ class SweepRunner:
             digest_paths = [src_tree, benchmarks_dir() / "conftest.py"]
         self.digest_paths = list(digest_paths)
         self.on_result = on_result
+        # Consulted before every dispatch with (spec, attempt); returning a
+        # result document simulates the worker dying with that outcome —
+        # the deterministic worker-crash fault of repro.faults rides this.
+        self.fault_hook = fault_hook
         self.events = EventLog(capacity=8192)
         self._t0 = 0.0
 
@@ -235,18 +243,40 @@ class SweepRunner:
             if pending:
                 workers = max(1, min(self.jobs, len(pending)))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    future_map = {}
-                    for experiment, key in pending:
+                    future_map: dict = {}
+                    # Fault-hook outcomes complete without a worker; they
+                    # queue here and drain through the same handling path.
+                    injected: list[tuple[Experiment, str, int, dict, dict]] = []
+
+                    def dispatch(experiment: Experiment, key: str,
+                                 attempt: int, spec: dict,
+                                 message: str) -> None:
                         self._emit(EventKind.EXPERIMENT_START,
-                                   experiment.exp_id, "dispatched", attempt=0)
+                                   experiment.exp_id, message, attempt=attempt)
                         if OBS.enabled:
                             OBS.count("runner.scheduled")
-                        future = pool.submit(execute, self._spec(experiment))
-                        future_map[future] = (experiment, key, 0)
-                    while future_map:
-                        done, _ = wait(future_map, return_when=FIRST_COMPLETED)
-                        for future in done:
-                            experiment, key, attempt = future_map.pop(future)
+                        if self.fault_hook is not None:
+                            document = self.fault_hook(spec, attempt)
+                            if document is not None:
+                                injected.append((experiment, key, attempt,
+                                                 spec, document))
+                                return
+                        future = pool.submit(execute, spec)
+                        future_map[future] = (experiment, key, attempt, spec)
+
+                    for experiment, key in pending:
+                        dispatch(experiment, key, 0, self._spec(experiment),
+                                 "dispatched")
+                    while future_map or injected:
+                        if injected:
+                            experiment, key, attempt, spec, document = \
+                                injected.pop(0)
+                        else:
+                            done, _ = wait(future_map,
+                                           return_when=FIRST_COMPLETED)
+                            future = next(iter(done))
+                            experiment, key, attempt, spec = \
+                                future_map.pop(future)
                             try:
                                 document = future.result()
                             except Exception as exc:  # worker process died
@@ -257,25 +287,36 @@ class SweepRunner:
                                     "artifacts": [], "outputTail": "",
                                     "error": f"worker crashed: {exc!r}",
                                 }
-                            if (document["status"] in RETRYABLE_STATUSES
-                                    and attempt == 0 and self.retry):
+                        if (document["status"] in RETRYABLE_STATUSES
+                                and attempt == 0 and self.retry):
+                            # A retried worker only gets what is left of the
+                            # experiment's timeout budget — a crash after
+                            # consuming most of it must not win a fresh full
+                            # timeout.
+                            remaining = (float(spec["timeout_s"])
+                                         - float(document.get("durationS",
+                                                              0.0)))
+                            if remaining > RETRY_BUDGET_FLOOR_S:
                                 if OBS.enabled:
                                     OBS.count("runner.retries")
-                                self._emit(EventKind.EXPERIMENT_START,
-                                           experiment.exp_id,
-                                           f"retrying after "
-                                           f"{document['status']}", attempt=1)
-                                retry_future = pool.submit(
-                                    execute, self._spec(experiment))
-                                future_map[retry_future] = (experiment, key, 1)
+                                dispatch(experiment, key, 1,
+                                         {**spec, "timeout_s": remaining},
+                                         f"retrying after "
+                                         f"{document['status']} "
+                                         f"({remaining:.1f}s budget left)")
                                 continue
-                            result = self._result_from_doc(
-                                document, key=key, cached=False,
-                                retries=attempt)
-                            if self.use_cache and result.status == "passed":
-                                self.cache.put(key, document)
-                            results[experiment.exp_id] = result
-                            self._record(result, root)
+                            note = "retry skipped: timeout budget exhausted"
+                            error = str(document.get("error", ""))
+                            document = {**document,
+                                        "error": (f"{error}; {note}"
+                                                  if error else note)}
+                        result = self._result_from_doc(
+                            document, key=key, cached=False,
+                            retries=attempt)
+                        if self.use_cache and result.status == "passed":
+                            self.cache.put(key, document)
+                        results[experiment.exp_id] = result
+                        self._record(result, root)
 
         wall_s = time.perf_counter() - self._t0
         ordered = [results[e.exp_id] for e in self.experiments]

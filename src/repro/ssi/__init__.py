@@ -28,7 +28,12 @@ from repro.ssi.mobility import (
     OfflineTokenBook,
     SpendRecord,
 )
-from repro.ssi.registry import RegistryEntry, VerifiableDataRegistry
+from repro.ssi.registry import (
+    CachingResolver,
+    RegistryEntry,
+    RegistryUnavailable,
+    VerifiableDataRegistry,
+)
 from repro.ssi.sdv import (
     HW_CREDENTIAL,
     SW_CREDENTIAL,
@@ -46,6 +51,8 @@ __all__ = [
     "VerificationMethod",
     "VerifiableDataRegistry",
     "RegistryEntry",
+    "RegistryUnavailable",
+    "CachingResolver",
     "VerifiableCredential",
     "VerifiablePresentation",
     "VerificationResult",

@@ -18,10 +18,12 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.ssi.did import Did, DidDocument
 
-__all__ = ["RegistryEntry", "VerifiableDataRegistry"]
+__all__ = ["RegistryEntry", "VerifiableDataRegistry",
+           "RegistryUnavailable", "CachingResolver"]
 
 
 @dataclass(frozen=True)
@@ -95,3 +97,65 @@ class VerifiableDataRegistry:
 
     def is_revoked(self, credential_id: str) -> bool:
         return credential_id in self._revoked
+
+
+class RegistryUnavailable(Exception):
+    """The registry cannot be reached (transient infrastructure failure).
+
+    Distinct from ``KeyError`` (the DID genuinely does not exist):
+    resilience machinery may retry or fall back to a cached document on
+    unavailability, but must *not* paper over a missing DID.
+    """
+
+
+class CachingResolver:
+    """DID resolution with a last-known-good cache for registry outages.
+
+    The paper's SSI design assumes the verifiable data registry is
+    "publicly available" — but availability is exactly what a fault
+    campaign takes away.  This resolver keeps the latest successfully
+    resolved document per DID and serves it *stale* while the registry
+    is down, trading freshness (a rotated key or new endpoint would be
+    missed) for availability, the same trade the offline-verification
+    path in :mod:`repro.ssi.charging` makes deliberately.
+
+    Args:
+        registry: the backing registry.
+        unavailable: optional predicate consulted per lookup; returning
+            ``True`` models the registry being unreachable right now
+            (chaos campaigns wire this to the fault injector).
+    """
+
+    def __init__(self, registry: VerifiableDataRegistry, *,
+                 unavailable: Callable[[], bool] | None = None) -> None:
+        self.registry = registry
+        self.unavailable = unavailable
+        self.hits = 0
+        self.stale_hits = 0
+        self.failures = 0
+        self._cache: dict[str, DidDocument] = {}
+
+    def resolve(self, did: Did | str) -> DidDocument:
+        """Resolve ``did``, serving the cached document during outages.
+
+        Raises :class:`RegistryUnavailable` when the registry is down
+        and no cached copy exists; propagates ``KeyError`` for unknown
+        DIDs while the registry is reachable.
+        """
+        key = str(did)
+        if self.unavailable is not None and self.unavailable():
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.stale_hits += 1
+                return cached
+            self.failures += 1
+            raise RegistryUnavailable(
+                f"registry down and no cached document for {key}")
+        document = self.registry.resolve(did)
+        self._cache[key] = document
+        self.hits += 1
+        return document
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "staleHits": self.stale_hits,
+                "failures": self.failures, "cached": len(self._cache)}

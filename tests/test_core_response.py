@@ -100,3 +100,60 @@ class TestStatusQueries:
     def test_bad_threshold_rejected(self):
         with pytest.raises(ValueError):
             ResponseEngine(escalation_threshold=0)
+
+
+class TestSubscriptionAndFlapping:
+    """Listeners hear every decision; flapping alerts cannot oscillate
+    the degradation ladder (the hysteresis contract repro.faults relies on)."""
+
+    def test_subscribers_hear_every_decision_in_order(self):
+        engine = ResponseEngine()
+        heard = []
+        engine.subscribe(lambda decision: heard.append(decision.action))
+        engine.handle(alert(severity=Severity.INFO))
+        engine.handle(alert(severity=Severity.CRITICAL))
+        assert heard == [ResponseAction.LOG_ONLY,
+                         ResponseAction.ISOLATE_COMPONENT]
+
+    def test_low_confidence_decisions_still_reach_subscribers(self):
+        engine = ResponseEngine(min_confidence=0.8)
+        heard = []
+        engine.subscribe(lambda decision: heard.append(decision.action))
+        engine.handle(alert(severity=Severity.CRITICAL, confidence=0.2))
+        assert heard == [ResponseAction.LOG_ONLY]
+
+    def test_flapping_alerts_never_deescalate_the_response(self):
+        # alert, quiet, alert, ... — the chosen action must be monotone
+        # even though severities alternate
+        engine = ResponseEngine(escalation_threshold=2)
+        actions = []
+        for i in range(8):
+            severity = Severity.CRITICAL if i % 2 == 0 else Severity.INFO
+            actions.append(engine.handle(alert(severity=severity,
+                                               t=float(i))).action)
+        assert actions == sorted(actions)  # monotone non-decreasing
+        assert actions[0] == ResponseAction.ISOLATE_COMPONENT
+
+    def test_flapping_alerts_cannot_oscillate_the_degradation_ladder(self):
+        # end-to-end hysteresis: a flapping IDS (critical alert, then
+        # healthy ticks, repeatedly) may hold the vehicle DEGRADED but
+        # must never walk it below the action's floor
+        from repro.faults import DegradationManager, ServiceLevel
+
+        engine = ResponseEngine(escalation_threshold=100)
+        manager = DegradationManager(degrade_streak=2, recovery_streak=2)
+        manager.attach(engine)
+        for cycle in range(6):
+            engine.handle(alert(severity=Severity.CRITICAL,
+                                t=float(cycle * 3)))
+            for sub in range(3):
+                manager.report("ivn", True)
+                manager.tick(float(cycle * 3 + sub))
+        assert manager.level is ServiceLevel.DEGRADED
+        assert manager.min_level is ServiceLevel.DEGRADED
+        # once the flapping source is cleared, recovery completes
+        manager.clear_response_floor()
+        for t in range(20, 23):
+            manager.report("ivn", True)
+            manager.tick(float(t))
+        assert manager.level is ServiceLevel.FULL

@@ -5,10 +5,16 @@ import pytest
 from repro.datalayer.breach import build_cariad_service, run_breach
 from repro.datalayer.cloud import (
     AccessDenied,
+    CloudError,
     CloudService,
+    CloudTimeout,
     Endpoint,
+    EndpointDisabled,
+    EndpointNotFound,
     Secret,
+    ServiceUnavailable,
     StorageBucket,
+    TransientCloudError,
 )
 from repro.datalayer.killchain import MITIGATIONS, KillChain, cariad_stages
 
@@ -30,16 +36,35 @@ class TestCloudService:
 
     def test_fetch_respects_auth(self):
         service = self._service()
-        assert service.fetch("/api") is None           # auth required
+        with pytest.raises(AccessDenied):
+            service.fetch("/api")                      # auth required
         assert service.fetch("/open") == "open"
+
+    def test_fetch_unknown_path_is_typed(self):
+        service = self._service()
+        with pytest.raises(EndpointNotFound):
+            service.fetch("/ghost")
 
     def test_feature_gating(self):
         service = self._service()
         service.add_endpoint(Endpoint("/debug", feature="debug", auth_required=False,
                                       response_tag="dbg"))
         assert not service.probe("/debug")             # feature disabled
+        with pytest.raises(EndpointDisabled):
+            service.fetch("/debug")
         service.enabled_features.add("debug")
         assert service.probe("/debug")
+        assert service.fetch("/debug") == "dbg"
+
+    def test_error_taxonomy_splits_transient_from_permanent(self):
+        # Retry machinery keys on TransientCloudError; the permanent
+        # classes must not be retryable.
+        for transient in (CloudTimeout, ServiceUnavailable):
+            assert issubclass(transient, TransientCloudError)
+            assert issubclass(transient, CloudError)
+        for permanent in (AccessDenied, EndpointNotFound, EndpointDisabled):
+            assert issubclass(permanent, CloudError)
+            assert not issubclass(permanent, TransientCloudError)
 
     def test_heap_dump_only_memory_resident(self):
         service = self._service()

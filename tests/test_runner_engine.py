@@ -77,14 +77,73 @@ class TestScheduling:
 
 
 class TestTimeoutAndRetry:
-    def test_timeout_is_retried_once_then_reported(self, tmp_path):
+    def test_timeout_that_consumed_the_budget_is_not_retried(self, tmp_path):
+        # A hung worker burns its whole timeout budget; granting the retry
+        # a fresh full timeout would double the sweep's worst case, so the
+        # scheduler skips the retry when nothing meaningful remains.
         experiments = make_experiments(tmp_path, {"SLOW": SCRIPT_HANG})
         report = make_runner(experiments, tmp_path, timeout_s=0.3).run()
         result = report.results[0]
         assert result.status == "timeout"
-        assert result.retries == 1
+        assert result.retries == 0
         assert "timed out" in result.error
+        assert "retry skipped: timeout budget exhausted" in result.error
         assert report.exit_code() == 1
+
+    def test_retry_gets_remaining_budget_not_fresh_timeout(self, tmp_path):
+        # An injected crash that consumed 2s of a 5s budget must leave the
+        # retry with exactly the remaining 3s.
+        experiments = make_experiments(
+            tmp_path, {"X": SCRIPT_OK.format(exp_id="X")})
+        seen: list[tuple[int, float]] = []
+
+        def hook(spec, attempt):
+            seen.append((attempt, spec["timeout_s"]))
+            if attempt == 0:
+                return {"id": spec["exp_id"], "status": "error",
+                        "exitCode": -1, "durationS": 2.0,
+                        "seed": spec["seed"], "artifacts": [],
+                        "outputTail": "", "error": "injected crash"}
+            return None
+
+        report = make_runner(experiments, tmp_path, timeout_s=5.0,
+                             fault_hook=hook).run()
+        result = report.results[0]
+        assert result.status == "passed" and result.retries == 1
+        assert seen == [(0, 5.0), (1, pytest.approx(3.0))]
+
+    def test_injected_worker_crash_fault_is_retried_within_budget(self, tmp_path):
+        # The repro.faults regression: a FaultPlan worker-crash windowed
+        # [0, 1) kills only the first attempt; the sweep recovers on the
+        # retry using the remaining budget.
+        from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+
+        experiments = make_experiments(
+            tmp_path, {"X": SCRIPT_OK.format(exp_id="X")})
+        injector = FaultInjector(FaultPlan("crash-test", (
+            FaultSpec(FaultKind.RUNNER_WORKER_CRASH, "X", 0.0, 1.0,
+                      probability=1.0, magnitude=0.4),
+        )), base_seed=0)
+        report = make_runner(experiments, tmp_path, timeout_s=10.0,
+                             fault_hook=injector.worker_crash_hook()).run()
+        result = report.results[0]
+        assert result.status == "passed" and result.retries == 1
+        assert injector.count == 1
+
+    def test_injected_crash_consuming_full_budget_is_terminal(self, tmp_path):
+        from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+
+        experiments = make_experiments(
+            tmp_path, {"X": SCRIPT_OK.format(exp_id="X")})
+        injector = FaultInjector(FaultPlan("crash-hard", (
+            FaultSpec(FaultKind.RUNNER_WORKER_CRASH, "X", 0.0, 1.0,
+                      probability=1.0, magnitude=1.0),
+        )), base_seed=0)
+        report = make_runner(experiments, tmp_path, timeout_s=10.0,
+                             fault_hook=injector.worker_crash_hook()).run()
+        result = report.results[0]
+        assert result.status == "error" and result.retries == 0
+        assert "retry skipped: timeout budget exhausted" in result.error
 
     def test_launch_error_is_retried_once(self, tmp_path):
         experiments = make_experiments(tmp_path, {"X": SCRIPT_OK})

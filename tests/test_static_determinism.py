@@ -93,12 +93,18 @@ def audit_file(path: pathlib.Path) -> list[str]:
 def test_src_tree_is_free_of_ambient_nondeterminism():
     violations: list[str] = []
     audited = 0
+    faults_audited = 0
     for path in sorted(SRC_ROOT.rglob("*.py")):
         if path in ALLOWED:
             continue
         audited += 1
+        if path.parent.name == "faults":
+            faults_audited += 1
         violations += audit_file(path)
-    assert audited > 30  # the walk actually covered the tree
+    assert audited > 35  # the walk actually covered the tree
+    # the fault-injection package is exactly where ambient randomness
+    # would silently break byte-identical chaos replay
+    assert faults_audited >= 7
     assert not violations, "\n".join(violations)
 
 
