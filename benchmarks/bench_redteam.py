@@ -1,0 +1,94 @@
+"""BENCH-REDTEAM — cost and determinism of whole-fleet campaign planning.
+
+The red-team planner is the third static analyzer: it runs inside every
+default lint invocation (RT rules) and inside the CI differential gate,
+so it must plan the whole fleet in milliseconds.  This bench pins two
+properties:
+
+1. **Per-scenario planning cost.** Library build + capability search +
+   campaign reconstruction timed per scenario; the five-scenario fleet
+   must plan in well under a second.
+2. **Byte-identical output per (scenario, base seed).** The planner is
+   purely static — serializing the campaign document twice for the
+   same inputs must produce the exact same bytes, which is what makes
+   the differential gates and golden campaigns trustworthy.
+
+The measured numbers are exported through the observability layer's
+JSON metrics format into ``BENCH_REDTEAM.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.lint.scenarios import SCENARIOS, build_scenario
+from repro.obs import MetricsRegistry
+from repro.redteam import plan, run_redteam_campaign
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The fleet must plan end to end within this budget (seconds) —
+#: generous on CI hardware, tight enough to catch a super-linear
+#: regression in the capability search.
+FLEET_BUDGET_S = 2.0
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_fleet_planning_cost(show, benchmark):
+    rows = []
+    registry = MetricsRegistry()
+    total_s = 0.0
+    for name in SCENARIOS:
+        target = build_scenario(name)
+        seconds = _best_of(lambda t=target: plan(t))
+        total_s += seconds
+        result = plan(target)
+        rows.append((name, len(result.library), len(result.campaigns),
+                     len(result.disruptions), f"{seconds * 1e3:7.2f}"))
+        registry.gauge(f"bench.redteam.{name}.ms_per_plan").set(seconds * 1e3)
+        registry.gauge(f"bench.redteam.{name}.campaigns").set(
+            float(len(result.campaigns)))
+        registry.gauge(f"bench.redteam.{name}.attacks").set(
+            float(len(result.library)))
+    registry.gauge("bench.redteam.fleet.total_ms").set(total_s * 1e3)
+    path = _REPO_ROOT / "BENCH_REDTEAM.json"
+    path.write_text(json.dumps(registry.to_json_dict(), indent=2) + "\n")
+
+    show("BENCH-REDTEAM — campaign planning per scenario",
+         rows, header=("scenario", "attacks", "campaigns", "disrupt", "ms"))
+    benchmark(lambda: plan(build_scenario("onboard-insecure")))
+    assert total_s < FLEET_BUDGET_S, f"fleet took {total_s:.2f}s"
+
+
+def test_output_byte_identical_per_scenario_and_seed(show):
+    names = sorted(SCENARIOS)
+    rows = []
+    for base_seed in (0, 7):
+        first = json.dumps(run_redteam_campaign(names, base_seed=base_seed),
+                           sort_keys=True)
+        second = json.dumps(run_redteam_campaign(names, base_seed=base_seed),
+                            sort_keys=True)
+        assert first == second, f"seed {base_seed}: output not stable"
+        rows.append((base_seed, len(first), "identical"))
+    show("BENCH-REDTEAM — document stability per (fleet, seed)",
+         rows, header=("seed", "bytes", "verdict"))
+
+
+def test_library_build_alone_is_cheap(benchmark):
+    from repro.flow import analyze
+    from repro.redteam import build_attack_library
+
+    target = build_scenario("onboard-insecure")
+    flow = analyze(target)
+    library = benchmark(lambda: build_attack_library(target, flow))
+    assert len(library) >= 20

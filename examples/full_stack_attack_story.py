@@ -21,7 +21,12 @@ one incident across four layers of the reproduction:
 7. [chaos]    the drill: the same incident weather, injected as a
               deterministic fault campaign (`repro.faults`) against the
               insecure and hardened postures — one collapses to
-              safe-stop, the other degrades, rides it out, and recovers.
+              safe-stop, the other degrades, rides it out, and recovers;
+8. [red team] the planner: `repro.redteam` reconstructs the whole
+              campaign from the attacker's side — cheapest ranked
+              multi-stage plan per target, the defense that breaks each
+              hop, and the differential gate proving the three static
+              analyzers (lint, flow, redteam) agree.
 
     python examples/full_stack_attack_story.py
 """
@@ -182,6 +187,34 @@ def act7_the_drill() -> None:
     print("     is machinery, not luck (§VIII).")
 
 
+def act8_the_playbook() -> None:
+    print("\n--- act 8 [red team]: the attacker's playbook, precomputed ---")
+    # The flow epilogue proved the paths existed; the campaign planner
+    # goes one step further and plays the attacker: from the typed
+    # attack library it searches capability states for the cheapest
+    # multi-stage campaign against every safety-critical sink, naming
+    # the defense that would have broken each hop.
+    from repro.redteam import differential_violations, plan_scenario, render_campaigns
+
+    result = plan_scenario("cariad-breach")
+    print(f"  cariad-breach: {len(result.campaigns)} ranked campaign(s) "
+          f"over {len(result.library)} library attacks")
+    for line in render_campaigns(result, top=1).splitlines():
+        print(f"  {line}")
+
+    hardened = plan_scenario("onboard-hardened")
+    print(f"  onboard-hardened: {len(hardened.library)} attacks in the "
+          f"library, {len(hardened.campaigns)} viable campaign(s) — "
+          f"{'DEFEATED' if hardened.defeated else 'exposed'}")
+
+    # The differential gate: the planner's campaigns, the flow
+    # analyzer's witnesses, and the lint findings must tell one story.
+    disagreements = [v for name in ("cariad-breach", "onboard-hardened")
+                     for v in differential_violations(build_scenario(name))]
+    print(f"  differential gate: {len(disagreements)} analyzer "
+          f"disagreement(s) — lint, flow, and redteam agree")
+
+
 def main() -> None:
     print("full-stack attack story (red team vs blue team, paper §VIII)")
     act1_the_breach()
@@ -191,6 +224,7 @@ def main() -> None:
     act5_the_timeline()
     act6_the_foresight()
     act7_the_drill()
+    act8_the_playbook()
 
 
 if __name__ == "__main__":

@@ -13,6 +13,8 @@ Usage::
     python -m repro trace SCENARIO       # instrumented simulation trace
     python -m repro chaos SCENARIO       # fault campaign + resilience report
     python -m repro chaos all --plan severe --json   # machine-readable
+    python -m repro redteam SCENARIO --campaigns     # ranked attack campaigns
+    python -m repro redteam all --differential       # analyzer-agreement gate
 """
 
 from __future__ import annotations
@@ -22,6 +24,20 @@ import json
 import sys
 
 from repro.experiments import EXPERIMENTS, find
+
+#: Every registered subcommand with its one-line description.  The
+#: ``--help`` listing is generated from this table and a smoke test
+#: asserts it stays in sync with the registered subparsers, so adding a
+#: subcommand without describing it here fails CI.
+SUBCOMMANDS: dict[str, str] = {
+    "list": "enumerate experiments",
+    "run": "run experiments (parallel, cached sweep)",
+    "lint": "static security-configuration analysis",
+    "flow": "static cross-layer taint/reachability analysis",
+    "trace": "run an instrumented simulation and show its trace",
+    "chaos": "run a scenario under an injected fault campaign",
+    "redteam": "plan ranked attack campaigns (static red team)",
+}
 
 
 def _cmd_list() -> int:
@@ -388,15 +404,80 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
+def _cmd_redteam(args: argparse.Namespace) -> int:
+    from repro.lint import Severity, build_scenario, scenario_names
+    from repro.lint.engine import Linter
+    from repro.redteam import (RT_RULES, plan, render_campaigns,
+                               render_summary, run_differential,
+                               run_redteam_campaign, validate_redteam_dict)
+
+    if args.scenario is None:
+        print("a scenario name (or 'all') is required; available: "
+              + ", ".join(scenario_names()), file=sys.stderr)
+        return 2
+    names = scenario_names() if args.scenario == "all" else [args.scenario]
+    for name in names:
+        if name not in scenario_names():
+            print(f"unknown scenario {name!r}; available: "
+                  + ", ".join(scenario_names()), file=sys.stderr)
+            return 2
+    gate = None if args.gate == "none" else Severity.from_name(args.gate)
+
+    if args.differential:
+        violations_by_scenario = run_differential(names)
+        failed = False
+        for name in names:
+            violations = violations_by_scenario[name]
+            if violations:
+                failed = True
+                print(f"{name}: {len(violations)} analyzer "
+                      f"disagreement(s)")
+                for violation in violations:
+                    print(f"  {violation}")
+            else:
+                print(f"{name}: analyzers agree (lint/flow/redteam)")
+        return 1 if failed else 0
+
+    if args.json:
+        document = run_redteam_campaign(names, base_seed=args.base_seed)
+        validate_redteam_dict(document)
+        print(json.dumps(document, indent=2))
+        # the gate still applies to machine-readable runs
+        exit_code = 0
+        for name in names:
+            report = Linter(RT_RULES).run(build_scenario(name))
+            exit_code = max(exit_code, report.exit_code(gate))
+        return exit_code
+
+    exit_code = 0
+    for name in names:
+        target = build_scenario(name)
+        report = Linter(RT_RULES).run(target)
+        if args.sarif:
+            from repro.lint.sarif import to_sarif_dict, validate_sarif_dict
+
+            document = to_sarif_dict(report, RT_RULES)
+            validate_sarif_dict(document)
+            print(json.dumps(document, indent=2))
+        else:
+            result = plan(target)
+            print(render_summary(result))
+            if args.campaigns:
+                print()
+                print(render_campaigns(result, top=args.top))
+        exit_code = max(exit_code, report.exit_code(gate))
+    return exit_code
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full CLI parser; every subcommand comes from SUBCOMMANDS."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the paper's figures and tables.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
-    subparsers.add_parser("list", help="enumerate experiments")
-    run_parser = subparsers.add_parser(
-        "run", help="run experiments (parallel, cached sweep)")
+    subparsers.add_parser("list", help=SUBCOMMANDS["list"])
+    run_parser = subparsers.add_parser("run", help=SUBCOMMANDS["run"])
     run_parser.add_argument("exp_ids", nargs="+", metavar="EXP_ID",
                             help="experiment id(s) from `list`, or 'all'")
     run_parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
@@ -419,8 +500,7 @@ def main(argv: list[str] | None = None) -> int:
                             help="result-cache directory "
                                  "(default .repro-cache/runner)")
 
-    lint_parser = subparsers.add_parser(
-        "lint", help="static security-configuration analysis")
+    lint_parser = subparsers.add_parser("lint", help=SUBCOMMANDS["lint"])
     lint_parser.add_argument("scenario", nargs="?",
                              help="scenario name from repro.lint.SCENARIOS, or 'all'")
     lint_parser.add_argument("--json", action="store_true",
@@ -445,8 +525,7 @@ def main(argv: list[str] | None = None) -> int:
     lint_parser.add_argument("--sarif", action="store_true",
                              help="emit a SARIF 2.1.0 log instead of a table")
 
-    flow_parser = subparsers.add_parser(
-        "flow", help="static cross-layer taint/reachability analysis")
+    flow_parser = subparsers.add_parser("flow", help=SUBCOMMANDS["flow"])
     flow_parser.add_argument("scenario", nargs="?",
                              help="scenario name from repro.lint.SCENARIOS, "
                                   "or 'all'")
@@ -471,8 +550,7 @@ def main(argv: list[str] | None = None) -> int:
                              help="capture current flow findings as the "
                                   "baseline and exit 0")
 
-    trace_parser = subparsers.add_parser(
-        "trace", help="run an instrumented simulation and show its trace")
+    trace_parser = subparsers.add_parser("trace", help=SUBCOMMANDS["trace"])
     trace_parser.add_argument("scenario", nargs="?",
                               help="scenario name from repro.obs.TRACE_SCENARIOS, "
                                    "or 'all'")
@@ -488,8 +566,7 @@ def main(argv: list[str] | None = None) -> int:
     trace_parser.add_argument("--jsonl", metavar="FILE",
                               help="also export the event log as JSONL")
 
-    chaos_parser = subparsers.add_parser(
-        "chaos", help="run a scenario under an injected fault campaign")
+    chaos_parser = subparsers.add_parser("chaos", help=SUBCOMMANDS["chaos"])
     chaos_parser.add_argument("scenario", nargs="?",
                               help="scenario name from "
                                    "repro.faults.CHAOS_SCENARIOS, or 'all'")
@@ -509,7 +586,42 @@ def main(argv: list[str] | None = None) -> int:
     chaos_parser.add_argument("--report", metavar="FILE",
                               help="also write the chaos JSON document to FILE")
 
-    args = parser.parse_args(argv)
+    redteam_parser = subparsers.add_parser("redteam",
+                                           help=SUBCOMMANDS["redteam"])
+    redteam_parser.add_argument("scenario", nargs="?",
+                                help="scenario name from "
+                                     "repro.lint.SCENARIOS, or 'all'")
+    redteam_parser.add_argument("--campaigns", action="store_true",
+                                help="print every ranked campaign hop by hop "
+                                     "with the defense that breaks each step")
+    redteam_parser.add_argument("--top", type=int, default=None, metavar="N",
+                                help="with --campaigns, show only the N "
+                                     "cheapest campaigns")
+    redteam_parser.add_argument("--json", action="store_true",
+                                help="emit the schema-validated campaign "
+                                     "document")
+    redteam_parser.add_argument("--sarif", action="store_true",
+                                help="emit a SARIF 2.1.0 log (RT rules only)")
+    redteam_parser.add_argument("--gate", default="low",
+                                choices=["info", "low", "medium", "high",
+                                         "critical", "none"],
+                                help="fail (exit 1) on RT findings at or "
+                                     "above this severity (default: low; "
+                                     "'none' never fails)")
+    redteam_parser.add_argument("--differential", action="store_true",
+                                help="check the three static analyzers "
+                                     "agree; exit 1 on any disagreement")
+    redteam_parser.add_argument("--base-seed", type=int, default=0,
+                                metavar="N",
+                                help="recorded in the JSON document; the "
+                                     "planner is static, so output is "
+                                     "byte-identical per (scenario, seed) "
+                                     "(default 0)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "lint":
@@ -520,6 +632,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "redteam":
+        return _cmd_redteam(args)
     return _cmd_run(args)
 
 

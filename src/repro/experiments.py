@@ -81,6 +81,8 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "bench_flow.py"),
     Experiment("BENCH-FAULTS", "§VIII", "fault-injector overhead + chaos campaign cost",
                "bench_faults.py"),
+    Experiment("BENCH-REDTEAM", "§VIII", "attack-campaign planning cost + output stability",
+               "bench_redteam.py"),
 )
 
 

@@ -70,6 +70,18 @@ class FlowResult:
                 return witness
         return None
 
+    def witnesses_by_sink(self) -> dict[str, PathWitness]:
+        """Sink name -> its shortest witness — the planner's seed goals.
+
+        Every key here is an obligation on :mod:`repro.redteam`: the
+        first differential gate demands a planner-reachable campaign
+        for each witnessed sink.
+        """
+        mapping: dict[str, PathWitness] = {}
+        for witness in self.witnesses:
+            mapping.setdefault(witness.sink, witness)
+        return mapping
+
 
 def propagate_taint(graph: FlowGraph) -> dict[str, FlowEdge | None]:
     """Multi-source BFS over open edges; returns parent pointers.

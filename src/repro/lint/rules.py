@@ -552,14 +552,17 @@ def check_missing_stakeholder(target: AnalysisTarget) -> Iterator[tuple[str, str
 # --------------------------------------------------------------------------
 
 def full_catalog() -> list[Rule]:
-    """Every rule: this module's CATALOG plus the FLOW family.
+    """Every rule: this module's CATALOG plus the FLOW and RT families.
 
     The FLOW rules live in :mod:`repro.flow.rules` (they need the whole
-    taint analyzer); importing them lazily here — instead of at module
-    import — keeps ``repro.lint`` and ``repro.flow`` free of a circular
-    import in either load order.  :class:`~repro.lint.engine.Linter`
-    defaults to this combined catalog.
+    taint analyzer) and the RT rules in :mod:`repro.redteam.rules`
+    (they need the whole campaign planner); importing them lazily here
+    — instead of at module import — keeps ``repro.lint``,
+    ``repro.flow``, and ``repro.redteam`` free of a circular import in
+    any load order.  :class:`~repro.lint.engine.Linter` defaults to
+    this combined catalog.
     """
     from repro.flow.rules import FLOW_RULES
+    from repro.redteam.rules import RT_RULES
 
-    return CATALOG + FLOW_RULES
+    return CATALOG + FLOW_RULES + RT_RULES

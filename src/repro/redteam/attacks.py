@@ -1,0 +1,389 @@
+"""The typed attack library: every per-layer attack, made composable.
+
+Each :class:`Attack` is a *concrete instantiation* of one of the
+techniques the paper (and the seed simulators) describe — a PKES relay
+against *this* fob, a SecOC downgrade across *this* CAN link — with
+typed preconditions (:class:`~repro.redteam.capability.Capability`
+objects the attacker must already hold), effects (capabilities the
+attack grants), an abstract cost in attacker-effort units, and the
+**defense that would break the step**.  Nothing here simulates; the
+library is evaluated purely against the
+:class:`~repro.lint.target.AnalysisTarget` and the flow-graph
+protection lattice, so building it is as cheap and as deterministic as
+a lint pass.
+
+Two template families populate the library:
+
+* **entry attacks** (no preconditions) — conditioned on the *configured
+  subsystems*: a relay only exists where a PKES system trusts LF/RSSI
+  proximity, Cicada/ED-LC jamming only where an HRP receiver skips the
+  integrity check, DID spoofing only where an actor is unresolvable;
+* **movement attacks** (require ``control`` of the hop's source) — one
+  per *open* edge of the :class:`~repro.flow.graph.FlowGraph`, with the
+  technique chosen from the edge's kind, protection, and recorded
+  weakness (an open SECOC edge is a downgrade/replay, an open MACsec
+  edge is rekey abuse, a filtered gateway edge is forwarding abuse);
+  plus the CAN availability attacks (bus-off, babbling idiot) that
+  grant ``disrupt`` rather than ``control``.
+
+Costs are relative effort, not CVSS: they only need a consistent
+ordering so the planner's "cheapest campaign" ranking is meaningful and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.layers import Layer
+from repro.flow.graph import FlowEdge, FlowGraph, Protection
+from repro.flow.taint import FlowResult
+
+from repro.redteam.capability import Capability, control, disrupt
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.lint.target import AnalysisTarget
+
+__all__ = ["Attack", "build_attack_library", "TECHNIQUES"]
+
+#: CAN-family protocols: links where frame injection and the classic
+#: error-frame availability attacks (bus-off, babbling idiot) apply.
+_CAN_PROTOCOLS = {"can", "canfd", "lin"}
+
+#: technique id -> (display name, paper ref) for the whole library.
+TECHNIQUES: dict[str, tuple[str, str]] = {
+    "pkes-relay": ("PKES relay (LF/RSSI proximity abuse)", "§II-A"),
+    "uwb-jamming": ("UWB Cicada / ED-LC jamming of the first path", "§II-A"),
+    "foothold": ("foothold on an exposed component", "Fig. 1"),
+    "endpoint-abuse": ("unauthenticated endpoint abuse", "§V / Fig. 8"),
+    "did-spoof": ("DID spoofing of an unresolvable actor", "§IV"),
+    "registry-outage": ("verifiable-data-registry outage", "§IV"),
+    "insider-fabrication": ("insider fabrication on an unsigned V2X channel",
+                            "§VII"),
+    "link-injection": ("frame/packet injection on an unprotected link",
+                       "§III / Table I"),
+    "secoc-replay": ("SecOC downgrade / replay through a weak profile",
+                     "§III / Fig. 5"),
+    "macsec-rekey-abuse": ("MACsec PN-exhaustion rekey abuse", "§III"),
+    "gateway-abuse": ("gateway-forwarding abuse through a wide whitelist",
+                      "§III / Fig. 3"),
+    "killchain-recon": ("kill-chain recon: traffic analysis and "
+                        "directory enumeration", "§V / Fig. 8"),
+    "heap-dump-theft": ("credential theft via heap dump (kill-chain "
+                        "steps 4-6)", "§V / Fig. 8"),
+    "credential-forgery": ("forgery through an unverifiable credential",
+                           "§IV"),
+    "v2x-spoof": ("V2X message spoofing into the consumer", "§VII"),
+    "bus-off": ("CAN bus-off via induced error frames", "§III"),
+    "babbling-idiot": ("babbling-idiot flood of a shared segment", "§III"),
+}
+
+#: Abstract attacker-effort cost per technique (relative, not CVSS).
+_COSTS: dict[str, float] = {
+    "pkes-relay": 2.0,
+    "uwb-jamming": 3.0,
+    "foothold": 5.0,
+    "endpoint-abuse": 1.0,
+    "did-spoof": 2.0,
+    "registry-outage": 3.0,
+    "insider-fabrication": 2.0,
+    "link-injection": 1.0,
+    "secoc-replay": 2.5,
+    "macsec-rekey-abuse": 3.0,
+    "gateway-abuse": 1.5,
+    "killchain-recon": 1.0,
+    "heap-dump-theft": 2.0,
+    "credential-forgery": 2.0,
+    "v2x-spoof": 1.0,
+    "bus-off": 1.0,
+    "babbling-idiot": 1.5,
+}
+
+
+@dataclass(frozen=True)
+class Attack:
+    """One concrete attack step: typed preconditions, effects, cost."""
+
+    attack_id: str                       # "<technique>@<subject>", unique
+    technique: str                       # key into TECHNIQUES
+    name: str
+    layer: Layer
+    paper_ref: str
+    requires: frozenset[Capability]
+    grants: frozenset[Capability]
+    cost: float
+    defense: str                         # what would break this step
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cost <= 0:
+            raise ValueError(f"{self.attack_id}: cost must be positive")
+        if not self.grants:
+            raise ValueError(f"{self.attack_id}: attack must grant something")
+
+    @property
+    def is_entry(self) -> bool:
+        return not self.requires
+
+    @property
+    def primary_grant(self) -> Capability:
+        """The first granted capability in sorted order (for labels)."""
+        return min(self.grants)
+
+    def describe(self) -> str:
+        granted = ", ".join(c.label for c in sorted(self.grants))
+        return f"{self.name} -> {granted} (defeated by: {self.defense})"
+
+
+class _LibraryBuilder:
+    """Accumulates attacks, guaranteeing unique ids and sorted output."""
+
+    def __init__(self) -> None:
+        self._attacks: dict[str, Attack] = {}
+
+    def add(self, technique: str, subject: str, *, layer: Layer,
+            requires: frozenset[Capability] = frozenset(),
+            grants: frozenset[Capability],
+            defense: str, detail: str = "",
+            cost: float | None = None) -> None:
+        name, paper_ref = TECHNIQUES[technique]
+        attack_id = f"{technique}@{subject}"
+        if attack_id in self._attacks:
+            return  # first instantiation wins (builders iterate sorted)
+        self._attacks[attack_id] = Attack(
+            attack_id=attack_id, technique=technique, name=name,
+            layer=layer, paper_ref=paper_ref, requires=requires,
+            grants=grants, cost=cost if cost is not None else _COSTS[technique],
+            defense=defense, detail=detail)
+
+    def build(self) -> tuple[Attack, ...]:
+        return tuple(self._attacks[key] for key in sorted(self._attacks))
+
+
+# --------------------------------------------------------------------------
+# entry templates: conditioned on configured subsystems
+# --------------------------------------------------------------------------
+
+def _phy_entry_attacks(builder: _LibraryBuilder, target: "AnalysisTarget",
+                       graph: FlowGraph) -> None:
+    """PKES relay and UWB jamming against exposed physical components."""
+    phy_sources = [n for n in graph.nodes()
+                   if n.kind == "component" and n.source
+                   and n.layer == Layer.PHYSICAL]
+    if not phy_sources:
+        return
+    relay_vulnerable = any(p.policy == "lf-rssi" for p in target.pkes_systems)
+    jam_vulnerable = any(not r.integrity_check for r in target.hrp_receivers)
+    for node in sorted(phy_sources, key=lambda n: n.name):
+        if relay_vulnerable:
+            builder.add(
+                "pkes-relay", node.name, layer=Layer.PHYSICAL,
+                grants=frozenset({control(node.name)}),
+                defense="UWB time-of-flight ranging (HRP with integrity "
+                        "check, or LRP distance bounding) instead of "
+                        "LF/RSSI proximity",
+                detail=f"two-radio relay reaches {node.name!r} from "
+                       f"parking-lot distance")
+        if jam_vulnerable:
+            builder.add(
+                "uwb-jamming", node.name, layer=Layer.PHYSICAL,
+                grants=frozenset({control(node.name)}),
+                defense="enable the normalized-correlation first-path "
+                        "integrity check on the HRP receiver",
+                detail=f"Cicada/ED-LC pulses move the measured first path "
+                       f"of {node.name!r}")
+
+
+def _surface_entry_attacks(builder: _LibraryBuilder,
+                           graph: FlowGraph) -> None:
+    """Generic foothold on every exposed component the flow graph names.
+
+    This is the completeness backstop for the differential gates: every
+    taint *source* of the flow analyzer must admit at least one entry
+    attack, or the two analyzers would disagree by construction.  The
+    specialized templates above are strictly cheaper where they apply.
+    """
+    for node in sorted(graph.nodes(), key=lambda n: n.name):
+        if not node.source:
+            continue
+        if node.kind == "component":
+            builder.add(
+                "foothold", node.name, layer=node.layer,
+                grants=frozenset({control(node.name)}),
+                defense="remove the exposure or authenticate every "
+                        "interface of the component",
+                detail=f"{node.name!r} is remotely/adjacently reachable "
+                       f"({node.note or 'exposed'})")
+        elif node.kind == "endpoint":
+            builder.add(
+                "endpoint-abuse", node.name, layer=Layer.DATA,
+                grants=frozenset({control(node.name)}),
+                defense="require credentials on the endpoint (or disable "
+                        "it in production)",
+                detail=f"{node.note} answers unauthenticated requests")
+        elif node.kind == "actor":
+            builder.add(
+                "did-spoof", node.name, layer=Layer.SOFTWARE_PLATFORM,
+                grants=frozenset({control(node.name)}),
+                defense="anchor the DID in the verifiable data registry",
+                detail=f"{node.name!r} cannot be resolved; anyone can "
+                       f"claim it")
+        elif node.kind == "channel":
+            builder.add(
+                "insider-fabrication", node.name, layer=Layer.COLLABORATION,
+                grants=frozenset({control(node.name)}),
+                defense="sign V2X messages (1609.2 certificates / "
+                        "verifiable credentials) and run consistency-based "
+                        "internal-attacker detection",
+                detail=f"{node.note or 'unsigned channel'}; a fabricated "
+                       f"participant is indistinguishable")
+
+
+def _registry_entry_attacks(builder: _LibraryBuilder,
+                            target: "AnalysisTarget",
+                            graph: FlowGraph) -> None:
+    """No registry deployed: every SSI actor can be denied resolution."""
+    if target.registry is not None:
+        return
+    actors = [n for n in graph.nodes() if n.kind == "actor"]
+    for node in sorted(actors, key=lambda n: n.name):
+        builder.add(
+            "registry-outage", node.name, layer=Layer.SOFTWARE_PLATFORM,
+            grants=frozenset({disrupt(node.name)}),
+            defense="deploy a verifiable data registry with a stale-cache "
+                    "resolver (last-known-good DID documents)",
+            detail=f"no registry backs {node.name!r}; resolution is a "
+                   f"single point of denial")
+
+
+# --------------------------------------------------------------------------
+# movement templates: one attack per open flow edge
+# --------------------------------------------------------------------------
+
+def _movement_technique(edge: FlowEdge) -> tuple[str, str]:
+    """Choose (technique, defense) for one open edge of the lattice."""
+    if edge.kind == "interface":
+        if edge.protection == Protection.SECOC and edge.weakness:
+            return ("secoc-replay",
+                    f"fix the profile ({edge.weakness}); deploy >=64-bit "
+                    f"MACs with a nonzero freshness counter")
+        if edge.protection == Protection.MACSEC and edge.weakness:
+            return ("macsec-rekey-abuse",
+                    f"rekey well before PN exhaustion ({edge.weakness})")
+        return ("link-injection",
+                "authenticate the link (SECOC/MACsec/TLS as appropriate)")
+    if edge.kind == "gateway":
+        return ("gateway-abuse",
+                "tighten the forwarding whitelist to the ids the zone "
+                "actually needs")
+    if edge.kind == "http":
+        return ("killchain-recon",
+                "require credentials, disable debug endpoints, rate-limit "
+                "enumeration")
+    if edge.kind == "iam":
+        return ("heap-dump-theft",
+                "hold secrets in an HSM/KMS (never process memory) and "
+                "strip escalation scopes")
+    if edge.kind in ("credential", "provisioning"):
+        return ("credential-forgery",
+                "anchor issuer and subject in the registry and re-issue "
+                "within a valid window")
+    if edge.kind == "v2x":
+        return ("v2x-spoof",
+                "verify V2X signatures before fusing remote perception")
+    return ("link-injection", "add an authenticated boundary on this hop")
+
+
+#: movement-edge kinds mapped to the Fig. 1 layer of the *technique*;
+#: plain interfaces take the layer of the node they reach.
+_EDGE_LAYERS: dict[str, Layer] = {
+    "gateway": Layer.NETWORK,
+    "http": Layer.DATA,
+    "iam": Layer.DATA,
+    "credential": Layer.SOFTWARE_PLATFORM,
+    "provisioning": Layer.SOFTWARE_PLATFORM,
+    "v2x": Layer.COLLABORATION,
+}
+
+
+def _movement_attacks(builder: _LibraryBuilder, graph: FlowGraph) -> None:
+    edges = sorted(graph.open_edges(), key=lambda e: (e.src, e.dst, e.kind))
+    for edge in edges:
+        technique, defense = _movement_technique(edge)
+        layer = _EDGE_LAYERS.get(edge.kind) or graph.node(edge.dst).layer
+        builder.add(
+            technique, f"{edge.src}->{edge.dst}", layer=layer,
+            requires=frozenset({control(edge.src)}),
+            grants=frozenset({control(edge.dst)}),
+            defense=defense,
+            detail=edge.missing_boundary)
+
+
+def _availability_attacks(builder: _LibraryBuilder, graph: FlowGraph,
+                          protocols: dict[tuple[str, str], str]) -> None:
+    """Bus-off / babbling idiot on open CAN-family links.
+
+    Modeled on the seed simulators (:mod:`repro.ivn.busoff`): from a
+    node with transmit access to an unprotected CAN/LIN segment, error
+    frames force a peer bus-off, and a babbling flood starves *every*
+    peer on the segment.  A secured link (SECOC without a recorded
+    weakness, CANsec, MACsec) pairs with the IDS/bus-guardian machinery
+    in this model, so only open edges qualify.
+    """
+    by_source: dict[str, list[FlowEdge]] = {}
+    for edge in sorted(graph.open_edges(),
+                       key=lambda e: (e.src, e.dst, e.kind)):
+        if edge.kind != "interface":
+            continue
+        if protocols.get((edge.src, edge.dst), "").lower() not in _CAN_PROTOCOLS:
+            continue
+        builder.add(
+            "bus-off", f"{edge.src}->{edge.dst}", layer=Layer.NETWORK,
+            requires=frozenset({control(edge.src)}),
+            grants=frozenset({disrupt(edge.dst)}),
+            defense="authenticate the segment and pair it with a bus "
+                    "guardian / IDS isolation response",
+            detail=f"error-frame abuse from {edge.src!r} drives "
+                   f"{edge.dst!r} into bus-off")
+        by_source.setdefault(edge.src, []).append(edge)
+    for src in sorted(by_source):
+        peers = sorted({e.dst for e in by_source[src]})
+        if len(peers) < 2:
+            continue
+        builder.add(
+            "babbling-idiot", src, layer=Layer.NETWORK,
+            requires=frozenset({control(src)}),
+            grants=frozenset(disrupt(p) for p in peers),
+            defense="rate-police transmissions (bus guardian) and "
+                    "segment mixed-criticality ECUs",
+            detail=f"a babbling {src!r} starves {len(peers)} peer(s) on "
+                   f"the shared segment")
+
+
+def _interface_protocols(
+        target: "AnalysisTarget") -> dict[tuple[str, str], str]:
+    if target.model is None:
+        return {}
+    return {(i.source, i.target): i.protocol
+            for i in target.model.interfaces()}
+
+
+def build_attack_library(target: "AnalysisTarget",
+                         result: FlowResult) -> tuple[Attack, ...]:
+    """Instantiate every applicable attack against one analyzed target.
+
+    ``result`` is the flow analysis of the same target (the planner's
+    seed): movement attacks are derived from its open edges so that the
+    two static analyzers share one protection lattice — disagreement
+    between them is then a *bug*, which the differential gates turn
+    into a CI failure.
+    """
+    graph = result.graph
+    builder = _LibraryBuilder()
+    _phy_entry_attacks(builder, target, graph)
+    _surface_entry_attacks(builder, graph)
+    _registry_entry_attacks(builder, target, graph)
+    _movement_attacks(builder, graph)
+    _availability_attacks(builder, graph, _interface_protocols(target))
+    return builder.build()

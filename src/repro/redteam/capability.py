@@ -1,0 +1,51 @@
+"""Capabilities: the typed currency of the attack-campaign planner.
+
+A campaign is not a path through a graph — it is a sequence of attacks,
+each of which *requires* capabilities the attacker has already acquired
+and *grants* new ones.  Two kinds suffice for every attack the paper
+describes:
+
+* ``control`` — the attacker executes or injects traffic at a node of
+  the unified flow graph (a compromised ECU, an abused endpoint, a
+  spoofed DID, a fabricated V2X participant);
+* ``disrupt`` — the attacker can deny the node's service without
+  controlling it (bus-off, babbling idiot, registry outage).
+
+Capabilities are frozen and totally ordered so every planner structure
+(heaps, dicts, reconstruction) iterates deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CONTROL", "DISRUPT", "Capability", "control", "disrupt"]
+
+#: Capability kinds, ordered: control subsumes nothing automatically —
+#: an attack that needs bus *control* cannot run from mere disruption.
+CONTROL = "control"
+DISRUPT = "disrupt"
+
+
+@dataclass(frozen=True, order=True)
+class Capability:
+    """One attacker capability over one flow-graph node."""
+
+    kind: str   # CONTROL | DISRUPT
+    node: str   # flow-graph node name
+
+    def __post_init__(self) -> None:
+        if self.kind not in (CONTROL, DISRUPT):
+            raise ValueError(f"unknown capability kind {self.kind!r}")
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}:{self.node}"
+
+
+def control(node: str) -> Capability:
+    return Capability(CONTROL, node)
+
+
+def disrupt(node: str) -> Capability:
+    return Capability(DISRUPT, node)

@@ -1,0 +1,332 @@
+"""Red-team campaign reports: renderers and a schema-validated document.
+
+The JSON schema (version ``1.0``) mirrors the conventions of the other
+static analyzers (:mod:`repro.lint.report`, flow's SARIF-lite)::
+
+    {
+      "version": "1.0",
+      "tool": {"name": "repro-redteam", "version": "<package version>"},
+      "baseSeed": <int>,
+      "scenarios": [
+        {
+          "scenario": "<name>",
+          "library": {"attacks": <int>, "entry": <int>,
+                      "techniques": ["<technique>", ...]},
+          "defeated": <bool>,
+          "campaigns": [
+            {"rank", "sink", "sinkKind", "entry", "totalCost",
+             "multiStage", "layers",
+             "steps": [{"attackId", "technique", "name", "layer",
+                        "paperRef", "cost", "defense", "detail",
+                        "grants"}]}
+          ],
+          "disruptions": [ <same shape as campaigns> ]
+        }
+      ],
+      "summary": {"scenarioCount", "campaignCount",
+                  "defeatedScenarios", "cheapest"}
+    }
+
+``baseSeed`` is carried verbatim: the planner is purely static, so the
+seed never perturbs the output — BENCH-REDTEAM pins exactly that
+(byte-identical documents per (scenario, base seed)).
+
+:func:`validate_redteam_dict` checks a parsed document against the
+schema and raises :class:`~repro.lint.report.SchemaError` on any
+violation, the same contract the CI gates rely on for lint and runner
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.layers import Layer
+from repro.lint.report import SchemaError
+
+from repro.redteam.planner import Campaign, PlanResult, plan_scenario
+
+__all__ = ["REDTEAM_SCHEMA_VERSION", "REDTEAM_TOOL_NAME",
+           "campaign_to_dict", "run_redteam_campaign",
+           "validate_redteam_dict", "render_summary", "render_campaigns"]
+
+REDTEAM_SCHEMA_VERSION = "1.0"
+REDTEAM_TOOL_NAME = "repro-redteam"
+
+
+# --------------------------------------------------------------------------
+# document construction
+# --------------------------------------------------------------------------
+
+def campaign_to_dict(campaign: Campaign, result: PlanResult,
+                     rank: int) -> dict:
+    """One ranked campaign as a JSON-ready object."""
+    return {
+        "rank": rank,
+        "sink": campaign.sink,
+        "sinkKind": result.graph.node(campaign.sink).kind,
+        "entry": campaign.entry_node,
+        "totalCost": campaign.total_cost,
+        "multiStage": campaign.multi_stage,
+        "layers": list(campaign.layers),
+        "steps": [
+            {
+                "attackId": step.attack_id,
+                "technique": step.technique,
+                "name": step.name,
+                "layer": step.layer.name.lower(),
+                "paperRef": step.paper_ref,
+                "cost": step.cost,
+                "defense": step.defense,
+                "detail": step.detail,
+                "grants": [c.label for c in sorted(step.grants)],
+            }
+            for step in campaign.steps
+        ],
+    }
+
+
+def _scenario_to_dict(result: PlanResult) -> dict:
+    return {
+        "scenario": result.scenario,
+        "library": {
+            "attacks": len(result.library),
+            "entry": sum(1 for a in result.library if a.is_entry),
+            "techniques": sorted({a.technique for a in result.library}),
+        },
+        "defeated": result.defeated,
+        "campaigns": [campaign_to_dict(c, result, rank)
+                      for rank, c in enumerate(result.campaigns, start=1)],
+        "disruptions": [campaign_to_dict(c, result, rank)
+                        for rank, c in enumerate(result.disruptions, start=1)],
+    }
+
+
+def run_redteam_campaign(names: Sequence[str], *,
+                         base_seed: int = 0) -> dict:
+    """Plan every named scenario and build the full campaign document."""
+    from repro import __version__
+
+    results = [plan_scenario(name) for name in names]
+    campaign_count = sum(len(r.campaigns) for r in results)
+    cheapest: dict | None = None
+    for result in results:
+        for campaign in result.campaigns:
+            if cheapest is None or ((campaign.total_cost, result.scenario,
+                                     campaign.sink)
+                                    < (cheapest["totalCost"],
+                                       cheapest["scenario"],
+                                       cheapest["sink"])):
+                cheapest = {"scenario": result.scenario,
+                            "sink": campaign.sink,
+                            "totalCost": campaign.total_cost}
+    return {
+        "version": REDTEAM_SCHEMA_VERSION,
+        "tool": {"name": REDTEAM_TOOL_NAME, "version": __version__},
+        "baseSeed": base_seed,
+        "scenarios": [_scenario_to_dict(r) for r in results],
+        "summary": {
+            "scenarioCount": len(results),
+            "campaignCount": campaign_count,
+            "defeatedScenarios": sorted(r.scenario for r in results
+                                        if r.defeated),
+            "cheapest": cheapest,
+        },
+    }
+
+
+# --------------------------------------------------------------------------
+# plain-text renderers (CLI output)
+# --------------------------------------------------------------------------
+
+def render_summary(result: PlanResult) -> str:
+    """One-paragraph overview: library size, verdict, cheapest campaign."""
+    entry = sum(1 for a in result.library if a.is_entry)
+    lines = [
+        f"red-team plan for {result.scenario!r}:",
+        f"  attack library: {len(result.library)} attack(s) "
+        f"({entry} entry), "
+        f"{len({a.technique for a in result.library})} technique(s)",
+        f"  capabilities acquired: {len(result.acquired)}",
+    ]
+    if result.defeated:
+        lines.append("  verdict: DEFEATED — no campaign reaches any sink")
+    else:
+        best = result.campaigns[0]
+        lines.append(f"  verdict: {len(result.campaigns)} campaign(s), "
+                     f"{len(result.disruptions)} disruption(s)")
+        lines.append(f"  cheapest: {best.entry_node} => {best.sink} "
+                     f"({len(best.steps)} step(s), cost {best.total_cost:g})")
+    return "\n".join(lines)
+
+
+def render_campaigns(result: PlanResult, *, top: int | None = None) -> str:
+    """Every ranked campaign, hop by hop with the breaking defense."""
+    if result.defeated and not result.disruptions:
+        return (f"{result.scenario}: defeated — the full attack library "
+                f"yields no campaign")
+    blocks = []
+    campaigns = result.campaigns if top is None else result.campaigns[:top]
+    for rank, campaign in enumerate(campaigns, start=1):
+        lines = [f"#{rank} {campaign.entry_node} => {campaign.sink} "
+                 f"(cost {campaign.total_cost:g}, "
+                 f"{len(campaign.steps)} step(s), "
+                 f"layers: {', '.join(campaign.layers)})"]
+        lines += [f"  {line}" for line in campaign.describe()]
+        blocks.append("\n".join(lines))
+    disruptions = (result.disruptions if top is None
+                   else result.disruptions[:top])
+    for rank, campaign in enumerate(disruptions, start=1):
+        lines = [f"D{rank} {campaign.entry_node} =/> {campaign.sink} "
+                 f"(availability, cost {campaign.total_cost:g})"]
+        lines += [f"  {line}" for line in campaign.describe()]
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+# --------------------------------------------------------------------------
+# schema validation
+# --------------------------------------------------------------------------
+
+_LAYER_NAMES = {layer.name.lower() for layer in Layer}
+_NODE_KINDS = {"component", "service", "endpoint", "datastore", "actor",
+               "channel"}
+_STEP_KEYS = {"attackId", "technique", "name", "layer", "paperRef",
+              "cost", "defense", "detail", "grants"}
+_CAMPAIGN_KEYS = {"rank", "sink", "sinkKind", "entry", "totalCost",
+                  "multiStage", "layers", "steps"}
+_SCENARIO_KEYS = {"scenario", "library", "defeated", "campaigns",
+                  "disruptions"}
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _validate_step(step: dict, where: str) -> None:
+    _require(isinstance(step, dict), f"{where}: step must be an object")
+    _require(set(step) == _STEP_KEYS,
+             f"{where}: keys {sorted(step)} != {sorted(_STEP_KEYS)}")
+    for key in ("attackId", "technique", "name", "paperRef", "defense",
+                "detail"):
+        _require(isinstance(step[key], str), f"{where}: {key} must be a string")
+    _require(step["layer"] in _LAYER_NAMES,
+             f"{where}: bad layer {step['layer']!r}")
+    _require(_is_number(step["cost"]) and step["cost"] > 0,
+             f"{where}: cost must be a positive number")
+    grants = step["grants"]
+    _require(isinstance(grants, list) and grants,
+             f"{where}: grants must be a non-empty list")
+    for grant in grants:
+        _require(isinstance(grant, str) and ":" in grant,
+                 f"{where}: grant {grant!r} must look like 'kind:node'")
+
+
+def _validate_campaign(entry: dict, where: str, rank: int) -> None:
+    _require(isinstance(entry, dict), f"{where}: campaign must be an object")
+    _require(set(entry) == _CAMPAIGN_KEYS,
+             f"{where}: keys {sorted(entry)} != {sorted(_CAMPAIGN_KEYS)}")
+    _require(entry["rank"] == rank, f"{where}: rank must be {rank}")
+    for key in ("sink", "entry"):
+        _require(isinstance(entry[key], str) and entry[key],
+                 f"{where}: {key} must be a non-empty string")
+    _require(entry["sinkKind"] in _NODE_KINDS,
+             f"{where}: bad sinkKind {entry['sinkKind']!r}")
+    _require(_is_number(entry["totalCost"]) and entry["totalCost"] > 0,
+             f"{where}: totalCost must be a positive number")
+    _require(isinstance(entry["multiStage"], bool),
+             f"{where}: multiStage must be a bool")
+    layers = entry["layers"]
+    _require(isinstance(layers, list) and layers,
+             f"{where}: layers must be a non-empty list")
+    for layer in layers:
+        _require(layer in _LAYER_NAMES, f"{where}: bad layer {layer!r}")
+    steps = entry["steps"]
+    _require(isinstance(steps, list) and steps,
+             f"{where}: steps must be a non-empty list")
+    for index, step in enumerate(steps):
+        _validate_step(step, f"{where}.steps[{index}]")
+    _require(entry["multiStage"] == (len(steps) > 1),
+             f"{where}: multiStage inconsistent with len(steps)")
+    total = sum(step["cost"] for step in steps)
+    _require(abs(total - entry["totalCost"]) < 1e-9,
+             f"{where}: totalCost must equal the sum of step costs")
+
+
+def _validate_scenario(entry: dict, where: str) -> None:
+    _require(isinstance(entry, dict), f"{where}: scenario must be an object")
+    _require(set(entry) == _SCENARIO_KEYS,
+             f"{where}: keys {sorted(entry)} != {sorted(_SCENARIO_KEYS)}")
+    _require(isinstance(entry["scenario"], str) and entry["scenario"],
+             f"{where}: scenario must be a non-empty string")
+    library = entry["library"]
+    _require(isinstance(library, dict)
+             and set(library) == {"attacks", "entry", "techniques"},
+             f"{where}: library must be {{attacks, entry, techniques}}")
+    for key in ("attacks", "entry"):
+        _require(isinstance(library[key], int) and library[key] >= 0,
+                 f"{where}: library.{key} must be a non-negative int")
+    _require(isinstance(library["techniques"], list),
+             f"{where}: library.techniques must be a list")
+    _require(isinstance(entry["defeated"], bool),
+             f"{where}: defeated must be a bool")
+    _require(entry["defeated"] == (not entry["campaigns"]),
+             f"{where}: defeated inconsistent with campaigns")
+    for section in ("campaigns", "disruptions"):
+        _require(isinstance(entry[section], list),
+                 f"{where}: {section} must be a list")
+        for index, campaign in enumerate(entry[section]):
+            _validate_campaign(campaign, f"{where}.{section}[{index}]",
+                               index + 1)
+
+
+def validate_redteam_dict(document: dict) -> None:
+    """Raise :class:`SchemaError` unless ``document`` matches the schema."""
+    _require(isinstance(document, dict), "report must be an object")
+    required = {"version", "tool", "baseSeed", "scenarios", "summary"}
+    _require(set(document) == required,
+             f"top-level keys {sorted(document)} != {sorted(required)}")
+    _require(document["version"] == REDTEAM_SCHEMA_VERSION,
+             f"unsupported schema version {document['version']!r}")
+    tool = document["tool"]
+    _require(isinstance(tool, dict) and set(tool) == {"name", "version"},
+             "tool must be {name, version}")
+    _require(tool["name"] == REDTEAM_TOOL_NAME,
+             f"unexpected tool name {tool['name']!r}")
+    _require(isinstance(document["baseSeed"], int),
+             "baseSeed must be an int")
+    scenarios = document["scenarios"]
+    _require(isinstance(scenarios, list) and scenarios,
+             "scenarios must be a non-empty list")
+    for index, entry in enumerate(scenarios):
+        _validate_scenario(entry, f"scenarios[{index}]")
+
+    summary = document["summary"]
+    summary_keys = {"scenarioCount", "campaignCount", "defeatedScenarios",
+                    "cheapest"}
+    _require(isinstance(summary, dict) and set(summary) == summary_keys,
+             f"summary keys must be {sorted(summary_keys)}")
+    _require(summary["scenarioCount"] == len(scenarios),
+             "summary.scenarioCount must equal len(scenarios)")
+    campaign_count = sum(len(s["campaigns"]) for s in scenarios)
+    _require(summary["campaignCount"] == campaign_count,
+             "summary.campaignCount must equal the total campaign count")
+    defeated = summary["defeatedScenarios"]
+    _require(isinstance(defeated, list), "defeatedScenarios must be a list")
+    expected = sorted(s["scenario"] for s in scenarios if s["defeated"])
+    _require(defeated == expected,
+             "defeatedScenarios must list the defeated scenarios, sorted")
+    cheapest = summary["cheapest"]
+    if campaign_count == 0:
+        _require(cheapest is None, "cheapest must be null with no campaigns")
+    else:
+        _require(isinstance(cheapest, dict)
+                 and set(cheapest) == {"scenario", "sink", "totalCost"},
+                 "cheapest must be {scenario, sink, totalCost}")
+        _require(_is_number(cheapest["totalCost"]),
+                 "cheapest.totalCost must be a number")

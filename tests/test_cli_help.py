@@ -1,0 +1,53 @@
+"""``repro --help`` polish: the subcommand listing stays in sync.
+
+The SUBCOMMANDS table in ``repro.__main__`` drives the ``--help``
+output; these smoke tests pin that every registered subparser is
+described there (and vice versa), so a new subcommand cannot ship
+without a one-line description.
+"""
+
+import argparse
+
+import pytest
+
+from repro.__main__ import SUBCOMMANDS, build_parser, main
+
+
+def _subparsers_action(parser):
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action
+    raise AssertionError("parser has no subparsers")
+
+
+def test_registered_subparsers_match_table():
+    action = _subparsers_action(build_parser())
+    assert set(action.choices) == set(SUBCOMMANDS)
+
+
+def test_every_subcommand_described_in_help(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    for name, description in SUBCOMMANDS.items():
+        assert name in out
+        assert description in out
+
+
+def test_descriptions_are_one_line_and_non_empty():
+    for name, description in SUBCOMMANDS.items():
+        assert description.strip(), name
+        assert "\n" not in description, name
+
+
+def test_expected_subcommand_set():
+    assert set(SUBCOMMANDS) == {"list", "run", "lint", "flow", "trace",
+                                "chaos", "redteam"}
+
+
+def test_module_docstring_mentions_every_subcommand():
+    import repro.__main__ as cli
+
+    for name in SUBCOMMANDS:
+        assert f"python -m repro {name}" in cli.__doc__, name

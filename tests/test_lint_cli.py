@@ -60,7 +60,8 @@ class TestCli:
         code, _, _ = run_cli(capsys, "lint", "pkes-legacy", "--gate", "critical")
         assert code == 1  # pkes-legacy includes critical SEC002/FLOW001 findings
         code, _, _ = run_cli(capsys, "lint", "pkes-legacy",
-                             "--disable", "SEC002,FLOW001", "--gate", "critical")
+                             "--disable", "SEC002,FLOW001,RT001",
+                             "--gate", "critical")
         assert code == 0
 
     def test_json_output_validates_against_schema(self, capsys):

@@ -95,11 +95,13 @@ class TestLinter:
         assert ({r.rule_id for r in Linter().rules}
                 == {r.rule_id for r in full_catalog()})
 
-    def test_full_catalog_appends_flow_family(self):
-        # the FLOW rules live in repro.flow but must always be part of
-        # the default linter (lazy import, no catalog cycle)
+    def test_full_catalog_appends_flow_and_rt_families(self):
+        # the FLOW rules live in repro.flow and the RT rules in
+        # repro.redteam, but both must always be part of the default
+        # linter (lazy import, no catalog cycle)
         extra = {r.rule_id for r in full_catalog()} - {r.rule_id for r in CATALOG}
-        assert extra == {"FLOW001", "FLOW002", "FLOW003", "FLOW004"}
+        assert extra == {"FLOW001", "FLOW002", "FLOW003", "FLOW004",
+                         "RT001", "RT002", "RT003", "RT004"}
 
 
 class TestFinding:

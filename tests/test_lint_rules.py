@@ -205,6 +205,18 @@ def bucket_service(encrypted):
     return service
 
 
+def rt_can_target(authenticated):
+    """RT003 fixture: exposed node sharing a CAN segment with a
+    safety-critical ECU — bus-off disruption unless authenticated."""
+    model = SystemModel("fixture")
+    model.add_component(Component("entry", Layer.NETWORK, criticality=2,
+                                  exposed=True))
+    model.add_component(Component("brake-ecu", Layer.NETWORK, criticality=5))
+    model.connect(Interface("entry", "brake-ecu", "can", AccessLevel.REMOTE,
+                            authenticated=authenticated))
+    return target_with_model(model)
+
+
 def flow_datastore_target(leaky):
     """FLOW002 fixture: public endpoint + heap key + populated bucket."""
     from repro.datalayer.cloud import (CloudService, Endpoint, Secret,
@@ -298,6 +310,14 @@ FIXTURES = {
                 lambda: gateway_target(toward_critical=False)),
     "FLOW004": (lambda: credential_target(validity_s=100.0, now=1000.0),
                 lambda: credential_target(now=1000.0)),
+    "RT001": (lambda: target_with_model(two_node_model(authenticated=False)),
+              lambda: target_with_model(two_node_model(authenticated=True))),
+    "RT002": (lambda: flow_datastore_target(True),
+              lambda: flow_datastore_target(False)),
+    "RT003": (lambda: rt_can_target(False), lambda: rt_can_target(True)),
+    "RT004": (lambda: target_with_model(two_node_model(
+                  layers=(Layer.PHYSICAL, Layer.NETWORK))),
+              lambda: target_with_model(two_node_model(authenticated=True))),
 }
 
 

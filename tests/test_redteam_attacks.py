@@ -1,0 +1,149 @@
+"""The typed attack library: instantiation conditions and invariants.
+
+Every attack must be a *conditional* instantiation — present exactly
+when the scenario configures the weakness it abuses — with unique ids,
+positive costs, and movement steps confined to open flow edges.  The
+library is the planner's ground truth, so holes or phantom attacks here
+become analyzer disagreements downstream.
+"""
+
+import pytest
+
+from repro.flow import analyze
+from repro.lint import build_scenario
+from repro.redteam import TECHNIQUES, build_attack_library
+from repro.redteam.capability import CONTROL, control
+
+ALL_SCENARIOS = ["pkes-legacy", "onboard-insecure", "onboard-hardened",
+                 "cariad-breach", "maas-platform"]
+
+
+def library_for(name):
+    target = build_scenario(name)
+    return build_attack_library(target, analyze(target))
+
+
+class TestLibraryInvariants:
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_ids_unique_and_sorted(self, name):
+        library = library_for(name)
+        ids = [a.attack_id for a in library]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_costs_positive_and_techniques_cataloged(self, name):
+        for attack in library_for(name):
+            assert attack.cost > 0
+            assert attack.technique in TECHNIQUES
+            name_text, paper_ref = TECHNIQUES[attack.technique]
+            assert attack.name == name_text
+            assert attack.paper_ref == paper_ref
+            assert attack.defense  # every step names its breaking defense
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_movement_attacks_only_on_open_edges(self, name):
+        target = build_scenario(name)
+        result = analyze(target)
+        open_pairs = {(e.src, e.dst) for e in result.graph.open_edges()}
+        for attack in build_attack_library(target, result):
+            if attack.is_entry:
+                continue
+            # a movement/availability attack always requires control of
+            # a node it starts from, over an edge flow also calls open
+            sources = {c.node for c in attack.requires if c.kind == CONTROL}
+            assert sources, attack.attack_id
+            for granted in attack.grants:
+                assert any((src, granted.node) in open_pairs
+                           for src in sources), attack.attack_id
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_every_flow_source_admits_an_entry_attack(self, name):
+        """The completeness backstop behind the differential gates."""
+        target = build_scenario(name)
+        result = analyze(target)
+        library = build_attack_library(target, result)
+        entry_nodes = {c.node for a in library if a.is_entry
+                       for c in a.grants if c.kind == CONTROL}
+        for node in result.graph.sources():
+            assert node.name in entry_nodes, node.name
+
+
+class TestConditionalInstantiation:
+    def test_pkes_relay_only_where_lf_rssi(self):
+        techniques = {a.technique for a in library_for("pkes-legacy")}
+        assert "pkes-relay" in techniques
+        assert "uwb-jamming" in techniques  # no integrity check configured
+        hardened = {a.technique for a in library_for("onboard-hardened")}
+        assert "pkes-relay" not in hardened
+
+    def test_insider_fabrication_only_on_unsigned_channels(self):
+        insecure = library_for("onboard-insecure")
+        fabrications = [a for a in insecure
+                        if a.technique == "insider-fabrication"]
+        assert fabrications and all(a.is_entry for a in fabrications)
+        assert all(a.technique != "insider-fabrication"
+                   for a in library_for("onboard-hardened"))
+
+    def test_v2x_spoof_requires_channel_control(self):
+        insecure = library_for("onboard-insecure")
+        spoofs = [a for a in insecure if a.technique == "v2x-spoof"]
+        assert spoofs
+        for attack in spoofs:
+            assert any(c.kind == CONTROL and c.node.startswith("v2x:")
+                       for c in attack.requires)
+
+    def test_cariad_killchain_steps_present(self):
+        techniques = {a.technique for a in library_for("cariad-breach")}
+        assert {"endpoint-abuse", "killchain-recon",
+                "heap-dump-theft"} <= techniques
+
+    def test_gateway_abuse_on_wide_whitelists(self):
+        techniques = {a.technique for a in library_for("onboard-insecure")}
+        assert "gateway-abuse" in techniques
+
+    def test_availability_attacks_only_on_open_can(self):
+        insecure = library_for("onboard-insecure")
+        assert any(a.technique == "bus-off" for a in insecure)
+        babblers = [a for a in insecure if a.technique == "babbling-idiot"]
+        assert babblers
+        for attack in babblers:
+            assert len(attack.grants) >= 2  # starves every peer
+        hardened = {a.technique for a in library_for("onboard-hardened")}
+        assert "bus-off" not in hardened
+        assert "babbling-idiot" not in hardened
+
+    def test_first_instantiation_wins_is_deterministic(self):
+        first = library_for("onboard-insecure")
+        second = library_for("onboard-insecure")
+        assert first == second
+
+
+class TestAttackObject:
+    def test_entry_attack_has_no_requirements(self):
+        library = library_for("pkes-legacy")
+        relay = next(a for a in library if a.technique == "pkes-relay")
+        assert relay.is_entry
+        assert relay.primary_grant == control("keyfob")
+        assert "keyfob" in relay.describe() or "control:keyfob" in relay.describe()
+
+    def test_invalid_attacks_rejected(self):
+        from repro.core.layers import Layer
+        from repro.redteam import Attack
+
+        with pytest.raises(ValueError, match="cost"):
+            Attack(attack_id="x@y", technique="foothold", name="x",
+                   layer=Layer.NETWORK, paper_ref="§1",
+                   requires=frozenset(), grants=frozenset({control("y")}),
+                   cost=0.0, defense="d")
+        with pytest.raises(ValueError, match="grant"):
+            Attack(attack_id="x@y", technique="foothold", name="x",
+                   layer=Layer.NETWORK, paper_ref="§1",
+                   requires=frozenset(), grants=frozenset(),
+                   cost=1.0, defense="d")
+
+    def test_capability_kinds_validated(self):
+        from repro.redteam import Capability
+
+        with pytest.raises(ValueError, match="kind"):
+            Capability("own", "node")

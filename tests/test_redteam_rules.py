@@ -1,0 +1,61 @@
+"""The RT rule family through the ordinary lint machinery."""
+
+import pytest
+
+from repro.lint import Linter, build_scenario
+from repro.lint.engine import Severity
+from repro.redteam import RT_RULES
+
+
+def rt_report(name):
+    return Linter(RT_RULES).run(build_scenario(name))
+
+
+class TestRtFamily:
+    def test_four_rules_with_stable_ids(self):
+        assert [r.rule_id for r in RT_RULES] == ["RT001", "RT002",
+                                                 "RT003", "RT004"]
+
+    def test_rt001_critical_on_pkes_legacy(self):
+        report = rt_report("pkes-legacy")
+        assert "RT001" in report.finding_rule_ids()
+        finding = next(f for f in report.findings if f.rule_id == "RT001")
+        assert finding.severity == Severity.CRITICAL
+        assert finding.subject == "keyfob=>immobilizer"
+        # the message carries the ranked chain with per-step defenses
+        assert "defeated by:" in finding.message
+        assert "[1]" in finding.message
+
+    def test_rt002_fires_on_cariad_datastore(self):
+        report = rt_report("cariad-breach")
+        assert "RT002" in report.finding_rule_ids()
+
+    def test_rt003_fires_on_disruptable_ecu(self):
+        report = rt_report("onboard-insecure")
+        assert "RT003" in report.finding_rule_ids()
+
+    def test_rt004_fires_on_cross_layer_campaign(self):
+        report = rt_report("pkes-legacy")
+        assert "RT004" in report.finding_rule_ids()
+
+    def test_hardened_is_rt_clean(self):
+        assert rt_report("onboard-hardened").findings == ()
+
+    @pytest.mark.parametrize("name", ["pkes-legacy", "onboard-insecure",
+                                      "cariad-breach", "maas-platform"])
+    def test_every_insecure_scenario_has_rt_findings(self, name):
+        assert rt_report(name).findings
+
+    def test_fingerprints_stable_across_runs(self):
+        first = {f.fingerprint for f in rt_report("pkes-legacy").findings}
+        second = {f.fingerprint for f in rt_report("pkes-legacy").findings}
+        assert first == second
+
+    def test_subjects_are_entry_to_sink_labels(self):
+        for name in ("pkes-legacy", "cariad-breach"):
+            for finding in rt_report(name).findings:
+                assert "=>" in finding.subject
+
+    def test_rt_rules_join_the_default_catalog(self):
+        default_ids = {r.rule_id for r in Linter().rules}
+        assert {"RT001", "RT002", "RT003", "RT004"} <= default_ids

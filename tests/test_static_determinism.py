@@ -94,17 +94,23 @@ def test_src_tree_is_free_of_ambient_nondeterminism():
     violations: list[str] = []
     audited = 0
     faults_audited = 0
+    redteam_audited = 0
     for path in sorted(SRC_ROOT.rglob("*.py")):
         if path in ALLOWED:
             continue
         audited += 1
         if path.parent.name == "faults":
             faults_audited += 1
+        if path.parent.name == "redteam":
+            redteam_audited += 1
         violations += audit_file(path)
     assert audited > 35  # the walk actually covered the tree
     # the fault-injection package is exactly where ambient randomness
     # would silently break byte-identical chaos replay
     assert faults_audited >= 7
+    # the campaign planner promises byte-identical rankings per
+    # (scenario, seed); ambient nondeterminism there breaks BENCH-REDTEAM
+    assert redteam_audited >= 6
     assert not violations, "\n".join(violations)
 
 
