@@ -215,6 +215,35 @@ def act8_the_playbook() -> None:
           f"disagreement(s) — lint, flow, and redteam agree")
 
 
+def act9_the_watchtower() -> None:
+    print("\n--- act 9 [sentinel]: the watchtower — seeing it live ---")
+    # Acts 6-8 analyzed the incident offline.  The sentinel closes the
+    # loop *online*: it subscribes to the live event stream, scores
+    # per-source trust tick by tick, and must raise its first ALARM
+    # before the vehicle's own SAFE_STOP — detection with lead time,
+    # not a forensic shrug after the crash.
+    from repro.faults import get_plan
+    from repro.sentinel import run_sentinel_scenario
+
+    for name, plan in (("onboard-insecure", "severe"),
+                       ("onboard-hardened", "baseline")):
+        result = run_sentinel_scenario(name, get_plan(plan), base_seed=0)
+        detection = result["detection"]
+        first = detection["firstAlarmT"]
+        if detection["alarmRaised"]:
+            print(f"  {name:17s} first ALARM t={first:g}, safe stop "
+                  f"t={detection['safeStopT']:g} — detected "
+                  f"{detection['leadTicks']:g} tick(s) ahead; trust "
+                  f"collapsed: {', '.join(detection['trustCollapsed'])}")
+        else:
+            print(f"  {name:17s} zero ALARM incidents under everyday "
+                  f"faults; isolated {', '.join(result['response']['isolated'])} "
+                  f"on trust collapse and recovered to "
+                  f"{result['degradation']['finalLevel'].upper()}")
+    print("  => the same engine is silent on the hardened stack and loud")
+    print("     before the insecure one stops — the twin CI gates (§VIII).")
+
+
 def main() -> None:
     print("full-stack attack story (red team vs blue team, paper §VIII)")
     act1_the_breach()
@@ -225,6 +254,7 @@ def main() -> None:
     act6_the_foresight()
     act7_the_drill()
     act8_the_playbook()
+    act9_the_watchtower()
 
 
 if __name__ == "__main__":

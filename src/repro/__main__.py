@@ -15,6 +15,8 @@ Usage::
     python -m repro chaos all --plan severe --json   # machine-readable
     python -m repro redteam SCENARIO --campaigns     # ranked attack campaigns
     python -m repro redteam all --differential       # analyzer-agreement gate
+    python -m repro sentinel SCENARIO    # streaming detection + trust report
+    python -m repro sentinel all --plan severe --gate detect   # detection gate
 """
 
 from __future__ import annotations
@@ -37,6 +39,7 @@ SUBCOMMANDS: dict[str, str] = {
     "trace": "run an instrumented simulation and show its trace",
     "chaos": "run a scenario under an injected fault campaign",
     "redteam": "plan ranked attack campaigns (static red team)",
+    "sentinel": "stream a fault campaign into the online alarm engine",
 }
 
 
@@ -469,6 +472,138 @@ def _cmd_redteam(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _render_sentinel_scenario(result: dict, *, trust: bool = False,
+                              alarms: bool = False) -> str:
+    """Human-readable block for one sentinel scenario result."""
+    sentinel = result["sentinel"]
+    detection = result["detection"]
+    lines = [f"=== sentinel: {result['scenario']} "
+             f"({'resilient' if result['resilient'] else 'no resilience'}) ==="]
+    window = result["window"]
+    lines.append(f"fault window [{window['start']:g}, {window['end']:g}) over "
+                 f"{result['durationTicks']} ticks — "
+                 f"{result['faults']['injected']} fault(s) injected, "
+                 f"{sentinel['eventsConsumed']} event(s) streamed")
+    first = detection["firstAlarmT"]
+    safe_stop = detection["safeStopT"]
+    lines.append(
+        f"first alarm: {'never' if first is None else f't={first:g}'}; "
+        f"safe stop: {'never' if safe_stop is None else f't={safe_stop:g}'}; "
+        f"lead: " + ("n/a" if detection["leadTicks"] is None
+                     else f"{detection['leadTicks']:g} tick(s)"))
+    for incident in sentinel["incidents"]:
+        closed = incident["closedT"]
+        lines.append(
+            f"incident #{incident['id']}: opened t={incident['openedT']:g}, "
+            f"{'open' if closed is None else f'closed t={closed:g}'}, "
+            f"{incident['alarmCount']} alarm(s) across "
+            f"{', '.join(incident['sources'])}"
+            f"{' [cross-layer]' if incident['crossLayer'] else ''}")
+    if detection["trustCollapsed"]:
+        lines.append("trust collapsed: " + ", ".join(detection["trustCollapsed"]))
+    if result["response"]["isolated"]:
+        lines.append("isolated: " + ", ".join(result["response"]["isolated"]))
+    degradation = result["degradation"]
+    lines.append(f"service level: min={degradation['minLevel']} "
+                 f"final={degradation['finalLevel']}")
+    if alarms:
+        lines.append(f"{'source':18s} {'detector':17s} {'state':8s} "
+                     f"{'moves':>5s}  first alarm")
+        for machine in sentinel["machines"]:
+            first_alarm = machine["firstAlarmT"]
+            lines.append(
+                f"{machine['source']:18s} {machine['detector']:17s} "
+                f"{machine['finalState']:8s} {machine['transitions']:5d}  "
+                f"{'-' if first_alarm is None else f't={first_alarm:g}'}")
+    if trust:
+        lines.append(f"{'source':18s} {'phase':10s} {'score':>6s} "
+                     f"{'min':>6s} {'hard':>4s}  collapsed")
+        for entry in sentinel["trust"]:
+            collapsed_t = entry["collapsedT"]
+            lines.append(
+                f"{entry['source']:18s} {entry['phase']:10s} "
+                f"{entry['score']:6.3f} {entry['minScore']:6.3f} "
+                f"{entry['hardHits']:4d}  "
+                f"{'-' if collapsed_t is None else f't={collapsed_t:g}'}")
+    return "\n".join(lines)
+
+
+def _sentinel_gate_failures(document: dict, gate: str) -> list[str]:
+    """The twin CI gates: 'clean' (no alarms) and 'detect' (alarm in time)."""
+    failures = []
+    for result in document["scenarios"]:
+        name = result["scenario"]
+        detection = result["detection"]
+        if gate == "clean":
+            if detection["alarmIncidents"]:
+                failures.append(
+                    f"{name}: {detection['alarmIncidents']} ALARM incident(s) "
+                    f"on a scenario expected to stay clean")
+        elif gate == "detect":
+            if not detection["alarmRaised"]:
+                failures.append(f"{name}: no ALARM raised")
+            elif not detection["detectedBeforeSafeStop"]:
+                failures.append(
+                    f"{name}: first alarm t={detection['firstAlarmT']:g} "
+                    f"missed safe stop t={detection['safeStopT']:g}")
+            if not detection["trustCollapsed"]:
+                failures.append(f"{name}: no trust score collapsed")
+    return failures
+
+
+def _cmd_sentinel(args: argparse.Namespace) -> int:
+    from repro.faults import plan_names
+    from repro.sentinel import (run_sentinel_campaign, sentinel_scenario_names,
+                                validate_sentinel_dict)
+
+    if args.scenario is None:
+        print("a scenario name (or 'all') is required; available: "
+              + ", ".join(sentinel_scenario_names()), file=sys.stderr)
+        return 2
+    if args.plan not in plan_names():
+        print(f"unknown fault plan {args.plan!r}; available: "
+              + ", ".join(plan_names()), file=sys.stderr)
+        return 2
+    names = (sentinel_scenario_names() if args.scenario == "all"
+             else [args.scenario])
+    try:
+        document = run_sentinel_campaign(names, args.plan,
+                                         base_seed=args.base_seed,
+                                         duration=args.duration)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    validate_sentinel_dict(document)
+
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote sentinel report to {args.report}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        blocks = [_render_sentinel_scenario(result, trust=args.trust,
+                                            alarms=args.alarms)
+                  for result in document["scenarios"]]
+        summary = document["summary"]
+        blocks.append(
+            f"campaign '{args.plan}': {summary['scenarioCount']} scenario(s), "
+            f"{summary['alarmIncidents']} incident(s); detected: "
+            f"{', '.join(summary['scenariosDetected']) or 'none'}; clean: "
+            f"{', '.join(summary['scenariosClean']) or 'none'}; trust "
+            f"collapsed: {', '.join(summary['trustCollapsed']) or 'none'}")
+        print("\n\n".join(blocks))
+
+    if args.gate != "none":
+        failures = _sentinel_gate_failures(document, args.gate)
+        for failure in failures:
+            print(f"gate '{args.gate}' failed — {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full CLI parser; every subcommand comes from SUBCOMMANDS."""
     parser = argparse.ArgumentParser(
@@ -617,6 +752,40 @@ def build_parser() -> argparse.ArgumentParser:
                                      "planner is static, so output is "
                                      "byte-identical per (scenario, seed) "
                                      "(default 0)")
+
+    sentinel_parser = subparsers.add_parser("sentinel",
+                                            help=SUBCOMMANDS["sentinel"])
+    sentinel_parser.add_argument("scenario", nargs="?",
+                                 help="scenario name from "
+                                      "repro.faults.CHAOS_SCENARIOS, or 'all'")
+    sentinel_parser.add_argument("--plan", default="baseline", metavar="PLAN",
+                                 help="fault plan to stream against "
+                                      "(baseline or severe; default baseline)")
+    sentinel_parser.add_argument("--base-seed", type=int, default=0,
+                                 metavar="N",
+                                 help="campaign base seed; identical seed + "
+                                      "plan replays the exact telemetry and "
+                                      "verdicts (default 0)")
+    sentinel_parser.add_argument("--duration", type=int, default=30,
+                                 metavar="N",
+                                 help="campaign length in virtual-clock ticks "
+                                      "(default 30)")
+    sentinel_parser.add_argument("--trust", action="store_true",
+                                 help="append the per-source trust table")
+    sentinel_parser.add_argument("--alarms", action="store_true",
+                                 help="append the per-machine alarm table")
+    sentinel_parser.add_argument("--json", action="store_true",
+                                 help="emit the schema-validated sentinel "
+                                      "document")
+    sentinel_parser.add_argument("--report", metavar="FILE",
+                                 help="also write the sentinel JSON document "
+                                      "to FILE")
+    sentinel_parser.add_argument("--gate", default="none",
+                                 choices=["clean", "detect", "none"],
+                                 help="fail (exit 1) unless every scenario "
+                                      "stays alarm-free ('clean') or raises "
+                                      "an ALARM with collapsed trust before "
+                                      "SAFE_STOP ('detect'); default none")
     return parser
 
 
@@ -634,6 +803,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_chaos(args)
     if args.command == "redteam":
         return _cmd_redteam(args)
+    if args.command == "sentinel":
+        return _cmd_sentinel(args)
     return _cmd_run(args)
 
 

@@ -83,6 +83,8 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "bench_faults.py"),
     Experiment("BENCH-REDTEAM", "§VIII", "attack-campaign planning cost + output stability",
                "bench_redteam.py"),
+    Experiment("BENCH-SENTINEL", "§VIII", "streaming detection cost + alarm latency gates",
+               "bench_sentinel.py"),
 )
 
 

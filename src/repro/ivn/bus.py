@@ -118,9 +118,10 @@ class CanBus:
         self._queue.append(BusFrame(sender, frame, self.sim.now, priority))
         if OBS.enabled:
             OBS.count("ivn.bus.frames_sent")
-            OBS.emit(EventKind.FRAME_SENT, Layer.NETWORK, self.name,
-                     f"{sender} queued id {priority:#x}", t=self.sim.now,
-                     sender=sender, can_id=priority)
+            if OBS.sample("ivn.bus.frame_sent"):
+                OBS.emit(EventKind.FRAME_SENT, Layer.NETWORK, self.name,
+                         f"{sender} queued id {priority:#x}", t=self.sim.now,
+                         sender=sender, can_id=priority)
         if not self._busy:
             self._start_next()
 
@@ -157,11 +158,15 @@ class CanBus:
             self.delivered.append(record)
             if OBS.enabled:
                 OBS.count("ivn.bus.frames_delivered")
-                OBS.observe("ivn.bus.latency_s", record.latency_s)
-                OBS.emit(EventKind.FRAME_DELIVERED, Layer.NETWORK, self.name,
-                         f"{queued.sender} id {queued.priority:#x} delivered",
-                         t=self.sim.now, sender=queued.sender,
-                         can_id=queued.priority, latency_s=record.latency_s)
+                if OBS.sample("ivn.bus.frame_delivered"):
+                    OBS.observe("ivn.bus.latency_s", record.latency_s)
+                    OBS.emit(EventKind.FRAME_DELIVERED, Layer.NETWORK,
+                             self.name,
+                             f"{queued.sender} id {queued.priority:#x} "
+                             f"delivered",
+                             t=self.sim.now, sender=queued.sender,
+                             can_id=queued.priority,
+                             latency_s=record.latency_s)
             for node in self.nodes.values():
                 if node.name != queued.sender:
                     node.deliver(record)

@@ -16,7 +16,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
-from typing import Iterable, Iterator, Union
+from typing import Callable, Iterable, Iterator, Union
 
 from repro.core.layers import Layer
 
@@ -53,6 +53,12 @@ class EventKind(str, Enum):
     FAULT_INJECTED = "fault-injected"
     BREAKER_STATE = "breaker-state"
     DEGRADATION_CHANGE = "degradation-change"
+    # application telemetry (repro.cloud, repro.ssi)
+    CLOUD_REQUEST = "cloud-request"
+    DID_RESOLUTION = "did-resolution"
+    # streaming detection (repro.sentinel)
+    ALARM_TRANSITION = "alarm-transition"
+    INCIDENT = "incident"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -131,6 +137,12 @@ class EventLog:
     drops the oldest entry (and counts it in :attr:`dropped`), so a
     long-running instrumented simulation keeps the *recent* history —
     the part an attack timeline needs — at O(capacity) memory.
+
+    Streaming consumers register with :meth:`subscribe`; every stored
+    event is pushed to each subscriber *after* it lands in the ring, in
+    subscription order.  Subscribers survive :meth:`clear` (the data is
+    wiped, the taps are not), so a detection engine attached once keeps
+    seeing events across resets.
     """
 
     def __init__(self, capacity: int = 65536) -> None:
@@ -140,12 +152,35 @@ class EventLog:
         self._ring: deque[SimEvent] = deque(maxlen=capacity)
         self._seq = 0
         self.dropped = 0
+        self._listeners: list[Callable[[SimEvent], None]] = []
 
     def __len__(self) -> int:
         return len(self._ring)
 
     def __iter__(self) -> Iterator[SimEvent]:
         return iter(self._ring)
+
+    def subscribe(self, listener: Callable[[SimEvent], None]) -> Callable[[], None]:
+        """Push every future stored event to ``listener``.
+
+        Returns an unsubscribe callable.  Listeners are notified in
+        subscription order, after the event is in the ring; a listener
+        emitting back into the same log therefore sees its own events
+        too — consumers filter by :class:`EventKind` to avoid loops.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _notify(self, event: SimEvent) -> None:
+        for listener in list(self._listeners):
+            listener(event)
 
     def emit(self, kind: EventKind, layer: Layer, source: str, message: str,
              *, t: float = 0.0, **fields: FieldValue) -> SimEvent:
@@ -156,6 +191,8 @@ class EventLog:
         if len(self._ring) == self.capacity:
             self.dropped += 1
         self._ring.append(event)
+        if self._listeners:
+            self._notify(event)
         return event
 
     def append(self, event: SimEvent) -> None:
@@ -164,6 +201,8 @@ class EventLog:
             self.dropped += 1
         self._ring.append(event)
         self._seq = max(self._seq, event.seq + 1)
+        if self._listeners:
+            self._notify(event)
 
     def events(self, *, kind: EventKind | None = None,
                layer: Layer | None = None) -> list[SimEvent]:

@@ -22,7 +22,7 @@ SARIF-lite conventions — small, flat, stable::
       },
       "result": {"<key>": <scalar>},
       "summary": {"spans": <int>, "events": <int>, "layers": [<str>],
-                  "byKind": {"<kind>": <int>}}
+                  "byKind": {"<kind>": <int>}, "droppedEvents": <int>}
     }
 
 :func:`validate_trace_dict` checks a parsed document against that
@@ -106,12 +106,13 @@ class TraceReport:
 
     def __init__(self, scenario: str, *, spans: list[Span],
                  events: list[SimEvent], metrics: MetricsRegistry,
-                 result: dict | None = None) -> None:
+                 result: dict | None = None, dropped_events: int = 0) -> None:
         self.scenario = scenario
         self.spans = list(spans)
         self.events = list(events)
         self.metrics = metrics
         self.result = dict(result or {})
+        self.dropped_events = dropped_events
 
     @classmethod
     def from_instrumentation(cls, scenario: str,
@@ -121,7 +122,7 @@ class TraceReport:
         obs = obs or OBS
         return cls(scenario, spans=list(obs.tracer.roots),
                    events=list(obs.events), metrics=obs.metrics,
-                   result=result)
+                   result=result, dropped_events=obs.events.dropped)
 
     def layers(self) -> set[Layer]:
         return {event.layer for event in self.events}
@@ -146,6 +147,9 @@ class TraceReport:
             f"{len(self.events)} event(s) ({kinds or 'none'}) "
             f"across layers [{layer_names or 'none'}]",
         ]
+        if self.dropped_events:
+            sections.append(f"warning: ring buffer dropped "
+                            f"{self.dropped_events} event(s) (saturated)")
         if self.result:
             sections.append("result: " + ", ".join(
                 f"{key}={value}" for key, value in sorted(self.result.items())))
@@ -174,6 +178,7 @@ class TraceReport:
                 "events": len(self.events),
                 "layers": sorted(layer.name.lower() for layer in self.layers()),
                 "byKind": self._by_kind(),
+                "droppedEvents": self.dropped_events,
             },
         }
 
@@ -312,8 +317,9 @@ def validate_trace_dict(document: dict) -> None:
 
     summary = document["summary"]
     _require(isinstance(summary, dict)
-             and set(summary) == {"spans", "events", "layers", "byKind"},
-             "summary must be {spans, events, layers, byKind}")
+             and set(summary) == {"spans", "events", "layers", "byKind",
+                                  "droppedEvents"},
+             "summary must be {spans, events, layers, byKind, droppedEvents}")
     _require(summary["spans"] == span_total,
              "summary.spans must equal the span-tree node count")
     _require(summary["events"] == len(document["events"]),
@@ -322,3 +328,7 @@ def validate_trace_dict(document: dict) -> None:
              "summary.layers must list the event layers, sorted")
     _require(summary["byKind"] == by_kind,
              "summary.byKind must count events by kind")
+    _require(isinstance(summary["droppedEvents"], int)
+             and not isinstance(summary["droppedEvents"], bool)
+             and summary["droppedEvents"] >= 0,
+             "summary.droppedEvents must be a non-negative int")

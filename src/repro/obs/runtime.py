@@ -36,13 +36,19 @@ FieldValue = Union[str, int, float, bool]
 class Instrumentation:
     """Bundles the enable flag with the tracer, registry, and event log."""
 
-    __slots__ = ("enabled", "tracer", "metrics", "events")
+    __slots__ = ("enabled", "tracer", "metrics", "events",
+                 "sample_every", "_sample_counters")
 
     def __init__(self, *, capacity: int = 65536) -> None:
         self.enabled = False
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
         self.events = EventLog(capacity=capacity)
+        #: Admit 1 in N high-rate event/histogram emissions per sample key
+        #: (1 = keep everything).  Counters are never sampled — call sites
+        #: keep exact counts and gate only the expensive emit/observe work.
+        self.sample_every = 1
+        self._sample_counters: dict[str, int] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -53,9 +59,11 @@ class Instrumentation:
         self.enabled = False
 
     def reset(self, *, capacity: int | None = None) -> None:
-        """Clear all collected data (the enable flag is left untouched)."""
+        """Clear all collected data (the enable flag and sampling rate are
+        left untouched; per-key sampling phases restart)."""
         self.tracer.reset()
         self.metrics.reset()
+        self._sample_counters.clear()
         if capacity is None:
             self.events.clear()
         else:
@@ -87,6 +95,21 @@ class Instrumentation:
             return NOOP_SPAN
         return self.tracer.span(name, **tags)
 
+    def sample(self, key: str) -> bool:
+        """Deterministic 1-in-N admission for high-rate emission sites.
+
+        Each ``key`` keeps its own modulo counter: the 1st, (N+1)th,
+        (2N+1)th... calls are admitted, so a fixed workload always emits
+        the same sampled subset regardless of interleaving with other
+        keys.  With ``sample_every == 1`` (the default) every call is
+        admitted and the fast path is a single comparison.
+        """
+        if self.sample_every <= 1:
+            return True
+        seen = self._sample_counters.get(key, 0)
+        self._sample_counters[key] = seen + 1
+        return seen % self.sample_every == 0
+
 
 #: The process-wide instrumentation instance all simulators report to.
 OBS = Instrumentation()
@@ -106,15 +129,29 @@ def is_enabled() -> bool:
 
 
 @contextmanager
-def instrumented(*, fresh: bool = True,
-                 capacity: int | None = None) -> Iterator[Instrumentation]:
+def instrumented(*, fresh: bool = True, capacity: int | None = None,
+                 sample_every: int = 1) -> Iterator[Instrumentation]:
     """Enable instrumentation for a ``with`` block, restoring the previous
-    state (and, with ``fresh=True``, starting from empty collectors)."""
+    state (and, with ``fresh=True``, starting from empty collectors).
+
+    ``sample_every=N`` admits 1 in N high-rate event/histogram emissions
+    (see :meth:`Instrumentation.sample`); counters stay exact.
+    """
+    if sample_every < 1:
+        raise ValueError("sample_every must be >= 1")
     was_enabled = OBS.enabled
+    was_sampling = OBS.sample_every
+    was_events = OBS.events
     if fresh:
         OBS.reset(capacity=capacity)
+    OBS.sample_every = sample_every
     OBS.enable()
     try:
         yield OBS
     finally:
         OBS.enabled = was_enabled
+        OBS.sample_every = was_sampling
+        if capacity is not None:
+            # a capacity override swapped in a different ring; restore the
+            # previous log so the override cannot leak into later blocks
+            OBS.events = was_events

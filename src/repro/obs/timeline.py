@@ -11,7 +11,7 @@ layer saw what, in causal order.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.core.layers import Layer
 from repro.obs.events import EventLog, SimEvent
@@ -82,12 +82,46 @@ class Timeline:
     def __init__(self) -> None:
         self._streams: list[list[SimEvent]] = []
         self._offsets: list[float] = []
+        self._listeners: list[Callable[[SimEvent], None]] = []
 
     def add(self, events: EventLog | Iterable[SimEvent], *,
             offset_s: float = 0.0) -> "Timeline":
         self._streams.append(list(events))
         self._offsets.append(offset_s)
         return self
+
+    def subscribe(self, listener: Callable[[SimEvent], None]) -> Callable[[], None]:
+        """Push every event arriving via :meth:`follow` to ``listener``
+        (re-stamped onto the timeline clock).  Returns an unsubscribe
+        callable.  Listeners are notified in subscription order."""
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def follow(self, log: EventLog, *, offset_s: float = 0.0) -> Callable[[], None]:
+        """Attach a *live* stream: existing events are copied in and every
+        future :meth:`EventLog.emit`/``append`` lands on this timeline as
+        it happens, pushed to :meth:`subscribe` listeners with ``offset_s``
+        applied.  Returns a detach callable (the buffered events stay)."""
+        stream = list(log)
+        self._streams.append(stream)
+        self._offsets.append(offset_s)
+
+        def on_event(event: SimEvent) -> None:
+            stream.append(event)
+            if self._listeners:
+                shifted = (event if offset_s == 0.0
+                           else replace(event, t=event.t + offset_s))
+                for listener in list(self._listeners):
+                    listener(shifted)
+
+        return log.subscribe(on_event)
 
     def merged(self) -> list[SimEvent]:
         return merge_events(*self._streams, offsets=self._offsets)

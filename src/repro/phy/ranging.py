@@ -96,6 +96,8 @@ def ds_twr(distance_m: float, *, reply_time_a_s: float = 300e-6,
 def _record_twr(measurement: TwrMeasurement, extra_path_m: float) -> None:
     """Report one TWR exchange to the observability layer."""
     OBS.count("phy.ranging.measurements")
+    if not OBS.sample("phy.ranging.twr"):
+        return
     OBS.observe("phy.ranging.error_m", measurement.error_m)
     OBS.emit(EventKind.RANGING, Layer.PHYSICAL, measurement.method.lower(),
              f"measured {measurement.measured_distance_m:.2f} m "

@@ -1,0 +1,143 @@
+"""Per-source alarm state machines: IDLE → SUSPECT → ALARM → CLEARED.
+
+One :class:`AlarmMachine` tracks one ``(source, detector)`` pair.  The
+machine consumes the detector's :class:`~repro.sentinel.detectors.Signal`
+stream and applies *hysteresis*: a single suspicious tick must not page
+anyone (``suspect_after`` consecutive triggers reach SUSPECT,
+``alarm_after`` reach ALARM), while a *hard* signal — a physics gate
+like an impossible time-of-arrival or a saturated bus — jumps straight
+to ALARM, because no amount of smoothing argues with physics.
+
+Clearing is time-based on the campaign's virtual clock: once a machine
+has been quiet (no triggering signal) for ``clear_after_s``, an ALARM
+becomes CLEARED and a SUSPECT falls back to IDLE.  CLEARED is sticky
+history, not amnesia — a cleared machine that triggers again starts
+climbing from SUSPECT, one step warmer than a fresh IDLE machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.sentinel.detectors import Signal
+
+__all__ = ["AlarmState", "AlarmTransition", "AlarmMachine"]
+
+
+class AlarmState(str, Enum):
+    """The alarm ladder for one (source, detector) pair."""
+
+    IDLE = "idle"
+    SUSPECT = "suspect"
+    ALARM = "alarm"
+    CLEARED = "cleared"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class AlarmTransition:
+    """One recorded state change on a machine."""
+
+    t: float
+    source: str
+    detector: str
+    state: AlarmState
+    risk: float
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "t": self.t,
+            "source": self.source,
+            "detector": self.detector,
+            "state": self.state.value,
+            "risk": round(self.risk, 4),
+            "reason": self.reason,
+        }
+
+
+class AlarmMachine:
+    """Hysteretic alarm state for one ``(source, detector)`` pair."""
+
+    def __init__(self, source: str, detector: str, *,
+                 suspect_after: int = 2, alarm_after: int = 4,
+                 clear_after_s: float = 4.0) -> None:
+        if suspect_after < 1 or alarm_after < suspect_after:
+            raise ValueError("need 1 <= suspect_after <= alarm_after")
+        if clear_after_s <= 0:
+            raise ValueError("clear_after_s must be positive")
+        self.source = source
+        self.detector = detector
+        self.suspect_after = suspect_after
+        self.alarm_after = alarm_after
+        self.clear_after_s = clear_after_s
+        self.state = AlarmState.IDLE
+        self.streak = 0
+        self.last_trigger_t: float | None = None
+        self.first_alarm_t: float | None = None
+        self.transitions: list[AlarmTransition] = []
+
+    def _move(self, state: AlarmState, t: float, risk: float,
+              reason: str) -> AlarmTransition:
+        self.state = state
+        if state is AlarmState.ALARM and self.first_alarm_t is None:
+            self.first_alarm_t = t
+        transition = AlarmTransition(t, self.source, self.detector,
+                                     state, risk, reason)
+        self.transitions.append(transition)
+        return transition
+
+    def trigger(self, signal: Signal) -> AlarmTransition | None:
+        """Feed one triggering signal; returns a transition if one fired."""
+        self.last_trigger_t = signal.t
+        self.streak += 1
+        if self.state is AlarmState.ALARM:
+            return None  # already alarmed; stay until quiet clears it
+        if signal.hard:
+            return self._move(AlarmState.ALARM, signal.t, signal.risk,
+                              f"hard signal: {signal.reason}")
+        # A machine that alarmed before re-enters the ladder at SUSPECT.
+        if self.state in (AlarmState.IDLE, AlarmState.CLEARED):
+            warm = self.state is AlarmState.CLEARED
+            if warm or self.streak >= self.suspect_after:
+                return self._move(AlarmState.SUSPECT, signal.t, signal.risk,
+                                  ("re-offense after clear" if warm
+                                   else f"{self.streak} consecutive triggers"))
+            return None
+        if self.state is AlarmState.SUSPECT and self.streak >= self.alarm_after:
+            return self._move(AlarmState.ALARM, signal.t, signal.risk,
+                              f"{self.streak} consecutive triggers")
+        return None
+
+    def quiet(self, t: float) -> AlarmTransition | None:
+        """Call once per tick with no triggering signal.
+
+        The streak resets immediately — hysteresis counts *consecutive*
+        triggering ticks — while the state itself only falls back
+        (ALARM → CLEARED, SUSPECT → IDLE) after ``clear_after_s`` of
+        quiet on the virtual clock.
+        """
+        self.streak = 0
+        if self.last_trigger_t is None:
+            return None
+        if t - self.last_trigger_t < self.clear_after_s:
+            return None
+        if self.state is AlarmState.ALARM:
+            return self._move(AlarmState.CLEARED, t, 0.0,
+                              f"quiet for {self.clear_after_s:g}s")
+        if self.state is AlarmState.SUSPECT:
+            return self._move(AlarmState.IDLE, t, 0.0,
+                              f"quiet for {self.clear_after_s:g}s")
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "detector": self.detector,
+            "finalState": self.state.value,
+            "transitions": len(self.transitions),
+            "firstAlarmT": self.first_alarm_t,
+        }

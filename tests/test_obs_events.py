@@ -49,6 +49,63 @@ class TestRingBuffer:
         assert log.emit(EventKind.FRAME_SENT, Layer.NETWORK, "b", "m").seq == 0
 
 
+class TestSubscribe:
+    def test_listeners_receive_every_emission_in_order(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        fill(log, 3)
+        assert [e.seq for e in seen] == [0, 1, 2]
+        assert seen == list(log)
+
+    def test_subscription_order_is_registration_order(self):
+        log = EventLog()
+        order = []
+        log.subscribe(lambda e: order.append(("first", e.seq)))
+        log.subscribe(lambda e: order.append(("second", e.seq)))
+        fill(log, 2)
+        assert order == [("first", 0), ("second", 0),
+                         ("first", 1), ("second", 1)]
+
+    def test_unsubscribe_stops_delivery_and_is_idempotent(self):
+        log = EventLog()
+        seen = []
+        unsubscribe = log.subscribe(seen.append)
+        fill(log, 2)
+        unsubscribe()
+        unsubscribe()  # double-unsubscribe must not raise
+        fill(log, 2)
+        assert len(seen) == 2
+
+    def test_listener_sees_event_after_ring_insert(self):
+        # Push-after-insert: at notification time the event is already
+        # the newest entry in the ring, even when it evicted another.
+        log = EventLog(capacity=2)
+        snapshots = []
+        log.subscribe(lambda e: snapshots.append((e.seq, list(log)[-1].seq,
+                                                  log.dropped)))
+        fill(log, 4)
+        assert snapshots == [(0, 0, 0), (1, 1, 0), (2, 2, 1), (3, 3, 2)]
+
+    def test_listeners_survive_clear(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        fill(log, 2)
+        log.clear()
+        fill(log, 1)
+        assert [e.seq for e in seen] == [0, 1, 0]
+
+    def test_append_also_notifies(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        event = SimEvent(seq=0, t=1.0, kind=EventKind.RANGING,
+                         layer=Layer.PHYSICAL, source="x", message="m")
+        log.append(event)
+        assert seen == [event]
+
+
 class TestJsonl:
     def test_round_trip_preserves_events(self):
         log = EventLog()

@@ -43,6 +43,18 @@ class TestJsonDocument:
         assert document["summary"]["events"] == 3
         assert document["summary"]["layers"] == ["network", "physical"]
         assert document["summary"]["byKind"]["frame-sent"] == 1
+        assert document["summary"]["droppedEvents"] == 0
+
+    def test_dropped_events_surface_in_summary_and_table(self):
+        with instrumented(capacity=2) as obs:
+            for index in range(5):
+                obs.emit(EventKind.RANGING, Layer.PHYSICAL, "ds-twr",
+                         f"m{index}", t=float(index))
+            report = TraceReport.from_instrumentation("unit-test")
+        document = report.to_json_dict()
+        validate_trace_dict(document)
+        assert document["summary"]["droppedEvents"] == 3
+        assert "dropped 3 event(s)" in report.to_table()
 
     def test_error_span_round_trips(self):
         with instrumented() as obs:
@@ -80,6 +92,10 @@ MUTATIONS = [
      lambda d: d["summary"].update(layers=["physical", "network"])),
     ("summary-wrong-bykind",
      lambda d: d["summary"]["byKind"].update(ranging=5)),
+    ("summary-dropped-missing", lambda d: d["summary"].pop("droppedEvents")),
+    ("summary-dropped-negative",
+     lambda d: d["summary"].update(droppedEvents=-1)),
+    ("summary-dropped-bool", lambda d: d["summary"].update(droppedEvents=True)),
 ]
 
 

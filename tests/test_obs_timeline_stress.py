@@ -1,0 +1,148 @@
+"""Timeline under load: merges at scale, live follow, ring wraparound.
+
+The sentinel engine hangs off the ``subscribe`` hook, so the ordering
+and delivery guarantees exercised here are load-bearing for detection:
+a dropped or reordered notification is a missed alarm.
+"""
+
+from repro.core.layers import Layer
+from repro.obs import Timeline, merge_events
+from repro.obs.events import EventKind, EventLog
+
+
+def burst(log, n, *, kind=EventKind.FRAME_SENT, layer=Layer.NETWORK,
+          t0=0.0, dt=0.001):
+    for i in range(n):
+        log.emit(kind, layer, "src", f"e{i}", t=t0 + i * dt)
+    return log
+
+
+class TestMergeAtScale:
+    def test_ten_streams_of_a_thousand_merge_sorted(self):
+        logs = [burst(EventLog(capacity=2000), 1000, t0=float(i) * 0.1)
+                for i in range(10)]
+        merged = merge_events(*logs)
+        assert len(merged) == 10_000
+        times = [e.t for e in merged]
+        assert times == sorted(times)
+
+    def test_merge_is_stable_across_repeats(self):
+        logs = [burst(EventLog(), 500), burst(EventLog(), 500)]
+        first = merge_events(*logs)
+        second = merge_events(*logs)
+        assert [(e.t, e.seq, e.message) for e in first] == \
+            [(e.t, e.seq, e.message) for e in second]
+
+    def test_fully_tied_timestamps_keep_stream_then_seq_order(self):
+        # worst case for the sort key: every event at the same t
+        logs = [burst(EventLog(), 300, dt=0.0) for _ in range(3)]
+        merged = merge_events(*logs)
+        assert len(merged) == 900
+        # stream position dominates, seq orders within a stream
+        seqs = [e.seq for e in merged]
+        assert seqs == list(range(300)) * 3
+
+    def test_timeline_span_with_many_offset_streams(self):
+        timeline = Timeline()
+        for i in range(20):
+            timeline.add(burst(EventLog(), 50), offset_s=float(i))
+        assert timeline.span_s() == 19.0 + 49 * 0.001
+        assert len(timeline.merged()) == 1000
+
+
+class TestLiveFollow:
+    def test_follow_replays_buffered_then_streams_live(self):
+        log = burst(EventLog(), 3)
+        timeline = Timeline()
+        timeline.follow(log)
+        assert len(timeline.merged()) == 3  # history copied in
+        burst(log, 2, t0=1.0)
+        assert len(timeline.merged()) == 5  # live events accumulate
+
+    def test_subscriber_sees_offset_adjusted_clock(self):
+        log = EventLog()
+        timeline = Timeline()
+        seen = []
+        timeline.subscribe(lambda e: seen.append(e.t))
+        timeline.follow(log, offset_s=2.0)
+        log.emit(EventKind.FRAME_SENT, Layer.NETWORK, "s", "m", t=1.0)
+        assert seen == [3.0]
+        # merged view applies the same shift — subscriber and merge agree
+        assert [e.t for e in timeline.merged()] == [3.0]
+
+    def test_thousand_live_events_arrive_in_emission_order(self):
+        log = EventLog(capacity=4096)
+        timeline = Timeline()
+        seen = []
+        timeline.subscribe(lambda e: seen.append(e.seq))
+        timeline.follow(log)
+        burst(log, 1000)
+        assert seen == list(range(1000))
+
+    def test_multiple_followed_logs_fan_into_one_subscriber(self):
+        bus, cloud = EventLog(), EventLog()
+        timeline = Timeline()
+        seen = []
+        timeline.subscribe(lambda e: seen.append(e.source))
+        timeline.follow(bus)
+        timeline.follow(cloud)
+        bus.emit(EventKind.FRAME_SENT, Layer.NETWORK, "bus", "m", t=0.0)
+        cloud.emit(EventKind.CLOUD_REQUEST, Layer.DATA, "cloud", "m", t=0.0)
+        assert seen == ["bus", "cloud"]
+
+    def test_detach_stops_streaming_but_keeps_buffered_events(self):
+        log = EventLog()
+        timeline = Timeline()
+        detach = timeline.follow(log)
+        burst(log, 2)
+        detach()
+        burst(log, 2, t0=1.0)
+        assert len(timeline.merged()) == 2
+
+    def test_unsubscribe_mid_stream(self):
+        log = EventLog()
+        timeline = Timeline()
+        seen = []
+        unsubscribe = timeline.subscribe(lambda e: seen.append(e.seq))
+        timeline.follow(log)
+        burst(log, 5)
+        unsubscribe()
+        burst(log, 5, t0=1.0)
+        assert len(seen) == 5
+
+
+class TestRingWraparoundWithSubscribers:
+    def test_subscribers_see_every_event_despite_ring_drops(self):
+        # The ring bounds *storage*, not *delivery*: a subscriber attached
+        # before the flood sees all 10k events even though the log only
+        # retains the last 64. This is why the sentinel can use a small
+        # ring — streaming detection never reads back the buffer.
+        log = EventLog(capacity=64)
+        seen = 0
+
+        def count(event):
+            nonlocal seen
+            seen += 1
+
+        log.subscribe(count)
+        burst(log, 10_000)
+        assert seen == 10_000
+        assert len(log) == 64
+        assert log.dropped == 10_000 - 64
+
+    def test_followed_timeline_outlives_the_ring(self):
+        log = EventLog(capacity=16)
+        timeline = Timeline()
+        timeline.follow(log)
+        burst(log, 500)
+        # the timeline's own stream buffered everything the ring dropped
+        assert len(timeline.merged()) == 500
+        assert len(log) == 16
+
+    def test_wraparound_preserves_notification_order(self):
+        log = EventLog(capacity=8)
+        seqs = []
+        log.subscribe(lambda e: seqs.append(e.seq))
+        burst(log, 100)
+        assert seqs == sorted(seqs)
+        assert [e.seq for e in log] == seqs[-8:]

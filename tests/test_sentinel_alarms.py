@@ -1,0 +1,126 @@
+"""Alarm state machines: hysteresis, hard gates, time-based clearing."""
+
+import pytest
+
+from repro.sentinel import AlarmMachine, AlarmState
+from repro.sentinel.detectors import Signal
+
+
+def soft(t, risk=0.6):
+    return Signal(t, "ecu", "can-rate", risk, False, "soft evidence")
+
+
+def hard(t):
+    return Signal(t, "ecu", "can-rate", 1.0, True, "saturated bus")
+
+
+class TestLadder:
+    def test_starts_idle_with_no_history(self):
+        machine = AlarmMachine("ecu", "can-rate")
+        assert machine.state is AlarmState.IDLE
+        assert machine.transitions == []
+        assert machine.first_alarm_t is None
+
+    def test_single_trigger_does_not_page(self):
+        machine = AlarmMachine("ecu", "can-rate", suspect_after=2)
+        assert machine.trigger(soft(0.0)) is None
+        assert machine.state is AlarmState.IDLE
+
+    def test_consecutive_triggers_climb_to_suspect_then_alarm(self):
+        machine = AlarmMachine("ecu", "can-rate", suspect_after=2,
+                               alarm_after=4)
+        states = [machine.trigger(soft(float(t))) for t in range(4)]
+        assert states[0] is None
+        assert states[1].state is AlarmState.SUSPECT
+        assert states[2] is None
+        assert states[3].state is AlarmState.ALARM
+        assert machine.first_alarm_t == 3.0
+
+    def test_alarm_state_absorbs_further_triggers(self):
+        machine = AlarmMachine("ecu", "can-rate", suspect_after=1,
+                               alarm_after=1)
+        machine.trigger(soft(0.0))   # IDLE -> SUSPECT
+        machine.trigger(soft(1.0))   # SUSPECT -> ALARM
+        assert machine.state is AlarmState.ALARM
+        assert machine.trigger(soft(2.0)) is None
+        assert len(machine.transitions) == 2
+
+    def test_hard_signal_jumps_straight_to_alarm(self):
+        machine = AlarmMachine("ecu", "can-rate")
+        transition = machine.trigger(hard(2.0))
+        assert transition.state is AlarmState.ALARM
+        assert "hard signal" in transition.reason
+        assert machine.first_alarm_t == 2.0
+
+
+class TestQuietAndClearing:
+    def test_quiet_tick_resets_the_streak_immediately(self):
+        # Hysteresis counts *consecutive* ticks: sparse triggers at 50%
+        # duty cycle must never accumulate to an alarm.
+        machine = AlarmMachine("ecu", "can-rate", suspect_after=2,
+                               alarm_after=4)
+        for t in range(10):
+            if t % 2 == 0:
+                machine.trigger(soft(float(t)))
+            else:
+                machine.quiet(float(t))
+        assert machine.state is AlarmState.IDLE
+        assert machine.first_alarm_t is None
+
+    def test_state_falls_back_only_after_clear_timeout(self):
+        machine = AlarmMachine("ecu", "can-rate", suspect_after=1,
+                               alarm_after=1, clear_after_s=4.0)
+        machine.trigger(hard(0.0))
+        assert machine.state is AlarmState.ALARM
+        assert machine.quiet(1.0) is None          # quiet, but too recent
+        assert machine.state is AlarmState.ALARM
+        transition = machine.quiet(4.0)            # 4s quiet -> CLEARED
+        assert transition.state is AlarmState.CLEARED
+        assert "quiet" in transition.reason
+
+    def test_suspect_falls_back_to_idle(self):
+        machine = AlarmMachine("ecu", "can-rate", suspect_after=1,
+                               alarm_after=9, clear_after_s=2.0)
+        machine.trigger(soft(0.0))
+        assert machine.state is AlarmState.SUSPECT
+        assert machine.quiet(2.0).state is AlarmState.IDLE
+
+    def test_quiet_before_any_trigger_is_a_noop(self):
+        machine = AlarmMachine("ecu", "can-rate")
+        assert machine.quiet(10.0) is None
+        assert machine.transitions == []
+
+    def test_cleared_machine_reenters_warm_at_suspect(self):
+        machine = AlarmMachine("ecu", "can-rate", suspect_after=2,
+                               alarm_after=4, clear_after_s=1.0)
+        machine.trigger(hard(0.0))
+        machine.quiet(1.0)
+        assert machine.state is AlarmState.CLEARED
+        # one trigger suffices after a clear (IDLE would need two)
+        transition = machine.trigger(soft(2.0))
+        assert transition.state is AlarmState.SUSPECT
+        assert "re-offense" in transition.reason
+
+
+class TestValidationAndReporting:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AlarmMachine("s", "d", suspect_after=0)
+        with pytest.raises(ValueError):
+            AlarmMachine("s", "d", suspect_after=3, alarm_after=2)
+        with pytest.raises(ValueError):
+            AlarmMachine("s", "d", clear_after_s=0.0)
+
+    def test_to_dict_shape(self):
+        machine = AlarmMachine("ecu", "can-rate")
+        machine.trigger(hard(5.0))
+        document = machine.to_dict()
+        assert document == {"source": "ecu", "detector": "can-rate",
+                            "finalState": "alarm", "transitions": 1,
+                            "firstAlarmT": 5.0}
+
+    def test_transition_to_dict_rounds_risk(self):
+        machine = AlarmMachine("ecu", "can-rate", suspect_after=1,
+                               alarm_after=1)
+        transition = machine.trigger(soft(0.0, risk=0.123456))
+        assert transition.to_dict()["risk"] == 0.1235

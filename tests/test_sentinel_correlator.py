@@ -1,0 +1,104 @@
+"""Cascade correlation: flow-adjacent alarms become one incident."""
+
+from repro.core.layers import Layer
+from repro.flow.graph import FlowEdge, FlowGraph, FlowNode
+from repro.sentinel import CascadeCorrelator, Incident
+
+
+def chain_graph():
+    """uwb-anchor -> adas-cam -> zc-front -> brake-ecu, plus an island."""
+    graph = FlowGraph("test")
+    for name in ("uwb-anchor", "adas-cam", "zc-front", "brake-ecu", "island"):
+        graph.add_node(FlowNode(name, "component", Layer.NETWORK))
+    graph.add_edge(FlowEdge("uwb-anchor", "adas-cam", "interface"))
+    graph.add_edge(FlowEdge("adas-cam", "zc-front", "interface"))
+    graph.add_edge(FlowEdge("zc-front", "brake-ecu", "interface"))
+    return graph
+
+
+class TestAdjacency:
+    def test_anchored_sources_within_hop_budget_are_related(self):
+        correlator = CascadeCorrelator.from_flow_graph(
+            chain_graph(),
+            {"uwb": "uwb-anchor", "camera": "adas-cam", "brake": "brake-ecu"},
+            max_hops=2)
+        assert correlator.related("uwb", "camera")      # 1 hop
+        assert correlator.related("camera", "brake")    # 2 hops
+        assert not correlator.related("uwb", "brake")   # 3 hops
+
+    def test_adjacency_is_undirected(self):
+        correlator = CascadeCorrelator.from_flow_graph(
+            chain_graph(), {"uwb": "uwb-anchor", "camera": "adas-cam"},
+            max_hops=1)
+        assert correlator.related("camera", "uwb")
+
+    def test_unanchored_source_is_singleton(self):
+        correlator = CascadeCorrelator.from_flow_graph(
+            chain_graph(), {"uwb": "uwb-anchor", "ghost": "no-such-node"},
+            max_hops=3)
+        assert not correlator.related("uwb", "ghost")
+        assert "ghost" in correlator.adjacency  # present, just isolated
+
+    def test_same_source_is_always_related(self):
+        assert CascadeCorrelator().related("x", "x")
+
+
+class TestIncidents:
+    def test_first_alarm_opens_an_incident(self):
+        correlator = CascadeCorrelator()
+        incident, action = correlator.on_alarm(1.0, "ecu", "can-rate")
+        assert action == "opened"
+        assert incident.incident_id == 1 and incident.open
+
+    def test_adjacent_alarm_joins_within_window(self):
+        correlator = CascadeCorrelator({"a": {"b"}}, join_window_s=8.0)
+        correlator.on_alarm(0.0, "a", "can-rate")
+        incident, action = correlator.on_alarm(5.0, "b", "secoc-auth")
+        assert action == "joined"
+        assert incident.sources == {"a", "b"}
+        assert incident.to_dict()["crossLayer"] is True
+
+    def test_unrelated_alarm_opens_a_second_incident(self):
+        correlator = CascadeCorrelator({"a": {"b"}})
+        correlator.on_alarm(0.0, "a", "can-rate")
+        incident, action = correlator.on_alarm(1.0, "z", "cloud-budget")
+        assert action == "opened"
+        assert incident.incident_id == 2
+
+    def test_stale_incident_does_not_absorb_new_alarms(self):
+        correlator = CascadeCorrelator({"a": {"b"}}, join_window_s=4.0)
+        correlator.on_alarm(0.0, "a", "can-rate")
+        _, action = correlator.on_alarm(10.0, "b", "secoc-auth")
+        assert action == "opened"
+
+    def test_join_window_measured_from_last_alarm_not_open(self):
+        correlator = CascadeCorrelator({"a": {"b"}}, join_window_s=4.0)
+        correlator.on_alarm(0.0, "a", "can-rate")
+        correlator.on_alarm(3.0, "a", "can-rate")     # keeps it warm
+        _, action = correlator.on_alarm(6.0, "b", "secoc-auth")
+        assert action == "joined"
+
+    def test_repeat_alarm_on_member_source_joins(self):
+        correlator = CascadeCorrelator()
+        first, _ = correlator.on_alarm(0.0, "ecu", "can-rate")
+        second, action = correlator.on_alarm(1.0, "ecu", "secoc-auth")
+        assert action == "joined" and second is first
+        assert second.to_dict()["alarmCount"] == 2
+        assert second.to_dict()["crossLayer"] is False
+
+
+class TestClosing:
+    def test_incident_closes_when_all_sources_clear(self):
+        correlator = CascadeCorrelator({"a": {"b"}})
+        correlator.on_alarm(0.0, "a", "can-rate")
+        correlator.on_alarm(1.0, "b", "secoc-auth")
+        assert correlator.on_all_clear(5.0, {"a"}) == []  # b still alarmed
+        [closed] = correlator.on_all_clear(6.0, {"a", "b"})
+        assert closed.closed_t == 6.0
+        assert correlator.open_incidents() == []
+
+    def test_to_dict_shape(self):
+        incident = Incident(3, 2.0, "ecu", "can-rate")
+        assert incident.to_dict() == {
+            "id": 3, "openedT": 2.0, "closedT": None, "sources": ["ecu"],
+            "alarmCount": 1, "crossLayer": False}

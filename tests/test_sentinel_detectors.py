@@ -1,0 +1,243 @@
+"""Per-layer threshold detectors: events in, risk signals out."""
+
+import pytest
+
+from repro.core.layers import Layer
+from repro.obs.events import EventKind, EventLog
+from repro.sentinel import (
+    CanRateDetector,
+    CloudBudgetDetector,
+    DidResolutionDetector,
+    RangingResidualDetector,
+    SecocAuthDetector,
+    Signal,
+    default_detectors,
+)
+
+
+def make_log():
+    return EventLog(capacity=256)
+
+
+def feed(detector, log):
+    """Wire a log straight into one detector (no engine)."""
+    return log.subscribe(lambda e: detector.on_event(e)
+                         if e.kind in detector.kinds else None)
+
+
+class TestSignal:
+    def test_risk_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Signal(0.0, "s", "d", 1.5, False, "r")
+        with pytest.raises(ValueError):
+            Signal(0.0, "s", "d", -0.1, False, "r")
+
+    def test_default_detectors_cover_five_layers(self):
+        detectors = default_detectors()
+        assert sorted(d.name for d in detectors) == [
+            "can-rate", "cloud-budget", "did-resolution",
+            "ranging-residual", "secoc-auth"]
+
+
+class TestCanRate:
+    def test_quiet_bus_produces_no_signal(self):
+        detector = CanRateDetector()
+        log = make_log()
+        feed(detector, log)
+        log.emit(EventKind.FRAME_SENT, Layer.NETWORK, "bus", "f",
+                 t=0.0, sender="zc-left", frames=4)
+        assert detector.flush(0.0) == []
+
+    def test_storm_scored_and_hard_at_saturation(self):
+        detector = CanRateDetector()
+        detector.on_event(make_log().emit(
+            EventKind.FRAME_SENT, Layer.NETWORK, "bus", "storm",
+            t=0.0, sender="babbler", frames=24))
+        [signal] = detector.flush(0.0)
+        assert signal.source == "babbler"
+        assert signal.hard and signal.risk == 1.0
+        assert "saturates" in signal.reason
+
+    def test_rate_accumulates_across_events_in_one_tick(self):
+        detector = CanRateDetector()
+        log = make_log()
+        feed(detector, log)
+        for _ in range(3):
+            log.emit(EventKind.FRAME_SENT, Layer.NETWORK, "bus", "f",
+                     t=0.0, sender="ecu", frames=3)
+        [signal] = detector.flush(0.0)
+        assert not signal.hard
+        assert signal.risk == pytest.approx(9 / 12)
+
+    def test_flush_resets_per_tick_counters(self):
+        detector = CanRateDetector()
+        detector.on_event(make_log().emit(
+            EventKind.FRAME_SENT, Layer.NETWORK, "bus", "f",
+            t=0.0, sender="ecu", frames=20))
+        assert detector.flush(0.0)
+        assert detector.flush(1.0) == []
+
+    def test_bus_off_storm_is_hard(self):
+        detector = CanRateDetector()
+        log = make_log()
+        feed(detector, log)
+        for _ in range(3):
+            log.emit(EventKind.BUS_OFF, Layer.NETWORK, "victim-ecu", "off",
+                     t=0.0)
+        [signal] = detector.flush(0.0)
+        assert signal.hard and "bus-off storm" in signal.reason
+
+
+class TestSecocAuth:
+    def test_single_reject_is_ignored(self):
+        detector = SecocAuthDetector()
+        detector.on_event(make_log().emit(
+            EventKind.MAC_REJECTED, Layer.NETWORK, "zonal-can", "bad",
+            t=0.0))
+        assert detector.flush(0.0) == []
+
+    def test_burst_scores_within_window(self):
+        detector = SecocAuthDetector(window_s=6.0, alarm_burst=4)
+        log = make_log()
+        feed(detector, log)
+        for t in (0.0, 1.0, 2.0):
+            log.emit(EventKind.MAC_REJECTED, Layer.NETWORK, "zonal-can",
+                     "bad", t=t)
+            detector.flush(t)
+        log.emit(EventKind.MAC_REJECTED, Layer.NETWORK, "zonal-can",
+                 "bad", t=3.0)
+        [signal] = detector.flush(3.0)
+        assert signal.risk == pytest.approx(1.0)  # 4 rejects / alarm_burst 4
+        assert not signal.hard
+
+    def test_old_rejects_age_out_of_the_window(self):
+        detector = SecocAuthDetector(window_s=2.0, suspect_burst=2)
+        log = make_log()
+        feed(detector, log)
+        log.emit(EventKind.MAC_REJECTED, Layer.NETWORK, "bus", "x", t=0.0)
+        detector.flush(0.0)
+        log.emit(EventKind.MAC_REJECTED, Layer.NETWORK, "bus", "x", t=5.0)
+        assert detector.flush(5.0) == []  # the t=0 reject expired
+
+    def test_no_signal_on_quiet_ticks_even_with_window_history(self):
+        detector = SecocAuthDetector(suspect_burst=1)
+        detector.on_event(make_log().emit(
+            EventKind.MAC_REJECTED, Layer.NETWORK, "bus", "x", t=0.0))
+        assert detector.flush(0.0)
+        assert detector.flush(1.0) == []  # window non-empty, tick quiet
+
+
+class TestRangingResidual:
+    def test_nominal_residuals_are_quiet(self):
+        detector = RangingResidualDetector()
+        detector.on_event(make_log().emit(
+            EventKind.RANGING, Layer.PHYSICAL, "uwb", "r",
+            t=0.0, residual_m=0.05, rejected=False))
+        assert detector.flush(0.0) == []
+
+    def test_large_positive_residual_is_probabilistic(self):
+        detector = RangingResidualDetector()
+        detector.on_event(make_log().emit(
+            EventKind.RANGING, Layer.PHYSICAL, "uwb", "r",
+            t=0.0, residual_m=1.2))
+        [signal] = detector.flush(0.0)
+        assert not signal.hard
+        assert signal.risk == pytest.approx(0.8)
+
+    def test_impossible_early_arrival_is_hard(self):
+        detector = RangingResidualDetector()
+        detector.on_event(make_log().emit(
+            EventKind.RANGING, Layer.PHYSICAL, "uwb", "r",
+            t=0.0, residual_m=-2.5))
+        [signal] = detector.flush(0.0)
+        assert signal.hard
+        assert "impossible ToA" in signal.reason
+
+    def test_rejected_samples_are_soft_evidence(self):
+        detector = RangingResidualDetector(reject_risk=0.5)
+        detector.on_event(make_log().emit(
+            EventKind.RANGING, Layer.PHYSICAL, "uwb", "r",
+            t=0.0, rejected=True, residual_m=0.0))
+        [signal] = detector.flush(0.0)
+        assert signal.risk == 0.5 and not signal.hard
+
+    def test_residual_falls_back_to_measured_minus_true(self):
+        detector = RangingResidualDetector()
+        detector.on_event(make_log().emit(
+            EventKind.RANGING, Layer.PHYSICAL, "uwb", "r",
+            t=0.0, measured_m=12.0, true_m=10.0))
+        [signal] = detector.flush(0.0)
+        assert signal.risk == 1.0  # |2.0| / 1.5, clamped
+
+    def test_event_without_usable_fields_is_skipped(self):
+        detector = RangingResidualDetector()
+        detector.on_event(make_log().emit(
+            EventKind.RANGING, Layer.PHYSICAL, "uwb", "r", t=0.0))
+        assert detector.flush(0.0) == []
+
+
+class TestCloudBudget:
+    def _tick(self, detector, t, status, latency=80.0):
+        detector.on_event(make_log().emit(
+            EventKind.CLOUD_REQUEST, Layer.DATA, "backend", "GET",
+            t=t, status=status, latency_ms=latency))
+        return detector.flush(t)
+
+    def test_ok_within_budget_is_quiet(self):
+        detector = CloudBudgetDetector()
+        assert self._tick(detector, 0.0, "ok") == []
+
+    def test_slow_ok_counts_against_the_budget(self):
+        detector = CloudBudgetDetector(budget_ms=250.0)
+        [signal] = self._tick(detector, 0.0, "ok", latency=400.0)
+        assert signal.risk == pytest.approx(0.3)  # floor risk
+        assert not signal.hard
+
+    def test_raw_failure_streak_blows_the_budget(self):
+        detector = CloudBudgetDetector(hard_raw_streak=4)
+        signals = [self._tick(detector, float(t), "5xx") for t in range(4)]
+        assert not signals[2][0].hard
+        assert signals[3][0].hard
+        assert "availability budget blown" in signals[3][0].reason
+
+    def test_shedding_breaks_the_raw_streak(self):
+        # Deliberate load-shedding is the breaker working: it must not
+        # count toward the raw-outage streak that makes a hard gate.
+        detector = CloudBudgetDetector(hard_raw_streak=3)
+        self._tick(detector, 0.0, "5xx")
+        self._tick(detector, 1.0, "5xx")
+        [shed] = self._tick(detector, 2.0, "shed")
+        assert not shed.hard
+        [after] = self._tick(detector, 3.0, "5xx")
+        assert not after.hard  # streak restarted at 1
+
+    def test_window_risk_grows_with_degraded_ticks(self):
+        detector = CloudBudgetDetector(window_s=6.0, alarm_fails=4,
+                                       hard_raw_streak=99)
+        risks = [self._tick(detector, float(t), "timeout")[0].risk
+                 for t in range(4)]
+        assert risks == pytest.approx([0.3, 0.5, 0.75, 1.0])
+
+
+class TestDidResolution:
+    def _tick(self, detector, t, status):
+        detector.on_event(make_log().emit(
+            EventKind.DID_RESOLUTION, Layer.SOFTWARE_PLATFORM, "registry",
+            "resolve", t=t, status=status))
+        return detector.flush(t)
+
+    def test_ok_is_quiet(self):
+        detector = DidResolutionDetector()
+        assert self._tick(detector, 0.0, "ok") == []
+
+    def test_failures_score_over_the_window(self):
+        detector = DidResolutionDetector(alarm_fails=3)
+        risks = [self._tick(detector, float(t), "fail")[0].risk
+                 for t in range(3)]
+        assert risks == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_stale_cache_is_weak_evidence_only(self):
+        detector = DidResolutionDetector(stale_risk=0.2)
+        [signal] = self._tick(detector, 0.0, "stale")
+        assert signal.risk == 0.2 and not signal.hard
+        assert "stale" in signal.reason

@@ -1,0 +1,201 @@
+"""The streaming engine: subscribe wiring, ticks, response closure."""
+
+from repro.core.layers import Layer
+from repro.core.response import ResponseEngine, Severity
+from repro.obs.events import EventKind, EventLog
+from repro.sentinel import (
+    IGNORED_KINDS,
+    MACHINE_PARAMS,
+    AlarmState,
+    CascadeCorrelator,
+    SentinelEngine,
+)
+
+
+def storm(log, t, sender="babbler", frames=24):
+    log.emit(EventKind.FRAME_SENT, Layer.NETWORK, "zonal-can", "storm",
+             t=t, sender=sender, frames=frames)
+
+
+class TestStreamingWiring:
+    def test_attach_consumes_pushed_events(self):
+        log = EventLog()
+        engine = SentinelEngine("unit")
+        engine.attach(log)
+        storm(log, 0.0)
+        assert engine.events_consumed == 1
+
+    def test_unsubscribe_detaches_cleanly(self):
+        log = EventLog()
+        engine = SentinelEngine("unit")
+        unsubscribe = engine.attach(log)
+        storm(log, 0.0)
+        unsubscribe()
+        storm(log, 1.0)
+        assert engine.events_consumed == 1
+
+    def test_own_emissions_are_not_reconsumed(self):
+        # The engine writes verdicts into the log it subscribes to; a
+        # feedback loop here would recurse forever.
+        log = EventLog()
+        engine = SentinelEngine("unit")
+        engine.attach(log)
+        storm(log, 0.0)
+        engine.tick(0.0)
+        consumed = engine.events_consumed
+        assert engine.events_emitted > 0
+        assert consumed == 1  # only the storm frame
+
+    def test_fault_injected_oracle_is_ignored(self):
+        log = EventLog()
+        engine = SentinelEngine("unit")
+        engine.attach(log)
+        log.emit(EventKind.FAULT_INJECTED, Layer.NETWORK, "injector",
+                 "ground truth", t=0.0)
+        assert engine.events_consumed == 0
+        assert EventKind.FAULT_INJECTED in IGNORED_KINDS
+
+    def test_sender_field_attributes_bus_events(self):
+        log = EventLog()
+        engine = SentinelEngine("unit")
+        engine.attach(log)
+        storm(log, 0.0, sender="ecu-7")
+        engine.tick(0.0)
+        assert ("ecu-7", "can-rate") in engine.machines
+
+
+class TestTicks:
+    def test_hard_storm_alarms_on_first_tick(self):
+        log = EventLog()
+        engine = SentinelEngine("unit")
+        engine.attach(log)
+        storm(log, 0.0, frames=24)
+        transitions = engine.tick(0.0)
+        assert [t.state for t in transitions] == [AlarmState.ALARM]
+        assert engine.first_alarm_t == 0.0
+
+    def test_soft_evidence_respects_hysteresis(self):
+        suspect_after, alarm_after, _ = MACHINE_PARAMS["can-rate"]
+        log = EventLog()
+        engine = SentinelEngine("unit")
+        engine.attach(log)
+        for t in range(alarm_after):
+            storm(log, float(t), frames=10)  # suspicious, not saturating
+            engine.tick(float(t))
+        machine = engine.machines[("babbler", "can-rate")]
+        assert machine.state is AlarmState.ALARM
+        assert machine.first_alarm_t == float(alarm_after - 1)
+
+    def test_weak_risk_feeds_trust_but_not_the_ladder(self):
+        log = EventLog()
+        engine = SentinelEngine("unit", trigger_floor=0.3)
+        engine.attach(log)
+        log.emit(EventKind.RANGING, Layer.PHYSICAL, "uwb", "r",
+                 t=0.0, residual_m=0.3)  # risk 0.2 < floor
+        engine.tick(0.0)
+        assert engine.machines == {}
+        assert engine.trust.get("uwb").observations == 1
+
+    def test_quiet_ticks_clear_and_close_incidents(self):
+        log = EventLog()
+        engine = SentinelEngine("unit")
+        engine.attach(log)
+        storm(log, 0.0)
+        engine.tick(0.0)
+        assert len(engine.correlator.open_incidents()) == 1
+        clear_after = MACHINE_PARAMS["can-rate"][2]
+        for t in range(1, int(clear_after) + 2):
+            engine.tick(float(t))
+        machine = engine.machines[("babbler", "can-rate")]
+        assert machine.state is AlarmState.CLEARED
+        assert engine.correlator.open_incidents() == []
+
+    def test_silent_sources_decay(self):
+        log = EventLog()
+        engine = SentinelEngine("unit")
+        engine.attach(log)
+        log.emit(EventKind.CLOUD_REQUEST, Layer.DATA, "backend", "GET",
+                 t=0.0, status="ok", latency_ms=50.0)
+        engine.tick(0.0)
+        engine.trust.get("backend").score = 0.9
+        engine.tick(1.0)  # no telemetry at all
+        assert engine.trust.get("backend").score < 0.9
+
+
+class TestResponseClosure:
+    def test_hard_alarm_raises_critical_and_isolates(self):
+        log = EventLog()
+        response = ResponseEngine()
+        engine = SentinelEngine("unit", response=response)
+        engine.attach(log)
+        storm(log, 0.0)
+        engine.tick(0.0)
+        [decision] = [d for d in response.decisions
+                      if d.alert.attack_name == "sentinel:can-rate"]
+        assert decision.alert.severity is Severity.CRITICAL
+        assert "babbler" in response.isolated_components()
+
+    def test_soft_alarm_raises_warning(self):
+        log = EventLog()
+        response = ResponseEngine()
+        engine = SentinelEngine("unit", response=response)
+        engine.attach(log)
+        for t in range(MACHINE_PARAMS["can-rate"][1]):
+            storm(log, float(t), frames=10)
+            engine.tick(float(t))
+        alerts = [d.alert for d in response.decisions
+                  if d.alert.attack_name == "sentinel:can-rate"]
+        assert alerts and all(a.severity is Severity.WARNING for a in alerts)
+
+    def test_trust_collapse_alerts_critical_once(self):
+        log = EventLog()
+        response = ResponseEngine()
+        engine = SentinelEngine("unit", response=response)
+        engine.attach(log)
+        for t in range(6):
+            storm(log, float(t))
+            engine.tick(float(t))
+        collapses = [d.alert for d in response.decisions
+                     if d.alert.attack_name == "sentinel:trust-collapse"]
+        assert len(collapses) == 1
+        assert collapses[0].severity is Severity.CRITICAL
+        assert engine.trust.collapsed() == ["babbler"]
+
+
+class TestReporting:
+    def test_incident_correlation_uses_injected_adjacency(self):
+        log = EventLog()
+        correlator = CascadeCorrelator({"babbler": {"uwb"}})
+        engine = SentinelEngine("unit", correlator=correlator)
+        engine.attach(log)
+        storm(log, 0.0)
+        log.emit(EventKind.RANGING, Layer.PHYSICAL, "uwb", "r",
+                 t=0.0, residual_m=-3.0)  # hard physics gate
+        engine.tick(0.0)
+        [incident] = engine.correlator.incidents
+        assert incident.sources == {"babbler", "uwb"}
+        assert incident.to_dict()["crossLayer"] is True
+
+    def test_to_dict_is_internally_consistent(self):
+        log = EventLog()
+        engine = SentinelEngine("unit")
+        engine.attach(log)
+        storm(log, 0.0)
+        engine.tick(0.0)
+        document = engine.to_dict()
+        assert document["eventsConsumed"] == 1
+        assert document["alarmedSources"] == ["babbler"]
+        assert document["alarmTransitions"] == sum(
+            m["transitions"] for m in document["machines"])
+        assert document["firstAlarmT"] == 0.0
+
+    def test_verdicts_land_on_the_shared_timeline(self):
+        log = EventLog()
+        engine = SentinelEngine("unit")
+        engine.attach(log)
+        storm(log, 0.0)
+        engine.tick(0.0)
+        kinds = {e.kind for e in log}
+        assert EventKind.ALARM_TRANSITION in kinds
+        assert EventKind.INCIDENT in kinds
+        assert EventKind.TRUST_UPDATE in kinds

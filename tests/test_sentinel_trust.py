@@ -1,0 +1,174 @@
+"""Time-variant trust: fusion, EMA, phases, decay, collapse."""
+
+import pytest
+
+from repro.sentinel import (
+    DEFAULT_WEIGHTS,
+    TrustPhase,
+    TrustRegistry,
+    TrustScore,
+)
+
+
+class TestFusion:
+    def test_weighted_sum_of_soft_risks(self):
+        score = TrustScore("ecu")
+        fused = score.fuse({"can-rate": 0.5, "secoc-auth": 0.25}, False)
+        assert fused == pytest.approx(0.5 * 1.0 + 0.25 * 0.8)
+
+    def test_weighted_sum_clamps_at_one(self):
+        score = TrustScore("ecu")
+        assert score.fuse({"can-rate": 0.9, "ranging-residual": 0.9},
+                          False) == 1.0
+
+    def test_hard_gate_overrides_everything(self):
+        score = TrustScore("ecu")
+        assert score.fuse({}, True) == 1.0
+        assert score.fuse({"can-rate": 0.01}, True) == 1.0
+
+    def test_unknown_detector_gets_default_weight(self):
+        score = TrustScore("ecu")
+        assert score.fuse({"mystery": 1.0}, False) == 0.5
+
+    def test_default_weights_cover_all_five_detectors(self):
+        assert sorted(DEFAULT_WEIGHTS) == [
+            "can-rate", "cloud-budget", "did-resolution",
+            "ranging-residual", "secoc-auth"]
+
+
+class TestEmaAndHardCrash:
+    def test_clean_ticks_grow_trust(self):
+        score = TrustScore("ecu", initial=0.5, alpha=0.35)
+        score.update(0.0, {}, False)
+        assert score.score == pytest.approx(0.65 * 0.5 + 0.35 * 1.0)
+
+    def test_single_noisy_tick_dents_but_does_not_collapse(self):
+        score = TrustScore("ecu", initial=0.5)
+        score.update(0.0, {"can-rate": 0.6}, False)
+        assert 0.3 < score.score < 0.5
+        assert score.collapsed_t is None
+
+    def test_hard_tick_crashes_the_score(self):
+        score = TrustScore("ecu", initial=0.9, hard_crash=0.05)
+        events = score.update(0.0, {}, True)
+        assert score.score == 0.05
+        assert score.hard_hits == 1
+        assert any(e.kind == "collapse" for e in events)
+
+    def test_collapse_fires_once_and_records_time(self):
+        score = TrustScore("ecu", initial=0.9)
+        score.update(3.0, {}, True)
+        assert score.collapsed_t == 3.0
+        events = score.update(4.0, {}, True)
+        assert score.collapsed_t == 3.0  # first crossing wins
+        assert not any(e.kind == "collapse" for e in events)
+
+    def test_min_score_tracks_the_low_water_mark(self):
+        score = TrustScore("ecu", initial=0.5)
+        score.update(0.0, {}, True)
+        low = score.score
+        for t in range(1, 30):
+            score.update(float(t), {}, False)
+        assert score.score > low
+        assert score.min_score == pytest.approx(low)
+
+
+class TestPhases:
+    def test_cold_start_amplifies_risk(self):
+        cold = TrustScore("a", cold_start_gain=1.25)
+        warm = TrustScore("b", cold_start_gain=1.25)
+        warm.phase = TrustPhase.VERIFYING
+        cold.update(0.0, {"can-rate": 0.4}, False)
+        warm.update(0.0, {"can-rate": 0.4}, False)
+        assert cold.score < warm.score
+
+    def test_cold_start_graduates_to_verifying(self):
+        score = TrustScore("ecu", cold_start_obs=3)
+        for t in range(3):
+            events = score.update(float(t), {}, False)
+        assert score.phase is TrustPhase.VERIFYING
+        assert any(e.kind == "phase" and e.phase is TrustPhase.VERIFYING
+                   for e in events)
+
+    def test_sustained_good_behavior_reaches_trusted(self):
+        score = TrustScore("ecu", cold_start_obs=2, trusted_at=0.8)
+        for t in range(12):
+            score.update(float(t), {}, False)
+        assert score.phase is TrustPhase.TRUSTED
+
+    def test_trusted_absorbs_line_noise(self):
+        score = TrustScore("ecu", noise_floor=0.1)
+        score.phase = TrustPhase.TRUSTED
+        score.observations = 20
+        score.score = 0.9
+        score.update(0.0, {"secoc-auth": 0.05}, False)  # fused 0.04 <= floor
+        assert score.score > 0.9  # treated as zero risk
+
+    def test_trusted_falls_back_to_verifying_when_score_sags(self):
+        score = TrustScore("ecu", trusted_exit=0.7)
+        score.phase = TrustPhase.TRUSTED
+        score.observations = 20
+        score.score = 0.75
+        events = score.update(0.0, {"can-rate": 0.9}, False)
+        assert score.phase is TrustPhase.VERIFYING
+        assert any(e.kind == "phase" for e in events)
+
+    def test_trusted_exit_must_not_exceed_trusted_at(self):
+        with pytest.raises(ValueError):
+            TrustScore("ecu", trusted_at=0.6, trusted_exit=0.7)
+        with pytest.raises(ValueError):
+            TrustScore("ecu", alpha=0.0)
+
+
+class TestDecay:
+    def test_unobserved_trust_decays_toward_ambient(self):
+        score = TrustScore("ecu", ambient=0.4, decay_rate=0.05)
+        score.score = 0.9
+        score.decay(0.0)
+        assert score.score == pytest.approx(0.9 - 0.05 * 0.5)
+
+    def test_distrust_is_not_forgiven_by_decay(self):
+        score = TrustScore("ecu", ambient=0.4)
+        score.score = 0.1
+        score.decay(0.0)
+        assert score.score == 0.1  # below ambient: stays down
+
+
+class TestRegistry:
+    def test_get_creates_and_memoizes(self):
+        registry = TrustRegistry()
+        assert registry.get("a") is registry.get("a")
+        assert registry.sources() == ["a"]
+
+    def test_decay_except_skips_sources_seen_this_tick(self):
+        registry = TrustRegistry()
+        registry.get("seen").score = 0.9
+        registry.get("idle").score = 0.9
+        registry.decay_except(0.0, {"seen"})
+        assert registry.get("seen").score == 0.9
+        assert registry.get("idle").score < 0.9
+
+    def test_collapsed_lists_sources_sorted(self):
+        registry = TrustRegistry()
+        registry.update(0.0, "zeta", {}, True)
+        registry.update(0.0, "alpha", {}, True)
+        registry.update(0.0, "fine", {}, False)
+        assert registry.collapsed() == ["alpha", "zeta"]
+
+    def test_custom_weights_flow_through_update(self):
+        registry = TrustRegistry(weights={"can-rate": 0.0})
+        registry.update(0.0, "ecu", {"can-rate": 1.0}, False)
+        default = TrustRegistry()
+        default.update(0.0, "ecu", {"can-rate": 1.0}, False)
+        assert registry.get("ecu").score > default.get("ecu").score
+
+    def test_to_dict_is_sorted_and_rounded(self):
+        registry = TrustRegistry()
+        registry.update(0.0, "b", {"can-rate": 0.123456}, False)
+        registry.update(0.0, "a", {}, False)
+        docs = registry.to_dict()
+        assert [d["source"] for d in docs] == ["a", "b"]
+        for doc in docs:
+            assert set(doc) == {"source", "score", "minScore", "phase",
+                                "observations", "hardHits", "collapsedT"}
+            assert doc["score"] == round(doc["score"], 4)

@@ -95,6 +95,7 @@ def test_src_tree_is_free_of_ambient_nondeterminism():
     audited = 0
     faults_audited = 0
     redteam_audited = 0
+    sentinel_audited = 0
     for path in sorted(SRC_ROOT.rglob("*.py")):
         if path in ALLOWED:
             continue
@@ -103,6 +104,8 @@ def test_src_tree_is_free_of_ambient_nondeterminism():
             faults_audited += 1
         if path.parent.name == "redteam":
             redteam_audited += 1
+        if path.parent.name == "sentinel":
+            sentinel_audited += 1
         violations += audit_file(path)
     assert audited > 35  # the walk actually covered the tree
     # the fault-injection package is exactly where ambient randomness
@@ -111,6 +114,10 @@ def test_src_tree_is_free_of_ambient_nondeterminism():
     # the campaign planner promises byte-identical rankings per
     # (scenario, seed); ambient nondeterminism there breaks BENCH-REDTEAM
     assert redteam_audited >= 6
+    # the streaming alarm engine promises byte-identical detection
+    # reports per (scenario, seed); ambient nondeterminism there breaks
+    # BENCH-SENTINEL and the twin CI gates
+    assert sentinel_audited >= 7
     assert not violations, "\n".join(violations)
 
 
