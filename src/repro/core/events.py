@@ -73,6 +73,46 @@ class Simulator:
         """Schedule ``action`` at an absolute simulation time."""
         return self.schedule(time - self.now, action)
 
+    def peek_time(self) -> float | None:
+        """Time of the next *live* event, or None when none remain.
+
+        Canceled entries at the heap head are lazily popped, so the
+        answer always refers to an event that will actually fire —
+        ``run(until=...)`` relies on this to avoid executing a live
+        event past ``until`` hiding behind a canceled head.
+        """
+        while self._queue:
+            head = self._queue[0]
+            if head.canceled:
+                heapq.heappop(self._queue)
+                continue
+            return head.time
+        return None
+
+    def live_events(self) -> list[Event]:
+        """Non-canceled queued events, in heap (not firing) order.
+
+        O(n) snapshot used by batch fast paths to prove no foreign
+        event would interleave with an analytically-computed burst.
+        """
+        return [event for event in self._queue if not event.canceled]
+
+    def advance_to(self, time: float, *, processed: int = 0) -> None:
+        """Jump the clock forward after a batch computed events analytically.
+
+        Batch fast paths (e.g. :meth:`repro.ivn.bus.CanBus.run_batch`)
+        replace a run of scheduled callbacks with closed-form bookkeeping;
+        this commits their net effect — the final clock value and how many
+        events' worth of work they accounted for — back to the kernel.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot advance backwards (now={self.now}, target={time})")
+        if processed < 0:
+            raise ValueError("processed count must be non-negative")
+        self.now = time
+        self._processed += processed
+
     def step(self) -> bool:
         """Execute the next event. Returns False when the queue is empty."""
         while self._queue:
@@ -91,7 +131,9 @@ class Simulator:
         while self._queue:
             if max_events is not None and executed >= max_events:
                 return
-            next_time = self._queue[0].time
+            next_time = self.peek_time()
+            if next_time is None:
+                break
             if until is not None and next_time > until:
                 self.now = until
                 return

@@ -85,6 +85,8 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "bench_redteam.py"),
     Experiment("BENCH-SENTINEL", "§VIII", "streaming detection cost + alarm latency gates",
                "bench_sentinel.py"),
+    Experiment("BENCH-KERNELS", "§VIII", "batched hot-path kernels vs scalar references",
+               "bench_kernels.py"),
 )
 
 

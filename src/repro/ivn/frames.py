@@ -34,6 +34,8 @@ __all__ = [
     "MACSEC_SECTAG_SCI_BYTES",
     "MACSEC_ICV_BYTES",
     "can_fd_dlc_for",
+    "frame_shape_key",
+    "frame_time_s",
 ]
 
 MACSEC_SECTAG_BYTES = 8        # 802.1AE SecTAG without SCI
@@ -195,6 +197,48 @@ class CanXlFrame:
             raise ValueError("bitrates must be positive")
         return (self.arbitration_phase_bits() / nominal_bps
                 + self.data_phase_bits() / data_bps)
+
+
+def frame_shape_key(frame: object) -> tuple:
+    """Timing-equivalence key for a CAN-family frame.
+
+    Wire time depends only on the frame *shape* — its type, id width,
+    and payload length — never on the id value or payload bytes, so
+    frames sharing a key share a transmission time.  Raises TypeError
+    for frame types without a shape-invariant timing model.
+    """
+    if isinstance(frame, CanFrame):
+        return ("can", frame.extended, len(frame.payload))
+    if isinstance(frame, CanFdFrame):
+        return ("fd", frame.extended, len(frame.payload))
+    if isinstance(frame, CanXlFrame):
+        return ("xl", len(frame.payload))
+    raise TypeError(f"unsupported frame type {type(frame).__name__}")
+
+
+#: (shape key, nominal bps, data bps) -> seconds.  Unbounded by design:
+#: the key space is tiny (3 types x id widths x payload lengths).
+_TIME_CACHE: dict[tuple, float] = {}
+
+
+def frame_time_s(frame: object, nominal_bps: float, data_bps: float) -> float:
+    """Memoized transmission time for one CAN-family frame.
+
+    Bit-identical to calling ``frame.transmission_time_s(...)`` — the
+    cache stores the exact float the frame's own method returned for
+    the first frame of each (shape, bitrate) combination.  This is the
+    hot-path entry the bus kernel uses: a saturated segment re-times
+    the same handful of shapes millions of times.
+    """
+    key = (frame_shape_key(frame), nominal_bps, data_bps)
+    cached = _TIME_CACHE.get(key)
+    if cached is None:
+        if isinstance(frame, CanFrame):
+            cached = frame.transmission_time_s(nominal_bps)
+        else:
+            cached = frame.transmission_time_s(nominal_bps, data_bps)  # type: ignore[attr-defined]
+        _TIME_CACHE[key] = cached
+    return cached
 
 
 @dataclass(frozen=True)

@@ -33,7 +33,8 @@ CLI::
 from repro.obs.events import EventKind, EventLog, SimEvent
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import (SchemaError, TraceReport, render_metrics_table,
-                              render_span_tree, validate_trace_dict)
+                              render_span_tree, validate_metrics_dict,
+                              validate_trace_dict)
 from repro.obs.runtime import (OBS, Instrumentation, disable, enable,
                                instrumented, is_enabled)
 from repro.obs.scenarios import (TRACE_SCENARIOS, run_trace_scenario,
@@ -67,5 +68,6 @@ __all__ = [
     "render_timeline",
     "run_trace_scenario",
     "trace_scenario_names",
+    "validate_metrics_dict",
     "validate_trace_dict",
 ]

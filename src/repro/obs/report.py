@@ -40,7 +40,8 @@ from repro.obs.timeline import render_timeline
 from repro.obs.trace import Span
 
 __all__ = ["TraceReport", "SchemaError", "validate_trace_dict",
-           "render_span_tree", "render_metrics_table"]
+           "validate_metrics_dict", "render_span_tree",
+           "render_metrics_table"]
 
 SCHEMA_VERSION = "1.0"
 TOOL_NAME = "repro-obs"
@@ -276,6 +277,22 @@ def _validate_metrics(metrics: dict) -> None:
         if summary["count"]:
             _require(summary["min"] <= summary["p50"] <= summary["max"],
                      f"{where}: percentiles must lie within [min, max]")
+
+
+def validate_metrics_dict(metrics: dict,
+                          required_gauges: tuple[str, ...] = ()) -> None:
+    """Raise :class:`SchemaError` unless ``metrics`` is a valid
+    :meth:`~repro.obs.metrics.MetricsRegistry.to_json_dict` document.
+
+    Standalone bench JSON files (``BENCH_OBS.json``, ``BENCH_KERNELS.json``
+    …) are bare metrics blocks; this validates them — and, optionally,
+    that every gauge named in ``required_gauges`` is present — without
+    requiring the full trace-report envelope.
+    """
+    _validate_metrics(metrics)
+    missing = [name for name in required_gauges
+               if name not in metrics["gauges"]]
+    _require(not missing, f"missing required gauges: {missing}")
 
 
 def validate_trace_dict(document: dict) -> None:

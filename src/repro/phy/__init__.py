@@ -44,7 +44,14 @@ from repro.phy.lrp import (
 from repro.phy.mtac import MtacCode, MtacVerdict, attack_acceptance_probability
 from repro.phy.pkes import PkesSystem, UnlockAttempt
 from repro.phy.pulses import HRP_CONFIG, LRP_CONFIG, SPEED_OF_LIGHT, PhyConfig
-from repro.phy.ranging import TwrMeasurement, ds_twr, ss_twr
+from repro.phy.ranging import (
+    TwrBatch,
+    TwrMeasurement,
+    ds_twr,
+    ds_twr_batch,
+    ss_twr,
+    ss_twr_batch,
+)
 from repro.phy.toa import ToaEstimate, cross_correlation, first_path_toa
 from repro.phy.vrange import CpInjectionAttack, OfdmConfig, VRangeOutcome, VRangeSession
 
@@ -63,8 +70,11 @@ __all__ = [
     "DistanceBoundingResult",
     "attack_success_probability",
     "TwrMeasurement",
+    "TwrBatch",
     "ss_twr",
     "ds_twr",
+    "ss_twr_batch",
+    "ds_twr_batch",
     "VRangeSession",
     "VRangeOutcome",
     "OfdmConfig",

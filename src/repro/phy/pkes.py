@@ -20,9 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.phy.attacks import RelayAttack
 from repro.phy.lrp import DistanceBoundingSession
-from repro.phy.ranging import ds_twr
+from repro.phy.ranging import ds_twr, ds_twr_batch
 
 __all__ = ["UnlockAttempt", "PkesSystem"]
 
@@ -92,6 +94,50 @@ class PkesSystem:
             unlocked=unlocked,
             relayed=relay is not None,
         )
+
+    def try_unlock_batch(self, fob_distances_m,
+                         relay: RelayAttack | None = None) -> list[UnlockAttempt]:
+        """Evaluate many unlock attempts in one vectorized ranging pass.
+
+        Bit-identical to mapping :meth:`try_unlock` over the distances
+        (the fleet-sweep equivalence tests pin this): the DS-TWR chain
+        runs once over the whole array via :func:`ds_twr_batch`; only
+        the per-attempt LRP distance-bounding check (needed just for
+        unlocked ``uwb-lrp`` attempts) stays scalar.
+        """
+        distances = np.asarray(fob_distances_m, dtype=float)
+        if distances.ndim != 1:
+            raise ValueError("fob_distances_m must be a 1-D array")
+        if np.any(distances < 0):
+            raise ValueError("fob distance must be non-negative")
+        if self.policy == "lf-rssi":
+            if relay is not None:
+                perceived = np.full(distances.shape,
+                                    relay.rssi_observed_distance_m())
+            else:
+                perceived = distances
+        else:
+            paths = distances
+            if relay is not None:
+                paths = np.array([relay.effective_distance_m(d)
+                                  for d in distances])
+            perceived = ds_twr_batch(paths).measured_distance_m
+        attempts: list[UnlockAttempt] = []
+        for true_m, perceived_m in zip(distances, perceived):
+            unlocked = bool(perceived_m <= self.unlock_range_m)
+            if unlocked and self.policy == "uwb-lrp":
+                session = DistanceBoundingSession(self.key, rounds=32)
+                result = session.run_honest(float(perceived_m),
+                                            distance_bound_m=self.unlock_range_m)
+                unlocked = result.accepted
+            attempts.append(UnlockAttempt(
+                policy=self.policy,
+                true_fob_distance_m=float(true_m),
+                perceived_distance_m=float(perceived_m),
+                unlocked=unlocked,
+                relayed=relay is not None,
+            ))
+        return attempts
 
     def relay_attack_succeeds(self, fob_distance_m: float,
                               relay: RelayAttack | None = None) -> bool:

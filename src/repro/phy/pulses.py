@@ -16,10 +16,12 @@ error corresponds to ~15 cm of ranging error.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["PhyConfig", "HRP_CONFIG", "LRP_CONFIG", "pulse_template", "build_pulse_train", "SPEED_OF_LIGHT"]
+__all__ = ["PhyConfig", "HRP_CONFIG", "LRP_CONFIG", "pulse_template",
+           "template_length", "build_pulse_train", "SPEED_OF_LIGHT"]
 
 SPEED_OF_LIGHT = 299_792_458.0  # m/s
 
@@ -70,20 +72,44 @@ LRP_CONFIG = PhyConfig(
 )
 
 
-def pulse_template(config: PhyConfig) -> np.ndarray:
-    """Gaussian second-derivative monocycle sampled at the config rate.
+def template_length(config: PhyConfig) -> int:
+    """Exact sample count of the pulse template: round(2·width·rate).
 
-    Normalized to unit peak before scaling by ``pulse_amplitude``.
+    Derived as an integer up front (not as a float-stepped ``np.arange``
+    endpoint, whose length is rounding-sensitive) so the template length
+    — and therefore every waveform and correlation built on it — is
+    platform-stable, which the determinism invariant requires.
     """
+    return max(1, int(round(2.0 * config.pulse_width_s * config.sample_rate_hz)))
+
+
+@lru_cache(maxsize=None)
+def _pulse_template_cached(config: PhyConfig) -> np.ndarray:
     sigma = config.pulse_width_s / 4.0
     half = config.pulse_width_s
-    t = np.arange(-half, half, 1.0 / config.sample_rate_hz)
+    step = 1.0 / config.sample_rate_hz
+    # Integer index grid: t[k] = -half + k·step, identical values to the
+    # old float-stepped arange but with an exact, pre-derived length.
+    t = -half + np.arange(template_length(config)) * step
     x = (t / sigma) ** 2
     wave = (1.0 - x) * np.exp(-x / 2.0)
     peak = np.max(np.abs(wave))
     if peak > 0:
         wave = wave / peak
-    return wave * config.pulse_amplitude
+    wave = wave * config.pulse_amplitude
+    wave.setflags(write=False)
+    return wave
+
+
+def pulse_template(config: PhyConfig) -> np.ndarray:
+    """Gaussian second-derivative monocycle sampled at the config rate.
+
+    Normalized to unit peak before scaling by ``pulse_amplitude``.
+    Cached per :class:`PhyConfig` (the configs are frozen, the returned
+    array is read-only) — waveform construction re-reads the same
+    template millions of times on the ranging hot path.
+    """
+    return _pulse_template_cached(config)
 
 
 def build_pulse_train(symbols: np.ndarray, config: PhyConfig,
@@ -116,6 +142,11 @@ def build_pulse_train(symbols: np.ndarray, config: PhyConfig,
             raise ValueError("positions must be non-negative")
     length = int(positions.max()) + template.size + tail_samples
     signal = np.zeros(length)
-    for polarity, start in zip(symbols, positions):
-        signal[start : start + template.size] += polarity * template
+    # Vectorized scatter-add.  np.add.at accumulates unbuffered in
+    # row-major index order — for overlapping pulses the per-sample
+    # addition order matches the old sequential placement loop, so the
+    # result is bit-identical to it.
+    offsets = np.arange(template.size)
+    np.add.at(signal, positions[:, None] + offsets[None, :],
+              symbols[:, None] * template[None, :])
     return signal

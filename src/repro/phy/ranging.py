@@ -19,12 +19,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.layers import Layer
 from repro.obs.events import EventKind
 from repro.obs.runtime import OBS
 from repro.phy.pulses import SPEED_OF_LIGHT
 
-__all__ = ["TwrMeasurement", "ss_twr", "ds_twr"]
+__all__ = ["TwrMeasurement", "TwrBatch", "ss_twr", "ds_twr",
+           "ss_twr_batch", "ds_twr_batch"]
 
 
 @dataclass(frozen=True)
@@ -91,6 +94,97 @@ def ds_twr(distance_m: float, *, reply_time_a_s: float = 300e-6,
     if OBS.enabled:
         _record_twr(measurement, extra_path_m)
     return measurement
+
+
+@dataclass(frozen=True)
+class TwrBatch:
+    """Vectorized two-way ranging results (one array slot per exchange).
+
+    Element ``i`` is bit-identical to the scalar :func:`ss_twr` /
+    :func:`ds_twr` result for the same inputs: the batch entry points
+    evaluate the same IEEE-754 expression tree elementwise, so
+    ``batch.measured_distance_m[i] == scalar(d[i]).measured_distance_m``
+    exactly — the equivalence the kernel tests pin.
+    """
+
+    method: str
+    true_distance_m: np.ndarray
+    measured_distance_m: np.ndarray
+
+    @property
+    def error_m(self) -> np.ndarray:
+        return self.measured_distance_m - self.true_distance_m
+
+    def __len__(self) -> int:
+        return int(self.true_distance_m.size)
+
+    def __getitem__(self, index: int) -> TwrMeasurement:
+        return TwrMeasurement(self.method,
+                              float(self.true_distance_m[index]),
+                              float(self.measured_distance_m[index]))
+
+
+def _batch_inputs(distances_m, extra_path_m) -> tuple[np.ndarray, np.ndarray]:
+    distances = np.asarray(distances_m, dtype=float)
+    extra = np.broadcast_to(np.asarray(extra_path_m, dtype=float),
+                            distances.shape)
+    if np.any(distances < 0) or np.any(extra < 0):
+        raise ValueError("distances must be non-negative")
+    return distances, extra
+
+
+def ss_twr_batch(distances_m, *, reply_time_s: float = 300e-6,
+                 responder_drift_ppm: float = 0.0,
+                 extra_path_m=0.0) -> TwrBatch:
+    """Vectorized :func:`ss_twr` over an array of true distances.
+
+    ``extra_path_m`` may be a scalar or an array broadcast against
+    ``distances_m`` (per-exchange relay lengths).
+    """
+    distances, extra = _batch_inputs(distances_m, extra_path_m)
+    tof = (distances + extra) / SPEED_OF_LIGHT
+    drift = 1.0 + responder_drift_ppm * 1e-6
+    t_round = 2.0 * tof + reply_time_s
+    t_reply_reported = reply_time_s / drift
+    tof_est = (t_round - t_reply_reported) / 2.0
+    batch = TwrBatch("SS-TWR", distances, tof_est * SPEED_OF_LIGHT)
+    if OBS.enabled:
+        _record_twr_batch(batch)
+    return batch
+
+
+def ds_twr_batch(distances_m, *, reply_time_a_s: float = 300e-6,
+                 reply_time_b_s: float = 280e-6,
+                 responder_drift_ppm: float = 0.0,
+                 extra_path_m=0.0) -> TwrBatch:
+    """Vectorized :func:`ds_twr` over an array of true distances."""
+    distances, extra = _batch_inputs(distances_m, extra_path_m)
+    tof = (distances + extra) / SPEED_OF_LIGHT
+    drift = 1.0 + responder_drift_ppm * 1e-6
+    ra = 2.0 * tof + reply_time_b_s
+    db = reply_time_b_s / drift
+    rb = (2.0 * tof + reply_time_a_s) / drift
+    da = reply_time_a_s
+    tof_est = (ra * rb - da * db) / (ra + rb + da + db)
+    batch = TwrBatch("DS-TWR", distances, tof_est * SPEED_OF_LIGHT)
+    if OBS.enabled:
+        _record_twr_batch(batch)
+    return batch
+
+
+def _record_twr_batch(batch: TwrBatch) -> None:
+    """Aggregate obs reporting for a batched exchange (exact counters,
+    one summary event instead of per-exchange emission)."""
+    OBS.count("phy.ranging.measurements", len(batch))
+    if not OBS.sample("phy.ranging.twr"):
+        return
+    errors = batch.error_m
+    if len(batch):
+        OBS.observe("phy.ranging.error_m", float(errors.mean()))
+    OBS.emit(EventKind.RANGING, Layer.PHYSICAL, batch.method.lower(),
+             f"batched {len(batch)} exchanges "
+             f"(mean |error| {float(np.abs(errors).mean()) if len(batch) else 0.0:.3f} m)",
+             batch_size=len(batch))
 
 
 def _record_twr(measurement: TwrMeasurement, extra_path_m: float) -> None:

@@ -52,7 +52,9 @@ def cross_correlation(received: np.ndarray, template: np.ndarray) -> np.ndarray:
     """
     received = np.asarray(received, dtype=float)
     template = np.asarray(template, dtype=float)
-    if template.size == 0 or received.size < template.size:
+    if template.size == 0:
+        raise ValueError("template must be non-empty")
+    if received.size < template.size:
         raise ValueError("received signal shorter than template")
     return np.correlate(received, template, mode="valid")
 
@@ -83,11 +85,11 @@ def first_path_toa(correlation: np.ndarray, *,
     peak_value = float(magnitude[peak])
     threshold = threshold_ratio * peak_value
     start = max(0, peak - back_search_window)
-    toa = peak
-    for idx in range(start, peak):
-        if magnitude[idx] >= threshold:
-            toa = idx
-            break
+    # Vectorized leading-edge search: first window sample at/above the
+    # threshold (argmax of the boolean mask finds the first True),
+    # matching the old index loop exactly.
+    hits = magnitude[start:peak] >= threshold
+    toa = start + int(np.argmax(hits)) if hits.any() else peak
     estimate = ToaEstimate(
         toa_sample=toa,
         peak_sample=peak,

@@ -91,6 +91,66 @@ def test_max_events_bound():
     assert fired == [0, 1, 2, 3]
 
 
+def test_run_until_ignores_canceled_head_event():
+    """Regression: a canceled event at the heap head whose time <= until
+    must not let a live event past ``until`` fire (the old code peeked
+    only ``_queue[0].time`` and then ran the next live event
+    unconditionally)."""
+    sim = Simulator()
+    fired = []
+    early = sim.schedule(1.0, lambda: fired.append("early"))
+    sim.schedule(5.0, lambda: fired.append("late"))
+    early.cancel()
+    sim.run(until=2.0)
+    assert fired == []
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == ["late"]
+    assert sim.now == 5.0
+
+
+def test_run_until_with_all_events_canceled():
+    sim = Simulator()
+    for delay in (0.5, 1.0, 1.5):
+        sim.schedule(delay, lambda: None).cancel()
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+    assert sim.processed_events == 0
+
+
+def test_peek_time_skips_canceled_heads():
+    sim = Simulator()
+    a = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.peek_time() == 1.0
+    a.cancel()
+    assert sim.peek_time() == 2.0
+    assert sim.pending_events == 1  # the canceled head was lazily popped
+
+
+def test_peek_time_empty_queue():
+    assert Simulator().peek_time() is None
+
+
+def test_live_events_excludes_canceled():
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    drop.cancel()
+    assert sim.live_events() == [keep]
+
+
+def test_advance_to_commits_clock_and_count():
+    sim = Simulator()
+    sim.advance_to(4.5, processed=3)
+    assert sim.now == 4.5
+    assert sim.processed_events == 3
+    with pytest.raises(ValueError):
+        sim.advance_to(1.0)
+    with pytest.raises(ValueError):
+        sim.advance_to(9.0, processed=-1)
+
+
 @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
 def test_clock_is_monotone(delays):
     sim = Simulator()

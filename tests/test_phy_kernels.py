@@ -1,0 +1,240 @@
+"""Vectorized UWB kernel equivalence + template/ToA regression tests.
+
+Pins that the vectorized waveform chain (cached templates, scatter-add
+pulse placement, boolean-mask back-search, batched TWR) is *exactly*
+equal to the scalar reference implementations — ``np.array_equal``,
+never ``allclose`` — because byte-identical outputs per (seed, scenario)
+is the repo's core invariant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.phy.pulses import (
+    HRP_CONFIG,
+    LRP_CONFIG,
+    PhyConfig,
+    build_pulse_train,
+    pulse_template,
+    template_length,
+)
+from repro.phy.ranging import ds_twr, ds_twr_batch, ss_twr, ss_twr_batch
+from repro.phy.toa import cross_correlation, first_path_toa
+
+
+def _reference_pulse_train(symbols, config, positions=None, tail_samples=0):
+    """The pre-vectorization placement loop, kept as the oracle."""
+    template = pulse_template(config)
+    spp = config.samples_per_pri
+    if positions is None:
+        positions = np.arange(symbols.size) * spp
+    length = int(positions.max()) + template.size + tail_samples
+    signal = np.zeros(length)
+    for polarity, start in zip(symbols, positions):
+        signal[start : start + template.size] += polarity * template
+    return signal
+
+
+class TestPulseTemplate:
+    def test_length_is_exact_integer_derivation(self):
+        """The template length must come from round(2·width·rate), not a
+        float-stepped arange endpoint (whose length is platform- and
+        rounding-sensitive)."""
+        for config in (HRP_CONFIG, LRP_CONFIG):
+            expected = round(2.0 * config.pulse_width_s * config.sample_rate_hz)
+            assert template_length(config) == expected
+            assert pulse_template(config).size == expected
+        # HRP at ~2 GS/s: 2 ns pulse -> 2*2e-9*1.9968e9 = 7.9872 -> 8.
+        assert template_length(HRP_CONFIG) == 8
+
+    def test_length_never_below_one_sample(self):
+        narrow = PhyConfig("narrow", sample_rate_hz=1e6, pulse_width_s=1e-10,
+                           pulse_repetition_interval_s=1e-6, pulse_amplitude=1.0)
+        assert template_length(narrow) == 1
+        assert pulse_template(narrow).size == 1
+
+    def test_cached_per_config(self):
+        assert pulse_template(HRP_CONFIG) is pulse_template(HRP_CONFIG)
+        assert pulse_template(HRP_CONFIG) is not pulse_template(LRP_CONFIG)
+
+    def test_cached_template_is_read_only(self):
+        template = pulse_template(HRP_CONFIG)
+        with pytest.raises(ValueError):
+            template[0] = 99.0
+
+    def test_values_match_float_stepped_grid(self):
+        """The integer index grid must reproduce the historical arange
+        values exactly: t[k] = -width + k/rate."""
+        config = HRP_CONFIG
+        template = pulse_template(config)
+        step = 1.0 / config.sample_rate_hz
+        sigma = config.pulse_width_s / 4.0
+        t = -config.pulse_width_s + np.arange(template.size) * step
+        x = (t / sigma) ** 2
+        wave = (1.0 - x) * np.exp(-x / 2.0)
+        wave = wave / np.max(np.abs(wave)) * config.pulse_amplitude
+        assert np.array_equal(template, wave)
+
+
+class TestPulseTrainEquivalence:
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    def test_regular_grid(self, seed):
+        rng = np.random.default_rng(seed)
+        symbols = rng.choice([-1.0, 1.0], size=200)
+        got = build_pulse_train(symbols, HRP_CONFIG)
+        assert np.array_equal(got, _reference_pulse_train(symbols, HRP_CONFIG))
+
+    def test_custom_positions_with_overlaps(self):
+        """Overlapping pulse positions accumulate; the scatter-add order
+        must match the sequential loop bit-for-bit."""
+        rng = np.random.default_rng(17)
+        symbols = rng.choice([-1.0, 1.0], size=150)
+        positions = np.sort(rng.integers(0, 400, size=150))
+        got = build_pulse_train(symbols, HRP_CONFIG, positions=positions)
+        want = _reference_pulse_train(symbols, HRP_CONFIG, positions=positions)
+        assert np.array_equal(got, want)
+
+    def test_tail_samples(self):
+        symbols = np.array([1.0, -1.0])
+        got = build_pulse_train(symbols, HRP_CONFIG, tail_samples=64)
+        want = _reference_pulse_train(symbols, HRP_CONFIG, tail_samples=64)
+        assert np.array_equal(got, want)
+        assert got.size == want.size
+
+    def test_lrp_mode(self):
+        symbols = np.array([1.0, 1.0, -1.0])
+        got = build_pulse_train(symbols, LRP_CONFIG)
+        assert np.array_equal(got, _reference_pulse_train(symbols, LRP_CONFIG))
+
+
+class TestToaValidation:
+    def test_empty_template_gets_its_own_error(self):
+        with pytest.raises(ValueError, match="template must be non-empty"):
+            cross_correlation(np.ones(16), np.array([]))
+
+    def test_short_received_keeps_the_original_error(self):
+        with pytest.raises(ValueError, match="received signal shorter than template"):
+            cross_correlation(np.ones(4), np.ones(16))
+
+    def test_valid_inputs_still_correlate(self):
+        out = cross_correlation(np.ones(8), np.ones(4))
+        assert out.size == 5
+
+
+class TestBackSearchEquivalence:
+    @staticmethod
+    def _reference_first_path(correlation, back_search_window=64,
+                              threshold_ratio=0.4):
+        """The pre-vectorization index loop, kept as the oracle."""
+        magnitude = np.abs(np.asarray(correlation, dtype=float))
+        peak = int(np.argmax(magnitude))
+        threshold = threshold_ratio * magnitude[peak]
+        start = max(0, peak - back_search_window)
+        toa = peak
+        for idx in range(start, peak):
+            if magnitude[idx] >= threshold:
+                toa = idx
+                break
+        return toa, peak
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_correlations(self, seed):
+        rng = np.random.default_rng(seed)
+        corr = rng.normal(0.0, 1.0, size=2000)
+        corr[int(rng.integers(100, 1900))] = 40.0
+        for window, ratio in ((64, 0.4), (16, 0.9), (0, 0.4), (2000, 0.1)):
+            estimate = first_path_toa(corr, back_search_window=window,
+                                      threshold_ratio=ratio)
+            toa, peak = self._reference_first_path(corr, window, ratio)
+            assert (estimate.toa_sample, estimate.peak_sample) == (toa, peak)
+
+    def test_peak_at_index_zero(self):
+        corr = np.zeros(64)
+        corr[0] = 5.0
+        estimate = first_path_toa(corr)
+        assert estimate.toa_sample == estimate.peak_sample == 0
+
+    def test_early_path_detected(self):
+        corr = np.zeros(256)
+        corr[200] = 10.0
+        corr[180] = 5.0
+        estimate = first_path_toa(corr, threshold_ratio=0.4)
+        assert estimate.toa_sample == 180
+        assert estimate.used_early_path
+
+
+class TestBatchedRanging:
+    @pytest.mark.parametrize("drift,extra", [(0.0, 0.0), (20.0, 0.0),
+                                             (-35.0, 3.0), (50.0, 12.5)])
+    def test_ss_twr_batch_equals_scalar(self, drift, extra):
+        distances = np.linspace(0.0, 120.0, 97)
+        batch = ss_twr_batch(distances, responder_drift_ppm=drift,
+                             extra_path_m=extra)
+        scalar = np.array([ss_twr(float(d), responder_drift_ppm=drift,
+                                  extra_path_m=extra).measured_distance_m
+                           for d in distances])
+        assert np.array_equal(batch.measured_distance_m, scalar)
+
+    @pytest.mark.parametrize("drift,extra", [(0.0, 0.0), (20.0, 0.0),
+                                             (-35.0, 3.0), (50.0, 12.5)])
+    def test_ds_twr_batch_equals_scalar(self, drift, extra):
+        distances = np.linspace(0.0, 120.0, 97)
+        batch = ds_twr_batch(distances, responder_drift_ppm=drift,
+                             extra_path_m=extra)
+        scalar = np.array([ds_twr(float(d), responder_drift_ppm=drift,
+                                  extra_path_m=extra).measured_distance_m
+                           for d in distances])
+        assert np.array_equal(batch.measured_distance_m, scalar)
+
+    def test_per_exchange_extra_path_broadcast(self):
+        distances = np.array([10.0, 20.0, 30.0])
+        extras = np.array([0.0, 5.0, 50.0])
+        batch = ds_twr_batch(distances, extra_path_m=extras)
+        for i in range(3):
+            want = ds_twr(float(distances[i]),
+                          extra_path_m=float(extras[i])).measured_distance_m
+            assert batch.measured_distance_m[i] == want
+
+    def test_batch_indexing_yields_scalar_measurements(self):
+        batch = ss_twr_batch(np.array([5.0, 15.0]))
+        assert len(batch) == 2
+        measurement = batch[1]
+        assert measurement.method == "SS-TWR"
+        assert measurement.true_distance_m == 15.0
+        assert measurement.measured_distance_m == batch.measured_distance_m[1]
+        assert measurement.error_m == pytest.approx(batch.error_m[1])
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            ss_twr_batch(np.array([1.0, -2.0]))
+        with pytest.raises(ValueError):
+            ds_twr_batch(np.array([1.0]), extra_path_m=-1.0)
+
+
+class TestPkesBatch:
+    @pytest.mark.parametrize("policy", ["lf-rssi", "uwb-hrp", "uwb-lrp"])
+    @pytest.mark.parametrize("relayed", [False, True])
+    def test_batch_equals_scalar_map(self, policy, relayed):
+        from repro.phy.attacks import RelayAttack
+        from repro.phy.pkes import PkesSystem
+
+        relay = RelayAttack(cable_length_m=30.0) if relayed else None
+        system = PkesSystem(policy=policy)
+        distances = np.array([0.5, 1.5, 2.5, 10.0, 40.0])
+        batch = system.try_unlock_batch(distances, relay=relay)
+        scalar = [system.try_unlock(float(d), relay=relay) for d in distances]
+        assert [a.unlocked for a in batch] == [a.unlocked for a in scalar]
+        for got, want in zip(batch, scalar):
+            assert got.policy == want.policy
+            assert got.relayed == want.relayed
+            assert got.true_fob_distance_m == want.true_fob_distance_m
+            assert got.perceived_distance_m == want.perceived_distance_m
+
+    def test_batch_validates_inputs(self):
+        from repro.phy.pkes import PkesSystem
+
+        system = PkesSystem()
+        with pytest.raises(ValueError):
+            system.try_unlock_batch(np.array([-1.0]))
+        with pytest.raises(ValueError):
+            system.try_unlock_batch(np.array([[1.0]]))

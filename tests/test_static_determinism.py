@@ -96,6 +96,8 @@ def test_src_tree_is_free_of_ambient_nondeterminism():
     faults_audited = 0
     redteam_audited = 0
     sentinel_audited = 0
+    ivn_audited = 0
+    phy_audited = 0
     for path in sorted(SRC_ROOT.rglob("*.py")):
         if path in ALLOWED:
             continue
@@ -106,6 +108,10 @@ def test_src_tree_is_free_of_ambient_nondeterminism():
             redteam_audited += 1
         if path.parent.name == "sentinel":
             sentinel_audited += 1
+        if path.parent.name == "ivn":
+            ivn_audited += 1
+        if path.parent.name == "phy":
+            phy_audited += 1
         violations += audit_file(path)
     assert audited > 35  # the walk actually covered the tree
     # the fault-injection package is exactly where ambient randomness
@@ -118,6 +124,12 @@ def test_src_tree_is_free_of_ambient_nondeterminism():
     # reports per (scenario, seed); ambient nondeterminism there breaks
     # BENCH-SENTINEL and the twin CI gates
     assert sentinel_audited >= 7
+    # the batched hot-path kernels (bus fast path, memoized frame
+    # timing, cached pulse templates, vectorized TWR) promise
+    # byte-identical outputs vs their scalar twins; ambient
+    # nondeterminism there breaks BENCH-KERNELS and the equivalence CI
+    assert ivn_audited >= 15
+    assert phy_audited >= 12
     assert not violations, "\n".join(violations)
 
 
