@@ -1,0 +1,102 @@
+"""BENCH-AUDIT — cost and stability of the self-audit engine.
+
+The audit runs on every CI push and is meant to be cheap enough that
+nobody ever hesitates to add a checker.  This bench pins three
+properties:
+
+1. **Full-tree cost.** Parsing every module under ``src/repro`` once
+   plus running the whole catalog must complete well under a second.
+2. **Parse-once contract.** The shared context is the expensive part;
+   running the catalog over an already-parsed context must cost a
+   fraction of the parse, so adding checkers stays near-free.
+3. **Byte-identical output.** The JSON document for the same tree must
+   not vary across runs — the audit is itself subject to the repo's
+   determinism promise.
+
+The measured numbers are exported through the observability layer's
+JSON metrics format into ``BENCH_AUDIT.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.audit import AuditContext, AuditEngine, validate_audit_dict
+from repro.obs import MetricsRegistry
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Parse + full catalog over the shipped tree, per run (seconds) —
+#: generous on CI hardware (the parse dominates; the catalog itself
+#: runs in a fraction of it), tight enough to catch a checker that
+#: starts re-walking the tree pathologically.
+FULL_TREE_BUDGET_S = 1.5
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_full_tree_audit_cost(show, benchmark):
+    engine = AuditEngine()
+    registry = MetricsRegistry()
+
+    parse_s = _best_of(AuditContext.parse)
+    context = AuditContext.parse()
+    check_s = _best_of(lambda: engine.run(context))
+    full_s = _best_of(lambda: AuditEngine().run(AuditContext.parse()))
+    report = engine.run(context)
+
+    registry.gauge("bench.audit.parse_ms").set(parse_s * 1e3)
+    registry.gauge("bench.audit.check_ms").set(check_s * 1e3)
+    registry.gauge("bench.audit.full_tree_ms").set(full_s * 1e3)
+    registry.gauge("bench.audit.modules").set(float(report.modules_audited))
+    registry.gauge("bench.audit.checkers").set(float(len(report.rules_run)))
+    registry.gauge("bench.audit.findings").set(float(len(report.findings)))
+    registry.gauge("bench.audit.suppressed").set(float(len(report.suppressed)))
+    path = _REPO_ROOT / "BENCH_AUDIT.json"
+    path.write_text(json.dumps(registry.to_json_dict(), indent=2) + "\n")
+
+    show("BENCH-AUDIT — full-tree self-audit",
+         [("parse (shared context)", f"{parse_s * 1e3:7.2f}"),
+          ("catalog over parsed context", f"{check_s * 1e3:7.2f}"),
+          ("parse + catalog", f"{full_s * 1e3:7.2f}"),
+          ("modules", report.modules_audited),
+          ("checkers", len(report.rules_run)),
+          ("findings", len(report.findings))],
+         header=("stage", "ms"))
+    benchmark(lambda: engine.run(context))
+    assert full_s < FULL_TREE_BUDGET_S, f"full audit took {full_s:.2f}s"
+    # the parse-once contract: the catalog must not dominate the parse
+    assert check_s < parse_s * 3, (
+        f"catalog ({check_s * 1e3:.1f}ms) should stay within ~3x the parse "
+        f"({parse_s * 1e3:.1f}ms); a checker is re-walking the tree "
+        "pathologically")
+
+
+def test_output_is_byte_identical(show):
+    documents = []
+    for _ in range(3):
+        engine = AuditEngine()
+        report = engine.run(AuditContext.parse())
+        document = report.to_json_dict(engine.checkers)
+        validate_audit_dict(document)
+        documents.append(json.dumps(document, sort_keys=True))
+    assert documents[0] == documents[1] == documents[2]
+    show("BENCH-AUDIT — determinism",
+         [("runs compared", 3),
+          ("document bytes", len(documents[0])),
+          ("byte-identical", "yes")],
+         header=("property", "value"))
+
+
+def test_shipped_tree_gates_clean():
+    report = AuditEngine().run()
+    assert report.exit_code() == 0, report.to_table()

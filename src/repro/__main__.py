@@ -17,6 +17,8 @@ Usage::
     python -m repro redteam all --differential       # analyzer-agreement gate
     python -m repro sentinel SCENARIO    # streaming detection + trust report
     python -m repro sentinel all --plan severe --gate detect   # detection gate
+    python -m repro audit                # self-audit the shipped source tree
+    python -m repro audit --gate high --sarif   # CI gate, SARIF output
 """
 
 from __future__ import annotations
@@ -40,6 +42,7 @@ SUBCOMMANDS: dict[str, str] = {
     "chaos": "run a scenario under an injected fault campaign",
     "redteam": "plan ranked attack campaigns (static red team)",
     "sentinel": "stream a fault campaign into the online alarm engine",
+    "audit": "statically self-audit the shipped source tree",
 }
 
 
@@ -604,6 +607,66 @@ def _cmd_sentinel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit_rules() -> int:
+    from repro.audit import all_checkers
+
+    print(f"{'id':8s} {'severity':9s} title")
+    print(f"{'-' * 8} {'-' * 9} {'-' * 50}")
+    for checker in all_checkers():
+        print(f"{checker.rule_id:8s} {checker.severity.name.lower():9s} "
+              f"{checker.title}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.audit import (AuditContext, AuditEngine, to_sarif_dict,
+                             validate_audit_dict)
+    from repro.lint import Baseline, Severity
+
+    if args.rules:
+        return _cmd_audit_rules()
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    engine = AuditEngine()
+    try:
+        context = AuditContext.parse(args.root)
+    except (OSError, SyntaxError) as exc:
+        print(f"cannot parse audit root: {exc}", file=sys.stderr)
+        return 2
+    report = engine.run(context, baseline=baseline)
+
+    if args.write_baseline:
+        captured = Baseline.from_report(
+            report, comment="accepted: pre-existing audit finding")
+        captured.save(args.write_baseline)
+        print(f"wrote baseline with {len(captured)} suppression(s) to "
+              f"{args.write_baseline}")
+        return 0
+
+    gate = None if args.gate == "none" else Severity.from_name(args.gate)
+    if args.sarif:
+        from repro.lint.sarif import validate_sarif_dict
+
+        document = to_sarif_dict(report, engine.checkers)
+        validate_sarif_dict(document)
+        print(json.dumps(document, indent=2))
+    elif args.json:
+        document = report.to_json_dict(engine.checkers)
+        validate_audit_dict(document)
+        print(json.dumps(document, indent=2))
+    else:
+        print(report.to_table())
+    return report.exit_code(gate)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full CLI parser; every subcommand comes from SUBCOMMANDS."""
     parser = argparse.ArgumentParser(
@@ -786,6 +849,30 @@ def build_parser() -> argparse.ArgumentParser:
                                       "stays alarm-free ('clean') or raises "
                                       "an ALARM with collapsed trust before "
                                       "SAFE_STOP ('detect'); default none")
+
+    audit_parser = subparsers.add_parser("audit", help=SUBCOMMANDS["audit"])
+    audit_parser.add_argument("--root", metavar="DIR", default=None,
+                              help="source tree to audit "
+                                   "(default: the shipped src/repro)")
+    audit_parser.add_argument("--json", action="store_true",
+                              help="emit the schema-validated audit document")
+    audit_parser.add_argument("--sarif", action="store_true",
+                              help="emit a SARIF 2.1.0 log (AUD rules only)")
+    audit_parser.add_argument("--gate", nargs="?", const="info",
+                              default="none",
+                              choices=["info", "low", "medium", "high",
+                                       "critical", "none"],
+                              help="fail (exit 1) on findings at or above "
+                                   "this severity (bare --gate means 'info'; "
+                                   "default: never fail)")
+    audit_parser.add_argument("--baseline", metavar="FILE",
+                              help="suppress findings pinned in this "
+                                   "baseline file")
+    audit_parser.add_argument("--write-baseline", metavar="FILE",
+                              help="capture current findings as the baseline "
+                                   "and exit 0")
+    audit_parser.add_argument("--rules", action="store_true",
+                              help="print the checker catalog and exit")
     return parser
 
 
@@ -805,6 +892,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_redteam(args)
     if args.command == "sentinel":
         return _cmd_sentinel(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
     return _cmd_run(args)
 
 

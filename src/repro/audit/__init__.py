@@ -1,0 +1,60 @@
+"""repro.audit — plugin-based self-audit of the repo's own invariants.
+
+The repo makes promises its unit tests cannot watch everywhere at once:
+byte-identical outputs per ``(seed, scenario)``, <5% disabled-mode
+observability overhead, typed fault taxonomies, versioned report
+schemas, one-way layering.  ``repro.audit`` enforces them statically —
+it parses every module under ``src/repro`` once into a shared
+:class:`~repro.audit.context.AuditContext` and runs a registered
+catalog of checkers (``AUD001`` …) over it, emitting findings as a
+table, schema-validated JSON, or SARIF 2.1.0, with fingerprint
+baselines and inline ``# audit: allow`` pragmas for deliberate
+exceptions.
+
+Quick use::
+
+    from repro.audit import AuditEngine
+
+    report = AuditEngine().run()       # audits the shipped src/repro tree
+    assert report.exit_code() == 0
+
+or from the command line: ``python -m repro audit --gate``.
+"""
+
+from __future__ import annotations
+
+from repro.audit.context import AuditContext, ModuleInfo, default_root
+from repro.audit.engine import (
+    REGISTRY,
+    AuditEngine,
+    AuditFinding,
+    Checker,
+    all_checkers,
+    register,
+)
+from repro.audit.report import (
+    SCHEMA_VERSION,
+    TOOL_NAME,
+    AuditReport,
+    SchemaError,
+    to_sarif_dict,
+    validate_audit_dict,
+)
+
+__all__ = [
+    "AuditContext",
+    "ModuleInfo",
+    "default_root",
+    "AuditEngine",
+    "AuditFinding",
+    "AuditReport",
+    "Checker",
+    "REGISTRY",
+    "register",
+    "all_checkers",
+    "SCHEMA_VERSION",
+    "TOOL_NAME",
+    "SchemaError",
+    "to_sarif_dict",
+    "validate_audit_dict",
+]

@@ -1,0 +1,19 @@
+"""The checker catalog.
+
+Importing this package registers every shipped checker (each lives in
+its own module and self-registers via :func:`repro.audit.engine.register`).
+Adding an invariant in a future PR is: add one module here, import it
+below, done — the engine, CLI, catalog meta-test, and reports discover
+it through the registry.
+"""
+
+from repro.audit.checkers import (  # noqa: F401  (registration side effects)
+    defaults,
+    determinism,
+    exceptions,
+    imports,
+    obsguard,
+    ordering,
+    rng,
+    schema,
+)

@@ -1,0 +1,66 @@
+"""AUD006 — mutable default arguments are banned tree-wide.
+
+A mutable default (``def f(x, acc=[])``) is evaluated once at function
+definition and shared across every call — state leaks between scenario
+runs, which breaks the repo's byte-identical-replay promise in the
+least debuggable way possible (the first run is clean, the second
+differs).  Flagged default shapes: ``[]``/``{}``/``{...}`` literals,
+comprehensions, and direct ``list()``/``dict()``/``set()`` calls, in
+positional and keyword-only defaults of ``def``/``async def``/
+``lambda``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Severity
+
+from repro.audit.context import AuditContext
+from repro.audit.engine import AuditFinding, Checker, register
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict",
+                  "OrderedDict", "Counter", "deque"}
+
+
+def _mutable_kind(node: ast.expr) -> str | None:
+    if isinstance(node, ast.List):
+        return "list literal"
+    if isinstance(node, ast.Dict):
+        return "dict literal"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return "comprehension"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in _MUTABLE_CALLS:
+        return f"{node.func.id}() call"
+    return None
+
+
+@register
+class NoMutableDefaults(Checker):
+    rule_id = "AUD006"
+    title = "mutable default argument"
+    severity = Severity.MEDIUM
+    remediation = ("default to None and construct the container inside the "
+                   "function body (defaults are evaluated once and shared "
+                   "across calls)")
+
+    def check(self, context: AuditContext) -> Iterator[AuditFinding]:
+        for module in context.modules:
+            for node in module.nodes:
+                if not isinstance(node, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef, ast.Lambda)):
+                    continue
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None]
+                name = getattr(node, "name", "<lambda>")
+                for default in defaults:
+                    kind = _mutable_kind(default)
+                    if kind is not None:
+                        yield self.finding(
+                            module, default,
+                            f"{kind} used as a default argument of {name}() "
+                            "is shared across calls")

@@ -1,0 +1,80 @@
+"""AUD005 — typed-taxonomy packages may not swallow or flatten errors.
+
+The packages that model the paper's fault/attack taxonomy
+(``datalayer``, ``faults``, ``sentinel``, ``ssi``) each export a typed
+exception hierarchy precisely so callers can distinguish, say, a
+registry outage from a malformed credential.  A blanket
+``except Exception:`` erases that distinction at the catch site, and a
+``raise RuntimeError(...)`` erases it at the raise site — both turn a
+taxonomy the analyzers depend on back into mush.
+
+Flagged:
+
+* bare ``except:``
+* ``except Exception:`` / ``except BaseException:`` (alone or inside a
+  tuple of handled types)
+* ``raise RuntimeError(...)``
+
+A deliberate catch-all (e.g. a circuit breaker that must observe every
+failure before re-raising) carries an inline
+``# audit: allow AUD005 <why>`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Severity
+
+from repro.audit.context import AuditContext
+from repro.audit.engine import AuditFinding, Checker, register
+
+_TAXONOMY_PACKAGES = ("datalayer", "faults", "sentinel", "ssi")
+_BLANKET = {"Exception", "BaseException"}
+
+
+def _blanket_name(node: ast.expr | None) -> str | None:
+    """The blanket type caught by this handler expression, if any."""
+    if node is None:
+        return ""  # bare except:
+    if isinstance(node, ast.Name) and node.id in _BLANKET:
+        return node.id
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            if isinstance(element, ast.Name) and element.id in _BLANKET:
+                return element.id
+    return None
+
+
+@register
+class TypedExceptionDiscipline(Checker):
+    rule_id = "AUD005"
+    title = "blanket exception handling in a typed-taxonomy package"
+    severity = Severity.MEDIUM
+    remediation = ("catch/raise the package's typed exceptions so callers "
+                   "can tell fault classes apart; a deliberate catch-all "
+                   "needs `# audit: allow AUD005 <why>`")
+
+    def check(self, context: AuditContext) -> Iterator[AuditFinding]:
+        for module in context.in_package(*_TAXONOMY_PACKAGES):
+            for node in module.nodes:
+                if isinstance(node, ast.ExceptHandler):
+                    caught = _blanket_name(node.type)
+                    if caught == "":
+                        yield self.finding(module, node,
+                                           "bare `except:` swallows every "
+                                           "fault class indiscriminately")
+                    elif caught is not None:
+                        yield self.finding(
+                            module, node,
+                            f"`except {caught}` flattens the typed fault "
+                            "taxonomy at the catch site")
+                elif (isinstance(node, ast.Raise)
+                      and isinstance(node.exc, ast.Call)
+                      and isinstance(node.exc.func, ast.Name)
+                      and node.exc.func.id == "RuntimeError"):
+                    yield self.finding(
+                        module, node,
+                        "raise RuntimeError(...) erases the typed fault "
+                        "taxonomy at the raise site")

@@ -1,0 +1,176 @@
+"""AUD003 — hot-path obs hooks must be dominated by ``OBS.enabled``.
+
+BENCH-OBS and BENCH-FAULTS pin the disabled-mode observability cost at
+<5% of the CAN per-frame budget.  That budget only holds because every
+``OBS.count``/``emit``/``observe``/``gauge``/``sample`` call in the hot
+packages (``ivn``, ``phy``, ``faults``, ``sentinel``) sits behind a
+single ``if OBS.enabled:`` attribute read — an unguarded hook pays a
+method call plus argument construction (often an f-string) per frame.
+
+Recognized guard shapes:
+
+* ``if OBS.enabled:`` (any test mentioning ``OBS.enabled`` un-negated)
+  dominates its body;
+* ``if not OBS.enabled: return`` at any point dominates the statements
+  after it;
+* a module-level helper whose *every* call site in the module is
+  guarded may hook freely (the aggregate-reporting idiom, e.g.
+  ``_record_twr_batch``).
+
+``OBS.span`` is exempt by contract — it returns a shared no-op span
+when disabled.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Severity
+
+from repro.audit.context import AuditContext
+from repro.audit.engine import AuditFinding, Checker, register
+from repro.audit.visitors import dotted_name, ends_in_jump
+
+_HOT_PACKAGES = ("ivn", "phy", "faults", "sentinel")
+_HOOKS = {"count", "emit", "observe", "gauge", "sample"}
+
+
+def _is_hook_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _HOOKS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "OBS")
+
+
+def _mentions_enabled(test: ast.expr) -> bool:
+    for node in ast.walk(test):
+        if dotted_name(node) == "OBS.enabled":
+            return True
+    return False
+
+
+def _is_negated_enabled(test: ast.expr) -> bool:
+    return (isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)
+            and _mentions_enabled(test.operand))
+
+
+class _Scan:
+    """Collects unguarded OBS hook calls and local-helper call sites."""
+
+    def __init__(self, helper_names: set[str]) -> None:
+        self.helper_names = helper_names
+        self.unguarded_hooks: list[ast.Call] = []
+        #: helper name -> list of guarded? flags, one per call site
+        self.helper_calls: dict[str, list[bool]] = {}
+
+    # -- expression side -----------------------------------------------------
+
+    def exprs(self, node: ast.AST, guarded: bool) -> None:
+        """Record hook calls / helper call sites inside one expression or
+        statement fragment (does not descend into nested suites)."""
+        for child in ast.walk(node):
+            if _is_hook_call(child) and not guarded:
+                self.unguarded_hooks.append(child)
+            if (isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Name)
+                    and child.func.id in self.helper_names):
+                self.helper_calls.setdefault(child.func.id, []).append(guarded)
+
+    # -- statement side ------------------------------------------------------
+
+    def suite(self, body: list[ast.stmt], guarded: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested definitions are scanned separately
+            if isinstance(stmt, ast.If):
+                self.exprs(stmt.test, guarded)
+                if (_is_negated_enabled(stmt.test) and not stmt.orelse
+                        and ends_in_jump(stmt.body)):
+                    # `if not OBS.enabled: return` — the rest of this
+                    # suite runs only when enabled.
+                    self.suite(stmt.body, guarded)
+                    guarded = True
+                    continue
+                body_guarded = guarded or _mentions_enabled(stmt.test)
+                self.suite(stmt.body, body_guarded)
+                self.suite(stmt.orelse, guarded)
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self.exprs(stmt.iter, guarded)
+                self.exprs(stmt.target, guarded)
+                self.suite(stmt.body, guarded)
+                self.suite(stmt.orelse, guarded)
+                continue
+            if isinstance(stmt, ast.While):
+                self.exprs(stmt.test, guarded)
+                self.suite(stmt.body, guarded)
+                self.suite(stmt.orelse, guarded)
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self.exprs(item.context_expr, guarded)
+                self.suite(stmt.body, guarded)
+                continue
+            if isinstance(stmt, ast.Try):
+                self.suite(stmt.body, guarded)
+                for handler in stmt.handlers:
+                    self.suite(handler.body, guarded)
+                self.suite(stmt.orelse, guarded)
+                self.suite(stmt.finalbody, guarded)
+                continue
+            self.exprs(stmt, guarded)
+
+
+@register
+class ObsGuardDiscipline(Checker):
+    rule_id = "AUD003"
+    title = "unguarded obs hook on a hot path"
+    severity = Severity.HIGH
+    remediation = ("wrap the hook in `if OBS.enabled:` (or an early "
+                   "`if not OBS.enabled: return`) so disabled runs pay one "
+                   "attribute read, keeping the BENCH-OBS <5% budget")
+
+    def check(self, context: AuditContext) -> Iterator[AuditFinding]:
+        for module in context.in_package(*_HOT_PACKAGES):
+            tree = module.tree
+            helper_names = {stmt.name for stmt in tree.body
+                            if isinstance(stmt, (ast.FunctionDef,
+                                                 ast.AsyncFunctionDef))}
+
+            # one scan per function (module-level and methods), plus the
+            # module body itself; helper call sites aggregate across all.
+            scan = _Scan(helper_names)
+            scan.suite(tree.body, False)
+            per_function: dict[str, list[ast.Call]] = {}
+            for node in module.nodes:
+                if not isinstance(node, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                fn_scan = _Scan(helper_names)
+                fn_scan.suite(node.body, False)
+                for name, flags in fn_scan.helper_calls.items():
+                    scan.helper_calls.setdefault(name, []).extend(flags)
+                if node in tree.body and isinstance(node, ast.FunctionDef):
+                    per_function.setdefault(node.name, []).extend(
+                        fn_scan.unguarded_hooks)
+                else:
+                    scan.unguarded_hooks.extend(fn_scan.unguarded_hooks)
+
+            for name, hooks in per_function.items():
+                if not hooks:
+                    continue
+                call_flags = scan.helper_calls.get(name, [])
+                if call_flags and all(call_flags):
+                    continue  # every call site is guarded: aggregate helper
+                scan.unguarded_hooks.extend(hooks)
+
+            for call in sorted(scan.unguarded_hooks,
+                               key=lambda c: (c.lineno, c.col_offset)):
+                attr = call.func.attr  # type: ignore[attr-defined]
+                yield self.finding(
+                    module, call,
+                    f"OBS.{attr}(...) runs unguarded on a hot path "
+                    "(no dominating OBS.enabled check)")

@@ -1,0 +1,176 @@
+"""AUD004 — no unsorted set iteration may feed report output.
+
+Every report in this repo promises byte-identical output per
+``(seed, scenario)``; iterating a ``set`` while building a table, JSON
+document, or SARIF log silently breaks that promise (CPython's set
+order varies with insertion history and hash randomization of interned
+values across versions).  The checker tracks set-valued expressions —
+literals, ``set()``/``frozenset()`` calls, set comprehensions, unions,
+and local names assigned from them — inside report-producing scopes,
+and flags any iteration that is not wrapped in ``sorted(...)`` (or
+another order-insensitive consumer: ``min``/``max``/``sum``/``len``/
+``any``/``all``).
+
+Report-producing scopes: every function in a module named ``report.py``
+or ``sarif.py``, and any function named ``to_table``/``to_dict``/
+``to_json_dict``/``to_sarif_dict``/``render_*`` elsewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.engine import Severity
+
+from repro.audit.context import AuditContext, ModuleInfo
+from repro.audit.engine import AuditFinding, Checker, register
+
+_REPORT_MODULES = {"report", "sarif"}
+_REPORT_FN_RE = re.compile(r"^(to_table|to_dict|to_json_dict|to_sarif_dict"
+                           r"|render_\w+)$")
+#: Consumers for which element order cannot matter.
+_ORDER_INSENSITIVE = {"sorted", "min", "max", "sum", "len", "any", "all",
+                      "set", "frozenset"}
+#: Order-sensitive conversions that freeze iteration order into output.
+_ORDER_SENSITIVE = {"list", "tuple"}
+
+
+def _is_set_expr(node: ast.expr, known_sets: set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in known_sets
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        return (_is_set_expr(node.left, known_sets)
+                or _is_set_expr(node.right, known_sets))
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in ("union", "intersection", "difference",
+                              "symmetric_difference"):
+            return _is_set_expr(node.func.value, known_sets)
+    return False
+
+
+def _set_annotation(annotation: ast.expr | None) -> bool:
+    """``seen: set[str] = ...`` counts as a set binding."""
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id in ("set", "frozenset")
+    if isinstance(annotation, ast.Subscript):
+        return _set_annotation(annotation.value)
+    return False
+
+
+def _known_sets(stmts: list[ast.stmt]) -> set[str]:
+    """Names bound to set values by simple assignments in this suite
+    (including nested blocks, excluding nested function bodies)."""
+    known: set[str] = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                if _is_set_expr(node.value, known):
+                    known.add(node.targets[0].id)
+            elif isinstance(node, ast.AnnAssign) \
+                    and isinstance(node.target, ast.Name):
+                if _set_annotation(node.annotation) or (
+                        node.value is not None
+                        and _is_set_expr(node.value, known)):
+                    known.add(node.target.id)
+    return known
+
+
+class _Scope(ast.NodeVisitor):
+    """Flags unsorted set iteration inside one report-producing scope."""
+
+    def __init__(self, known_sets: set[str]) -> None:
+        self.known = known_sets
+        self.violations: list[tuple[ast.AST, str]] = []
+        #: comprehensions appearing directly inside order-insensitive calls
+        self._safe_comps: set[ast.AST] = set()
+
+    def _flag(self, node: ast.AST, how: str) -> None:
+        self.violations.append((node, how))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name in _ORDER_INSENSITIVE:
+                for arg in node.args:
+                    if isinstance(arg, (ast.GeneratorExp, ast.ListComp,
+                                        ast.SetComp, ast.DictComp)):
+                        self._safe_comps.add(arg)
+            elif name in _ORDER_SENSITIVE:
+                for arg in node.args:
+                    if _is_set_expr(arg, self.known):
+                        self._flag(arg, f"{name}(<set>) freezes arbitrary "
+                                        "set order into output")
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "join":
+            for arg in node.args:
+                if _is_set_expr(arg, self.known):
+                    self._flag(arg, "str.join over a set emits elements in "
+                                    "arbitrary order")
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter, self.known):
+            self._flag(node, "for-loop iterates a set in arbitrary order")
+        self.generic_visit(node)
+
+    def _comprehension(
+            self,
+            node: "ast.GeneratorExp | ast.ListComp | ast.SetComp | ast.DictComp",
+    ) -> None:
+        if node not in self._safe_comps:
+            for generator in node.generators:
+                if _is_set_expr(generator.iter, self.known):
+                    self._flag(node, "comprehension iterates a set in "
+                                     "arbitrary order")
+        self.generic_visit(node)
+
+    visit_GeneratorExp = _comprehension
+    visit_ListComp = _comprehension
+    visit_SetComp = _comprehension
+    visit_DictComp = _comprehension
+
+
+def _scopes(
+    module: ModuleInfo,
+) -> "Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, set[str]]]":
+    """(function node, inherited known-set names) for every scope the
+    rule applies to in this module."""
+    is_report_module = module.name in _REPORT_MODULES
+    module_sets = _known_sets(module.tree.body) if is_report_module else set()
+    for node in module.nodes:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if is_report_module or _REPORT_FN_RE.match(node.name):
+            yield node, set(module_sets)
+
+
+@register
+class DeterministicReportOrdering(Checker):
+    rule_id = "AUD004"
+    title = "unsorted set iteration feeds report output"
+    severity = Severity.MEDIUM
+    remediation = ("wrap the set in sorted(...) before iterating so report "
+                   "bytes stay identical across runs and Python versions")
+
+    def check(self, context: AuditContext) -> Iterator[AuditFinding]:
+        for module in context.modules:
+            for fn, inherited in _scopes(module):
+                known = inherited | _known_sets(fn.body)
+                scope = _Scope(known)
+                for stmt in fn.body:
+                    scope.visit(stmt)
+                for node, how in scope.violations:
+                    yield self.finding(module, node,
+                                       f"{how} (in {fn.name}())")

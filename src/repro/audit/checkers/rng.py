@@ -1,0 +1,57 @@
+"""AUD002 — RNG streams are constructed in ``core/rng.py``, nowhere else.
+
+``repro.core.rng.derive_seed`` is the single point where the sweep-wide
+``REPRO_BASE_SEED`` enters the process; every stream must derive from it
+(via :func:`repro.core.rng.numpy_rng` / :func:`python_rng`) so that
+``--base-seed`` re-shards *all* randomness without touching call sites.
+A ``np.random.default_rng(...)`` constructed anywhere else silently
+escapes that contract — it replays under the default seed but ignores
+re-sharding, which corrupts sweep results without failing any test.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Severity
+
+from repro.audit.context import AuditContext
+from repro.audit.engine import AuditFinding, Checker, register
+from repro.audit.visitors import import_aliases, resolve_call_target
+
+#: Fully-resolved call targets that construct or globally seed streams.
+_BANNED_TARGETS = {
+    "numpy.random.default_rng": "constructs an unmanaged numpy Generator",
+    "numpy.random.Generator": "constructs an unmanaged numpy Generator",
+    "numpy.random.RandomState": "constructs a legacy numpy RandomState",
+    "numpy.random.seed": "seeds numpy's hidden global stream",
+    "random.Random": "constructs an unmanaged stdlib Random",
+}
+
+
+@register
+class RngStreamHygiene(Checker):
+    rule_id = "AUD002"
+    title = "RNG stream constructed outside core/rng.py"
+    severity = Severity.HIGH
+    remediation = ("construct streams via repro.core.rng.numpy_rng / "
+                   "python_rng so derive_seed ties them to REPRO_BASE_SEED")
+
+    sanctioned = frozenset({"core/rng.py"})
+
+    def check(self, context: AuditContext) -> Iterator[AuditFinding]:
+        for module in context.modules:
+            relative = str(module.path.relative_to(context.root))
+            if relative in self.sanctioned:
+                continue
+            aliases = import_aliases(module.nodes)
+            for node in module.nodes:
+                if not isinstance(node, ast.Call):
+                    continue
+                target = resolve_call_target(node.func, aliases)
+                if target in _BANNED_TARGETS:
+                    yield self.finding(
+                        module, node,
+                        f"{target}() {_BANNED_TARGETS[target]} "
+                        "(all streams must derive via derive_seed)")

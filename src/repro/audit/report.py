@@ -1,0 +1,280 @@
+"""Audit reports: findings table, schema-validated JSON, SARIF 2.1.0.
+
+The JSON schema (version ``1.0``) follows the house lint conventions::
+
+    {
+      "version": "1.0",
+      "tool": {"name": "repro-audit", "version": "<package version>"},
+      "target": "<audited root>",
+      "audited": {"modules": <int>, "packages": {"ivn": <int>, ...}},
+      "rules": [
+        {"id", "title", "layer", "severity", "remediation"}
+      ],
+      "findings": [
+        {"ruleId", "severity", "path", "line", "message", "remediation",
+         "fingerprint"}
+      ],
+      "suppressed": [ <same shape as findings> ],
+      "summary": {"total": <int>, "byRule": {"AUD001": <int>, ...}}
+    }
+
+:func:`validate_audit_dict` checks a parsed document against that
+schema and raises :class:`SchemaError` on any violation; the SARIF
+export reuses :mod:`repro.lint.sarif` so audit findings load into the
+same tooling as lint findings, with physical file/line locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lint.engine import Finding, Rule, Severity
+from repro.lint.report import SchemaError
+
+from repro.audit.engine import AuditFinding, Checker
+
+__all__ = ["AuditReport", "SchemaError", "validate_audit_dict",
+           "to_sarif_dict"]
+
+SCHEMA_VERSION = "1.0"
+TOOL_NAME = "repro-audit"
+
+
+@dataclass(frozen=True)
+class LocatedFinding(Finding):
+    """A lint-shaped finding that also carries a physical location.
+
+    :mod:`repro.lint.sarif` emits a ``physicalLocation`` for findings
+    exposing ``path``/``line``; the fingerprint is the audit one (no
+    line number) so SARIF ``partialFingerprints`` match the baseline.
+    """
+
+    path: str = ""
+    line: int = 0
+    stable_fingerprint: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        return self.stable_fingerprint
+
+
+def _as_lint_rule(checker: Checker) -> Rule:
+    return Rule(
+        rule_id=checker.rule_id,
+        title=checker.title,
+        layer=checker.layer,
+        severity=checker.severity,
+        paper_ref="§VIII",
+        remediation=checker.remediation,
+        check=lambda target: (),
+    )
+
+
+def _as_lint_finding(finding: AuditFinding, checker: Checker) -> Finding:
+    return LocatedFinding(
+        rule_id=finding.rule_id,
+        severity=finding.severity,
+        layer=checker.layer,
+        subject=finding.subject,
+        message=finding.message,
+        paper_ref="§VIII",
+        remediation=finding.remediation,
+        path=finding.relpath,
+        line=finding.line,
+        stable_fingerprint=finding.fingerprint,
+    )
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """The outcome of one audit run over one source tree."""
+
+    root: str
+    findings: tuple[AuditFinding, ...]
+    suppressed: tuple[AuditFinding, ...] = ()
+    rules_run: tuple[str, ...] = ()
+    modules_audited: int = 0
+    packages: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def target_name(self) -> str:
+        """Alias for :class:`repro.lint.baseline.Baseline` compatibility."""
+        return self.root
+
+    # -- summaries -----------------------------------------------------------
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def exit_code(self, gate: Severity | None = Severity.INFO) -> int:
+        """0 when no unsuppressed finding reaches ``gate``; 1 otherwise."""
+        if gate is None:
+            return 0
+        return 1 if any(f.severity >= gate for f in self.findings) else 0
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_table(self) -> str:
+        """Human-readable findings table."""
+        audited = (f"{self.modules_audited} modules, "
+                   f"{len(self.rules_run)} rules")
+        if not self.findings and not self.suppressed:
+            return f"{self.root}: clean ({audited}, 0 findings)"
+        lines = [
+            f"{'rule':8s} {'severity':9s} location: message",
+            f"{'-' * 8} {'-' * 9} {'-' * 50}",
+        ]
+        for finding in self.findings:
+            lines.append(f"{finding.rule_id:8s} "
+                         f"{finding.severity.name.lower():9s} "
+                         f"{finding.subject}: {finding.message}")
+        lines.append(f"{self.root}: {len(self.findings)} finding(s), "
+                     f"{len(self.suppressed)} suppressed ({audited})")
+        return "\n".join(lines)
+
+    def to_json_dict(self, checkers: list[Checker] | None = None) -> dict:
+        """The audit document (see module docstring for the schema)."""
+        from repro import __version__
+
+        return {
+            "version": SCHEMA_VERSION,
+            "tool": {"name": TOOL_NAME, "version": __version__},
+            "target": self.root,
+            "audited": {
+                "modules": self.modules_audited,
+                "packages": dict(self.packages),
+            },
+            "rules": [
+                {
+                    "id": checker.rule_id,
+                    "title": checker.title,
+                    "layer": checker.layer.name.lower(),
+                    "severity": checker.severity.name.lower(),
+                    "remediation": checker.remediation,
+                }
+                for checker in (checkers or [])
+            ],
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "summary": {"total": len(self.findings),
+                        "byRule": self.counts_by_rule()},
+        }
+
+
+def to_sarif_dict(report: AuditReport, checkers: list[Checker]) -> dict:
+    """Render ``report`` as a SARIF 2.1.0 log via :mod:`repro.lint.sarif`."""
+    from repro.lint.report import Report
+    from repro.lint.sarif import to_sarif_dict as lint_to_sarif
+
+    by_id = {checker.rule_id: checker for checker in checkers}
+    lint_report = Report(
+        target_name=report.root,
+        findings=tuple(_as_lint_finding(f, by_id[f.rule_id])
+                       for f in report.findings),
+        suppressed=tuple(_as_lint_finding(f, by_id[f.rule_id])
+                         for f in report.suppressed),
+        rules_run=report.rules_run,
+    )
+    return lint_to_sarif(lint_report, [_as_lint_rule(c) for c in checkers],
+                         tool_name=TOOL_NAME)
+
+
+# --------------------------------------------------------------------------
+# schema validation
+# --------------------------------------------------------------------------
+
+_SEVERITY_NAMES = {s.name.lower() for s in Severity}
+
+_FINDING_KEYS = {"ruleId", "severity", "path", "line", "message",
+                 "remediation", "fingerprint"}
+_RULE_KEYS = {"id", "title", "layer", "severity", "remediation"}
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def _validate_finding(entry: dict, where: str) -> None:
+    _require(isinstance(entry, dict), f"{where}: finding must be an object")
+    _require(set(entry) == _FINDING_KEYS,
+             f"{where}: keys {sorted(entry)} != {sorted(_FINDING_KEYS)}")
+    for key in sorted(_FINDING_KEYS - {"line"}):
+        _require(isinstance(entry[key], str),
+                 f"{where}: {key} must be a string")
+    _require(isinstance(entry["line"], int) and entry["line"] >= 1,
+             f"{where}: line must be a positive int")
+    _require(entry["severity"] in _SEVERITY_NAMES,
+             f"{where}: bad severity {entry['severity']!r}")
+    _require(entry["ruleId"].startswith("AUD"),
+             f"{where}: ruleId must be an AUD rule")
+    _require(len(entry["fingerprint"]) == 16,
+             f"{where}: fingerprint must be 16 hex chars")
+
+
+def validate_audit_dict(document: dict) -> None:
+    """Raise :class:`SchemaError` unless ``document`` matches the schema."""
+    _require(isinstance(document, dict), "audit report must be an object")
+    required = {"version", "tool", "target", "audited", "rules", "findings",
+                "suppressed", "summary"}
+    _require(set(document) == required,
+             f"top-level keys {sorted(document)} != {sorted(required)}")
+    _require(document["version"] == SCHEMA_VERSION,
+             f"unsupported schema version {document['version']!r}")
+    tool = document["tool"]
+    _require(isinstance(tool, dict) and set(tool) == {"name", "version"},
+             "tool must be {name, version}")
+    _require(tool["name"] == TOOL_NAME,
+             f"unexpected tool name {tool['name']!r}")
+    _require(isinstance(document["target"], str) and document["target"],
+             "target must be a non-empty string")
+
+    audited = document["audited"]
+    _require(isinstance(audited, dict)
+             and set(audited) == {"modules", "packages"},
+             "audited must be {modules, packages}")
+    _require(isinstance(audited["modules"], int) and audited["modules"] >= 0,
+             "audited.modules must be a non-negative int")
+    packages = audited["packages"]
+    _require(isinstance(packages, dict), "audited.packages must be an object")
+    for package, count in packages.items():
+        _require(isinstance(package, str),
+                 "audited.packages keys must be strings")
+        _require(isinstance(count, int) and count >= 0,
+                 f"audited.packages[{package!r}] must be a non-negative int")
+    _require(sum(packages.values()) == audited["modules"],
+             "audited.packages counts must sum to audited.modules")
+
+    _require(isinstance(document["rules"], list), "rules must be a list")
+    for index, rule in enumerate(document["rules"]):
+        where = f"rules[{index}]"
+        _require(isinstance(rule, dict) and set(rule) == _RULE_KEYS,
+                 f"{where}: keys must be {sorted(_RULE_KEYS)}")
+        _require(rule["severity"] in _SEVERITY_NAMES,
+                 f"{where}: bad severity {rule['severity']!r}")
+        _require(isinstance(rule["id"], str) and rule["id"].startswith("AUD"),
+                 f"{where}: id must be an AUD rule")
+
+    for section in ("findings", "suppressed"):
+        _require(isinstance(document[section], list),
+                 f"{section} must be a list")
+        for index, entry in enumerate(document[section]):
+            _validate_finding(entry, f"{section}[{index}]")
+
+    summary = document["summary"]
+    _require(isinstance(summary, dict) and set(summary) == {"total", "byRule"},
+             "summary must be {total, byRule}")
+    _require(summary["total"] == len(document["findings"]),
+             "summary.total must equal len(findings)")
+    by_rule = summary["byRule"]
+    _require(isinstance(by_rule, dict), "byRule must be an object")
+    for rule_id, count in by_rule.items():
+        _require(isinstance(rule_id, str) and rule_id.startswith("AUD"),
+                 f"byRule: bad rule id {rule_id!r}")
+        _require(isinstance(count, int) and count >= 1,
+                 f"byRule[{rule_id!r}] must be a positive int")
+    _require(sum(by_rule.values()) == summary["total"],
+             "byRule counts must sum to summary.total")

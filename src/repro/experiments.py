@@ -87,6 +87,8 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "bench_sentinel.py"),
     Experiment("BENCH-KERNELS", "§VIII", "batched hot-path kernels vs scalar references",
                "bench_kernels.py"),
+    Experiment("BENCH-AUDIT", "§VIII", "self-audit engine cost + output stability",
+               "bench_audit.py"),
 )
 
 

@@ -212,7 +212,7 @@ def _validate_scenario(entry: object, where: str) -> dict:
     retry = entry["retry"]
     _require(isinstance(retry, dict) and set(retry) == _RETRY_KEYS,
              f"{where}: retry must be {sorted(_RETRY_KEYS)}")
-    for key in _RETRY_KEYS:
+    for key in sorted(_RETRY_KEYS):
         _require(_is_count(retry[key]),
                  f"{where}: retry.{key} must be a non-negative int")
 
@@ -233,7 +233,7 @@ def _validate_scenario(entry: object, where: str) -> dict:
     if ssi is not None:
         _require(isinstance(ssi, dict) and set(ssi) == _SSI_KEYS,
                  f"{where}: ssi must be null or {sorted(_SSI_KEYS)}")
-        for key in _SSI_KEYS:
+        for key in sorted(_SSI_KEYS):
             _require(_is_count(ssi[key]),
                      f"{where}: ssi.{key} must be a non-negative int")
 

@@ -280,7 +280,7 @@ class CircuitBreaker:
             raise BreakerOpen(f"breaker {self.name!r} is open")
         try:
             result = op()
-        except Exception:
+        except Exception:  # audit: allow AUD005 breaker must observe every failure; re-raised unchanged
             self.record_failure()
             raise
         self.record_success()

@@ -149,7 +149,7 @@ def _validate_finding(entry: dict, where: str) -> None:
     _require(isinstance(entry, dict), f"{where}: finding must be an object")
     _require(set(entry) == _FINDING_KEYS,
              f"{where}: keys {sorted(entry)} != {sorted(_FINDING_KEYS)}")
-    for key in _FINDING_KEYS:
+    for key in sorted(_FINDING_KEYS):
         _require(isinstance(entry[key], str), f"{where}: {key} must be a string")
     _require(entry["severity"] in _SEVERITY_NAMES,
              f"{where}: bad severity {entry['severity']!r}")

@@ -37,6 +37,9 @@ SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA_URI = ("https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/"
                     "os/schemas/sarif-schema-2.1.0.json")
 _TOOL_NAME = "repro-seclint"
+#: Tools that share this SARIF emitter; ``to_sarif_dict(tool_name=...)``
+#: must pick one of these so :func:`validate_sarif_dict` stays closed.
+_KNOWN_TOOLS = frozenset({"repro-seclint", "repro-audit"})
 _INFO_URI = "https://github.com/paper-repro/repro"
 
 #: Severity -> SARIF level.  SARIF has no "critical"; both HIGH and
@@ -67,19 +70,27 @@ def _descriptor(rule: Rule) -> dict:
 
 
 def _result(finding: Finding, rule_index: dict[str, int], *,
-            suppressed: bool) -> dict:
+            suppressed: bool, fingerprint_key: str) -> dict:
+    location: dict = {
+        "logicalLocations": [
+            {"name": finding.subject, "kind": "resource"}
+        ]
+    }
+    # Findings that carry a physical source location (the self-audit
+    # engine's file:line findings) also get a physicalLocation, which is
+    # what GitHub code scanning anchors annotations on.
+    path = getattr(finding, "path", "")
+    if path:
+        location["physicalLocation"] = {
+            "artifactLocation": {"uri": path},
+            "region": {"startLine": max(1, int(getattr(finding, "line", 1)))},
+        }
     result = {
         "ruleId": finding.rule_id,
         "level": _LEVELS[finding.severity],
         "message": {"text": finding.message},
-        "locations": [
-            {
-                "logicalLocations": [
-                    {"name": finding.subject, "kind": "resource"}
-                ]
-            }
-        ],
-        "partialFingerprints": {"seclint/v1": finding.fingerprint},
+        "locations": [location],
+        "partialFingerprints": {fingerprint_key: finding.fingerprint},
         "properties": {
             "layer": finding.layer.name.lower(),
             "paperRef": finding.paper_ref,
@@ -95,15 +106,22 @@ def _result(finding: Finding, rule_index: dict[str, int], *,
     return result
 
 
-def to_sarif_dict(report: Report, rules: Iterable[Rule] = ()) -> dict:
+def to_sarif_dict(report: Report, rules: Iterable[Rule] = (), *,
+                  tool_name: str = _TOOL_NAME) -> dict:
     """Render ``report`` as a SARIF 2.1.0 log with one run."""
     from repro import __version__
 
+    if tool_name not in _KNOWN_TOOLS:
+        raise ValueError(f"unknown SARIF tool {tool_name!r}; "
+                         f"expected one of {sorted(_KNOWN_TOOLS)}")
+    short = tool_name.removeprefix("repro-")
     rule_list = list(rules)
     rule_index = {rule.rule_id: i for i, rule in enumerate(rule_list)}
-    results = [_result(f, rule_index, suppressed=False)
+    results = [_result(f, rule_index, suppressed=False,
+                       fingerprint_key=f"{short}/v1")
                for f in report.findings]
-    results += [_result(f, rule_index, suppressed=True)
+    results += [_result(f, rule_index, suppressed=True,
+                        fingerprint_key=f"{short}/v1")
                 for f in report.suppressed]
     return {
         "$schema": SARIF_SCHEMA_URI,
@@ -112,13 +130,13 @@ def to_sarif_dict(report: Report, rules: Iterable[Rule] = ()) -> dict:
             {
                 "tool": {
                     "driver": {
-                        "name": _TOOL_NAME,
+                        "name": tool_name,
                         "version": __version__,
                         "informationUri": _INFO_URI,
                         "rules": [_descriptor(rule) for rule in rule_list],
                     }
                 },
-                "automationDetails": {"id": f"seclint/{report.target_name}"},
+                "automationDetails": {"id": f"{short}/{report.target_name}"},
                 "results": results,
             }
         ],
@@ -159,6 +177,15 @@ def _validate_result(result: dict, where: str, rule_ids: set[str]) -> None:
         for entry in logical:
             _require(isinstance(entry.get("name"), str) and entry["name"],
                      f"{where}: logical location needs a name")
+        if "physicalLocation" in location:
+            physical = location["physicalLocation"]
+            artifact = physical.get("artifactLocation", {})
+            _require(isinstance(artifact.get("uri"), str) and artifact["uri"],
+                     f"{where}: physicalLocation needs artifactLocation.uri")
+            region = physical.get("region", {})
+            start = region.get("startLine")
+            _require(isinstance(start, int) and start >= 1,
+                     f"{where}: physicalLocation needs region.startLine >= 1")
     prints = result.get("partialFingerprints")
     _require(isinstance(prints, dict) and prints,
              f"{where}: partialFingerprints required")
@@ -184,7 +211,7 @@ def validate_sarif_dict(document: dict) -> None:
     run = runs[0]
     driver = run.get("tool", {}).get("driver")
     _require(isinstance(driver, dict), "runs[0].tool.driver required")
-    _require(driver.get("name") == _TOOL_NAME,
+    _require(driver.get("name") in _KNOWN_TOOLS,
              f"unexpected tool name {driver.get('name')!r}")
     _require(isinstance(driver.get("version"), str) and driver["version"],
              "driver.version must be a non-empty string")

@@ -270,7 +270,7 @@ def _validate_metrics(metrics: dict) -> None:
         where = f"histograms[{name!r}]"
         _require(isinstance(summary, dict) and set(summary) == _HIST_KEYS,
                  f"{where}: keys must be {sorted(_HIST_KEYS)}")
-        for key in _HIST_KEYS:
+        for key in sorted(_HIST_KEYS):
             _require(_is_number(summary[key]), f"{where}.{key} must be a number")
         _require(isinstance(summary["count"], int) and summary["count"] >= 0,
                  f"{where}.count must be a non-negative int")

@@ -32,7 +32,11 @@ from repro.obs.events import EventKind, EventLog
 from repro.sentinel.correlator import CascadeCorrelator
 from repro.sentinel.engine import SentinelEngine
 from repro.ssi.did import Did, DidDocument, KeyPair
-from repro.ssi.registry import CachingResolver, VerifiableDataRegistry
+from repro.ssi.registry import (
+    CachingResolver,
+    RegistryUnavailable,
+    VerifiableDataRegistry,
+)
 
 __all__ = ["run_sentinel_scenario", "run_sentinel_campaign",
            "sentinel_scenario_names", "SCENARIO_ANCHORS"]
@@ -260,7 +264,7 @@ def run_sentinel_scenario(name: str, plan: FaultPlan, *, base_seed: int = 0,
                 try:
                     resolver.resolve(did)
                     status = "stale" if down else "ok"
-                except Exception:
+                except RegistryUnavailable:
                     status = "fail"
             else:
                 status = "fail" if down else "ok"
