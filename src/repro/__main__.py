@@ -19,6 +19,9 @@ Usage::
     python -m repro sentinel all --plan severe --gate detect   # detection gate
     python -m repro audit                # self-audit the shipped source tree
     python -m repro audit --gate high --sarif   # CI gate, SARIF output
+    python -m repro campaign run --tools chaos,lint --scenarios all
+    python -m repro campaign resume <id> # re-execute only unfinished shards
+    python -m repro campaign list        # journaled campaigns and their state
 """
 
 from __future__ import annotations
@@ -43,6 +46,7 @@ SUBCOMMANDS: dict[str, str] = {
     "redteam": "plan ranked attack campaigns (static red team)",
     "sentinel": "stream a fault campaign into the online alarm engine",
     "audit": "statically self-audit the shipped source tree",
+    "campaign": "crash-safe resumable campaigns over the tool fleet",
 }
 
 
@@ -69,6 +73,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.cache_max_entries < 0:
+        print("--cache-max-entries must be >= 0", file=sys.stderr)
         return 2
     if any(exp_id.lower() == "all" for exp_id in args.exp_ids):
         experiments = list(EXPERIMENTS)
@@ -101,7 +108,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     runner = SweepRunner(
         experiments, jobs=args.jobs, use_cache=not args.no_cache,
-        cache_dir=args.cache_dir, base_seed=args.base_seed,
+        cache_dir=args.cache_dir,
+        cache_max_entries=args.cache_max_entries or None,
+        base_seed=args.base_seed,
         timeout_s=args.timeout, on_result=_stream)
     report = runner.run()
 
@@ -667,6 +676,121 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return report.exit_code(gate)
 
 
+def _campaign_spec_from_args(args: argparse.Namespace):
+    """Build the shard matrix a ``campaign run`` invocation asks for."""
+    from repro.campaign import CampaignSpec, CampaignTool
+    from repro.faults import plan_names
+    from repro.lint import scenario_names
+
+    tool_values = [t.strip() for t in args.tools.split(",") if t.strip()]
+    if any(value == "all" for value in tool_values):
+        tool_values = [tool.value for tool in CampaignTool]
+    tools = []
+    for value in tool_values:
+        try:
+            tools.append(CampaignTool(value))
+        except ValueError:
+            known = ", ".join(tool.value for tool in CampaignTool)
+            raise ValueError(f"unknown tool {value!r}; available: {known}")
+    scenarios = ([s.strip() for s in args.scenarios.split(",") if s.strip()]
+                 if args.scenarios != "all" else sorted(scenario_names()))
+    for scenario in scenarios:
+        if scenario not in scenario_names():
+            raise ValueError(f"unknown scenario {scenario!r}; available: "
+                             + ", ".join(scenario_names()))
+    plans = [p.strip() for p in args.plans.split(",") if p.strip()]
+    for plan in plans:
+        if plan not in plan_names():
+            raise ValueError(f"unknown fault plan {plan!r}; available: "
+                             + ", ".join(plan_names()))
+    seeds = [int(s) for s in str(args.seeds).split(",") if s.strip()]
+    return CampaignSpec.matrix(tools=tools, scenarios=scenarios, plans=plans,
+                               seeds=seeds, duration=args.duration,
+                               name=args.name)
+
+
+def _campaign_emit(report, args: argparse.Namespace) -> int:
+    from repro.campaign import validate_campaign_dict
+
+    document = report.to_json_dict()
+    validate_campaign_dict(document)
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote campaign report to {args.report}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        print(report.to_table())
+    return report.exit_code()
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import (CampaignEngine, CampaignError, JournalCorrupt,
+                                list_campaigns, load_campaign)
+
+    if args.campaign_command == "list":
+        rows = list_campaigns(args.journal_root)
+        if not rows:
+            print("no journaled campaigns")
+            return 0
+        width = max(len(row["id"]) for row in rows)
+        print(f"{'id'.ljust(width)}  {'status':12s}  settled")
+        for row in rows:
+            print(f"{row['id'].ljust(width)}  {row['status']:12s}  "
+                  f"{row['settled']}/{row['shards']}")
+        return 0
+
+    if args.campaign_command in ("resume", "status"):
+        try:
+            spec = load_campaign(args.campaign_id, args.journal_root)
+        except (CampaignError, JournalCorrupt, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    else:  # run
+        try:
+            spec = _campaign_spec_from_args(args)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    engine = CampaignEngine(
+        spec, jobs=args.jobs, journal_root=args.journal_root,
+        shard_timeout_s=args.timeout,
+        install_signal_handlers=args.campaign_command != "status")
+
+    if args.campaign_command == "status":
+        from repro.campaign import replay
+
+        state = replay(engine.journal_file)
+        settled = sum(1 for shard in spec.shards
+                      if state.settled(shard.shard_id))
+        status = "complete" if state.ended else (
+            "interrupted" if state.interrupts else "incomplete")
+        print(f"campaign {engine.campaign_id}: {status}, "
+              f"{settled}/{len(spec)} shard(s) settled, "
+              f"{len(state.quarantined)} quarantined, "
+              f"{state.records} journal record(s)")
+        if state.in_flight:
+            print("in flight at last crash/interrupt: "
+                  + ", ".join(state.in_flight))
+        if not state.ended:
+            print(f"resume with: {engine.resume_command}")
+        return 0
+
+    try:
+        report = engine.run(resume=args.campaign_command == "resume")
+    except (CampaignError, JournalCorrupt) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    code = _campaign_emit(report, args)
+    if report.interrupted:
+        print(f"interrupted; resume with: {engine.resume_command}",
+              file=sys.stderr)
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full CLI parser; every subcommand comes from SUBCOMMANDS."""
     parser = argparse.ArgumentParser(
@@ -697,6 +821,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--cache-dir", metavar="DIR",
                             help="result-cache directory "
                                  "(default .repro-cache/runner)")
+    run_parser.add_argument("--cache-max-entries", type=int, default=512,
+                            metavar="N",
+                            help="prune the result cache to the N most "
+                                 "recently used entries on every write "
+                                 "(default 512; 0 disables pruning)")
 
     lint_parser = subparsers.add_parser("lint", help=SUBCOMMANDS["lint"])
     lint_parser.add_argument("scenario", nargs="?",
@@ -873,6 +1002,65 @@ def build_parser() -> argparse.ArgumentParser:
                                    "and exit 0")
     audit_parser.add_argument("--rules", action="store_true",
                               help="print the checker catalog and exit")
+
+    campaign_parser = subparsers.add_parser("campaign",
+                                            help=SUBCOMMANDS["campaign"])
+    campaign_sub = campaign_parser.add_subparsers(dest="campaign_command",
+                                                  required=True)
+
+    def _campaign_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                       help="supervised worker processes (default 1)")
+        p.add_argument("--timeout", type=float, default=120.0, metavar="S",
+                       help="per-shard time budget in seconds; retries get "
+                            "only what remains (default 120)")
+        p.add_argument("--journal-root", metavar="DIR", default=None,
+                       help="journal directory "
+                            "(default .repro-cache/campaigns)")
+        p.add_argument("--json", action="store_true",
+                       help="emit the schema-validated campaign document")
+        p.add_argument("--report", metavar="FILE",
+                       help="also write the campaign JSON document to FILE")
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="journal and execute a new shard matrix")
+    campaign_run.add_argument("--tools", default="all", metavar="T,T",
+                              help="comma-separated tools "
+                                   "(chaos,sentinel,redteam,flow,lint; "
+                                   "default all)")
+    campaign_run.add_argument("--scenarios", default="all", metavar="S,S",
+                              help="comma-separated scenario names "
+                                   "(default all)")
+    campaign_run.add_argument("--plans", default="baseline", metavar="P,P",
+                              help="fault plans for chaos/sentinel shards "
+                                   "(default baseline)")
+    campaign_run.add_argument("--seeds", default="0", metavar="N,N",
+                              help="comma-separated base seeds (default 0)")
+    campaign_run.add_argument("--duration", type=int, default=30, metavar="N",
+                              help="virtual-clock ticks for chaos/sentinel "
+                                   "shards (default 30)")
+    campaign_run.add_argument("--name", default="", metavar="NAME",
+                              help="campaign id (default: a digest of the "
+                                   "shard matrix)")
+    _campaign_common(campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="replay a journal and run only unfinished shards")
+    campaign_resume.add_argument("campaign_id", metavar="ID",
+                                 help="campaign id from `campaign list`")
+    _campaign_common(campaign_resume)
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="summarise one campaign's journal without running")
+    campaign_status.add_argument("campaign_id", metavar="ID",
+                                 help="campaign id from `campaign list`")
+    _campaign_common(campaign_status)
+
+    campaign_list = campaign_sub.add_parser(
+        "list", help="enumerate journaled campaigns")
+    campaign_list.add_argument("--journal-root", metavar="DIR", default=None,
+                               help="journal directory "
+                                    "(default .repro-cache/campaigns)")
     return parser
 
 
@@ -894,6 +1082,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sentinel(args)
     if args.command == "audit":
         return _cmd_audit(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     return _cmd_run(args)
 
 

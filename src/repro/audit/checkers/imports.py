@@ -16,7 +16,7 @@ Policy (banned importer-package -> imported-package pairs):
   ``core``;
 * simulation packages import no analyzer;
 * ``lint`` (the base analyzer others build on) imports no downstream
-  analyzer (``flow``/``redteam``/``sentinel``/``audit``);
+  analyzer (``flow``/``redteam``/``sentinel``/``audit``/``campaign``);
 * ``obs`` (the instrumentation facade every hot path touches) imports
   no analyzer.
 
@@ -36,7 +36,7 @@ from repro.audit.engine import AuditFinding, Checker, register
 
 _SIM_PACKAGES = ("ivn", "phy", "collab", "datalayer", "ssi", "sos")
 _ANALYZERS = ("lint", "flow", "redteam", "runner", "faults", "sentinel",
-              "audit")
+              "audit", "campaign")
 _ALL_PACKAGES = ("core", "crypto", "obs") + _SIM_PACKAGES + _ANALYZERS
 
 #: importer package -> packages it may NOT import at module scope.
@@ -45,7 +45,7 @@ _BANNED: dict[str, frozenset[str]] = {
     "crypto": frozenset(p for p in _ALL_PACKAGES
                         if p not in ("crypto", "core")),
     "obs": frozenset(_ANALYZERS),
-    "lint": frozenset({"flow", "redteam", "sentinel", "audit"}),
+    "lint": frozenset({"flow", "redteam", "sentinel", "audit", "campaign"}),
     **{sim: frozenset(_ANALYZERS) for sim in _SIM_PACKAGES},
 }
 

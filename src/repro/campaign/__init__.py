@@ -1,0 +1,76 @@
+"""Crash-safe, resumable campaign engine over the repro tool fleet.
+
+``repro.campaign`` generalises :class:`repro.runner.engine.SweepRunner`
+from pytest sweeps to arbitrary ``(tool, scenario, plan, seed)`` shard
+matrices across ``chaos``, ``sentinel``, ``redteam``, ``flow`` and
+``lint`` — and applies the paper's graceful-degradation discipline to
+the harness itself:
+
+* :mod:`repro.campaign.spec` — shard/campaign matrices with stable,
+  content-derived identities;
+* :mod:`repro.campaign.journal` — the fsynced append-only write-ahead
+  journal every scheduling decision hits before the engine acts on it;
+* :mod:`repro.campaign.supervisor` — heartbeat-supervised workers with
+  hang detection, remaining-budget restarts and poison-shard
+  quarantine;
+* :mod:`repro.campaign.shard` — worker-side tool execution and the
+  canonical result digest;
+* :mod:`repro.campaign.engine` — the journal-driven scheduler and the
+  resume path (``python -m repro campaign resume <id>``);
+* :mod:`repro.campaign.report` — the deterministic report whose bytes
+  a resumed campaign must reproduce exactly.
+"""
+
+from repro.campaign.engine import (
+    CampaignEngine,
+    CampaignError,
+    default_journal_root,
+    list_campaigns,
+    load_campaign,
+    plan_worker_faults,
+)
+from repro.campaign.journal import (
+    Journal,
+    JournalCorrupt,
+    JournalState,
+    read_records,
+    replay,
+)
+from repro.campaign.report import (
+    CAMPAIGN_SCHEMA_VERSION,
+    CAMPAIGN_TOOL_NAME,
+    CampaignReport,
+    SchemaError,
+    ShardEntry,
+    validate_campaign_dict,
+)
+from repro.campaign.shard import execute_shard, result_digest
+from repro.campaign.spec import CampaignSpec, CampaignTool, ShardSpec
+from repro.campaign.supervisor import ShardOutcome, Supervisor
+
+__all__ = [
+    "CAMPAIGN_SCHEMA_VERSION",
+    "CAMPAIGN_TOOL_NAME",
+    "CampaignEngine",
+    "CampaignError",
+    "CampaignReport",
+    "CampaignSpec",
+    "CampaignTool",
+    "Journal",
+    "JournalCorrupt",
+    "JournalState",
+    "SchemaError",
+    "ShardEntry",
+    "ShardOutcome",
+    "ShardSpec",
+    "Supervisor",
+    "default_journal_root",
+    "execute_shard",
+    "list_campaigns",
+    "load_campaign",
+    "plan_worker_faults",
+    "read_records",
+    "replay",
+    "result_digest",
+    "validate_campaign_dict",
+]

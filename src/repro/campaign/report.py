@@ -1,0 +1,237 @@
+"""Deterministic campaign reports and their schema validator.
+
+The campaign report is the artifact the whole crash-safety story is
+judged against: a campaign killed at any shard boundary and resumed
+must produce a report **byte-identical** to the uninterrupted run.
+That forces a hard split between the two kinds of data the engine
+holds:
+
+* the *deterministic core* — shard specs, statuses, result documents,
+  digests, error strings — which is everything :meth:`to_json_dict`
+  serialises, sorted by shard id with a stable key order; and
+* *wall-clock bookkeeping* — durations, attempt counts, journal cost —
+  which differs between an interrupted and an uninterrupted run by
+  construction, so it lives only on the :class:`CampaignReport` object
+  (``to_table`` shows it; the JSON never contains it).
+
+``interrupted``/``pending`` describe a *partial* report written at a
+graceful checkpoint; a completed campaign always reports
+``complete: true`` with zero pending shards, whatever its history of
+crashes and resumes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.campaign.shard import result_digest
+from repro.campaign.spec import CampaignSpec
+
+__all__ = ["CAMPAIGN_SCHEMA_VERSION", "CAMPAIGN_TOOL_NAME", "SHARD_STATUSES",
+           "ShardEntry", "CampaignReport", "validate_campaign_dict",
+           "SchemaError"]
+
+CAMPAIGN_SCHEMA_VERSION = "1.0"
+CAMPAIGN_TOOL_NAME = "repro-campaign"
+
+#: Terminal statuses plus ``pending`` (only in interrupted reports).
+SHARD_STATUSES = ("ok", "error", "timeout", "quarantined", "pending")
+
+
+class SchemaError(ValueError):
+    """A campaign report document violates the schema."""
+
+
+@dataclass
+class ShardEntry:
+    """One shard's contribution to the report.
+
+    ``attempts``/``duration_s`` are wall-clock bookkeeping for tables
+    only — see the module docstring for why they stay out of the JSON.
+    """
+
+    shard: dict
+    status: str = "pending"
+    result: dict | None = None
+    digest: str = ""
+    error: str = ""
+    attempts: int = 0
+    duration_s: float = 0.0
+
+    def to_json_dict(self) -> dict:
+        return {
+            "id": self.shard["id"],
+            "tool": self.shard["tool"],
+            "scenario": self.shard["scenario"],
+            "plan": self.shard["plan"],
+            "seed": self.shard["seed"],
+            "duration": self.shard["duration"],
+            "status": self.status,
+            "digest": self.digest,
+            "error": self.error,
+            # Canonical key order: a result replayed from the journal
+            # (written sorted) and one fresh from an executor must
+            # serialize to the same bytes, not just the same values.
+            "result": (json.loads(json.dumps(self.result, sort_keys=True))
+                       if self.result is not None else None),
+        }
+
+
+@dataclass
+class CampaignReport:
+    """The assembled verdict over every shard of a campaign."""
+
+    spec: CampaignSpec
+    entries: dict[str, ShardEntry] = field(default_factory=dict)
+    interrupted: bool = False
+    wall_s: float = 0.0
+    journal_write_s: float = 0.0
+    journal_records: int = 0
+    resumed_shards: int = 0
+
+    def _ordered(self) -> list[ShardEntry]:
+        return [self.entries.get(shard.shard_id,
+                                 ShardEntry(shard=shard.to_dict()))
+                for shard in self.spec.shards]
+
+    def counts(self) -> dict[str, int]:
+        totals = {status: 0 for status in SHARD_STATUSES}
+        for entry in self._ordered():
+            totals[entry.status] += 1
+        return totals
+
+    def to_json_dict(self) -> dict:
+        counts = self.counts()
+        return {
+            "version": CAMPAIGN_SCHEMA_VERSION,
+            "tool": {"name": CAMPAIGN_TOOL_NAME,
+                     "version": CAMPAIGN_SCHEMA_VERSION},
+            "campaign": {
+                "id": self.spec.campaign_id,
+                "name": self.spec.name,
+                "shardCount": len(self.spec),
+            },
+            "shards": [entry.to_json_dict() for entry in self._ordered()],
+            "summary": {
+                "total": len(self.spec),
+                "ok": counts["ok"],
+                "errors": counts["error"],
+                "timeouts": counts["timeout"],
+                "quarantined": counts["quarantined"],
+                "pending": counts["pending"],
+                "complete": counts["pending"] == 0,
+                "interrupted": self.interrupted,
+            },
+        }
+
+    def exit_code(self) -> int:
+        """130 when interrupted (signal convention), 1 on any failure."""
+        if self.interrupted:
+            return 130
+        counts = self.counts()
+        failed = counts["error"] + counts["timeout"] + counts["quarantined"]
+        return 1 if failed or counts["pending"] else 0
+
+    def to_table(self) -> str:
+        """Human-readable summary, wall-clock details included."""
+        lines = [f"campaign {self.spec.campaign_id} "
+                 f"({len(self.spec)} shards)"]
+        for entry in self._ordered():
+            marker = {"ok": "+", "pending": "."}.get(entry.status, "!")
+            detail = f"{entry.duration_s:.3f}s x{entry.attempts}" \
+                if entry.attempts else "-"
+            suffix = f"  {entry.error}" if entry.error else ""
+            lines.append(f"  {marker} {entry.shard['id']:<44} "
+                         f"{entry.status:<11} {detail}{suffix}")
+        counts = self.counts()
+        lines.append(
+            f"  = {counts['ok']} ok, {counts['error']} error, "
+            f"{counts['timeout']} timeout, {counts['quarantined']} "
+            f"quarantined, {counts['pending']} pending in {self.wall_s:.2f}s"
+            + (" [interrupted]" if self.interrupted else ""))
+        if self.resumed_shards:
+            lines.append(f"  = resumed: {self.resumed_shards} shard(s) "
+                         f"replayed from the journal")
+        return "\n".join(lines)
+
+
+def _require_keys(section: dict, keys: set[str], where: str) -> None:
+    if not isinstance(section, dict):
+        raise SchemaError(f"{where} must be an object")
+    if set(section) != keys:
+        missing = keys - set(section)
+        extra = set(section) - keys
+        raise SchemaError(f"{where} keys mismatch: "
+                          f"missing={sorted(missing)} extra={sorted(extra)}")
+
+
+_TOP_KEYS = {"version", "tool", "campaign", "shards", "summary"}
+_TOOL_KEYS = {"name", "version"}
+_CAMPAIGN_KEYS = {"id", "name", "shardCount"}
+_SHARD_KEYS = {"id", "tool", "scenario", "plan", "seed", "duration",
+               "status", "digest", "error", "result"}
+_SUMMARY_KEYS = {"total", "ok", "errors", "timeouts", "quarantined",
+                 "pending", "complete", "interrupted"}
+
+
+def validate_campaign_dict(document: dict) -> None:
+    """Validate a campaign report document; raises :class:`SchemaError`.
+
+    Beyond shape checks, this recomputes every ``ok`` shard's digest
+    from its embedded result document — a report whose digests do not
+    match their results is evidence of journal tampering or an engine
+    bug, and must never validate.
+    """
+    _require_keys(document, _TOP_KEYS, "report")
+    if document["version"] != CAMPAIGN_SCHEMA_VERSION:
+        raise SchemaError(f"unsupported version {document['version']!r}")
+    _require_keys(document["tool"], _TOOL_KEYS, "tool")
+    if document["tool"]["name"] != CAMPAIGN_TOOL_NAME:
+        raise SchemaError(f"unexpected tool {document['tool']['name']!r}")
+    _require_keys(document["campaign"], _CAMPAIGN_KEYS, "campaign")
+    shards = document["shards"]
+    if not isinstance(shards, list) or not shards:
+        raise SchemaError("shards must be a non-empty list")
+    if document["campaign"]["shardCount"] != len(shards):
+        raise SchemaError("campaign.shardCount does not match shards")
+    ids = []
+    counts = {status: 0 for status in SHARD_STATUSES}
+    for index, entry in enumerate(shards):
+        _require_keys(entry, _SHARD_KEYS, f"shards[{index}]")
+        ids.append(entry["id"])
+        status = entry["status"]
+        if status not in SHARD_STATUSES:
+            raise SchemaError(f"shards[{index}] has unknown status "
+                              f"{status!r}")
+        counts[status] += 1
+        if status == "ok":
+            if not isinstance(entry["result"], dict):
+                raise SchemaError(f"shards[{index}] is ok but has no "
+                                  f"result document")
+            if entry["digest"] != result_digest(entry["result"]):
+                raise SchemaError(f"shards[{index}] digest does not match "
+                                  f"its result document")
+        else:
+            if entry["result"] is not None:
+                raise SchemaError(f"shards[{index}] is {status} but "
+                                  f"carries a result document")
+            if entry["digest"] != "":
+                raise SchemaError(f"shards[{index}] is {status} but "
+                                  f"carries a digest")
+    if ids != sorted(ids) or len(set(ids)) != len(ids):
+        raise SchemaError("shard ids must be sorted and unique")
+    summary = document["summary"]
+    _require_keys(summary, _SUMMARY_KEYS, "summary")
+    expected = {"total": len(shards), "ok": counts["ok"],
+                "errors": counts["error"], "timeouts": counts["timeout"],
+                "quarantined": counts["quarantined"],
+                "pending": counts["pending"],
+                "complete": counts["pending"] == 0,
+                "interrupted": bool(summary["interrupted"])}
+    for key, value in expected.items():
+        if summary[key] != value:
+            raise SchemaError(f"summary.{key} is {summary[key]!r}, "
+                              f"expected {value!r}")
+    if summary["complete"] and summary["interrupted"]:
+        raise SchemaError("a complete campaign cannot be interrupted")

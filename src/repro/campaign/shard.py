@@ -1,0 +1,108 @@
+"""Worker-side execution of one campaign shard.
+
+:func:`execute_shard` is the only campaign code that runs inside a
+supervised worker process, so it speaks plain dicts across the process
+boundary and never lets a tool exception escape — a deterministic tool
+failure must come back as a classified ``error`` payload the supervisor
+can journal, not a traceback that kills the worker (worker *deaths* are
+the supervisor's signal for retry/quarantine, and they must mean
+infrastructure trouble, not tool verdicts).
+
+Each tool executor returns the same JSON document the tool's own CLI
+would emit for that ``(scenario, plan, seed)`` cell, which is already
+byte-deterministic per the repo's core invariant; :func:`result_digest`
+fixes the canonical encoding so the journal, the resume path, and the
+report validator all agree on what "the same result" means.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Callable
+
+from repro.campaign.spec import CampaignTool, ShardSpec
+
+__all__ = ["execute_shard", "result_digest", "TOOL_EXECUTORS"]
+
+
+def result_digest(result: dict) -> str:
+    """SHA-256 over the canonical JSON encoding of a result document."""
+    material = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def _run_chaos(spec: ShardSpec) -> dict:
+    from repro.faults import get_plan, run_chaos_scenario
+
+    return run_chaos_scenario(spec.scenario, get_plan(spec.plan),
+                              base_seed=spec.seed, duration=spec.duration)
+
+
+def _run_sentinel(spec: ShardSpec) -> dict:
+    from repro.faults import get_plan
+    from repro.sentinel import run_sentinel_scenario
+
+    return run_sentinel_scenario(spec.scenario, get_plan(spec.plan),
+                                 base_seed=spec.seed, duration=spec.duration)
+
+
+def _run_redteam(spec: ShardSpec) -> dict:
+    from repro.redteam import run_redteam_campaign
+
+    document = run_redteam_campaign([spec.scenario], base_seed=spec.seed)
+    return document["scenarios"][0]
+
+
+def _run_flow(spec: ShardSpec) -> dict:
+    from repro.flow import flow_linter
+    from repro.lint import build_scenario
+
+    linter = flow_linter()
+    report = linter.run(build_scenario(spec.scenario))
+    return report.to_json_dict(linter.enabled_rules())
+
+
+def _run_lint(spec: ShardSpec) -> dict:
+    from repro.lint import Linter, build_scenario
+
+    linter = Linter()
+    report = linter.run(build_scenario(spec.scenario))
+    return report.to_json_dict(linter.enabled_rules())
+
+
+TOOL_EXECUTORS: dict[CampaignTool, Callable[[ShardSpec], dict]] = {
+    CampaignTool.CHAOS: _run_chaos,
+    CampaignTool.SENTINEL: _run_sentinel,
+    CampaignTool.REDTEAM: _run_redteam,
+    CampaignTool.FLOW: _run_flow,
+    CampaignTool.LINT: _run_lint,
+}
+
+
+def execute_shard(spec_dict: dict) -> dict:
+    """Run one shard to completion; always returns a payload dict.
+
+    The payload's deterministic core is ``shard``/``status``/``result``/
+    ``digest``/``error`` — exactly what the journal persists and the
+    final report embeds.  ``durationS`` is wall-clock bookkeeping for
+    tables and benches only and never reaches the byte-compared report.
+    """
+    t0 = time.perf_counter()
+    status, result, digest, error = "ok", None, "", ""
+    try:
+        spec = ShardSpec.from_dict(spec_dict)
+        result = TOOL_EXECUTORS[spec.tool](spec)
+        digest = result_digest(result)
+    except Exception as exc:
+        status, result, digest = "error", None, ""
+        error = f"{type(exc).__name__}: {exc}"
+    return {
+        "shard": dict(spec_dict),
+        "status": status,
+        "result": result,
+        "digest": digest,
+        "error": error,
+        "durationS": time.perf_counter() - t0,
+    }

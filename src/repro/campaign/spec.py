@@ -1,0 +1,228 @@
+"""Shard and campaign specifications for the resumable campaign engine.
+
+A *shard* is the engine's unit of work and of crash recovery: one
+``(tool, scenario, plan, seed)`` cell of a campaign matrix, executed to
+completion inside a supervised worker process and journaled as a single
+write-ahead record.  Everything a worker needs to execute the shard —
+and everything the resume path needs to decide whether it already ran —
+lives in the :class:`ShardSpec`, so a shard is re-executable from its
+spec alone on any attempt, in any process, before or after a crash.
+
+A :class:`CampaignSpec` is an ordered matrix of shards plus a stable
+identity: the campaign id is derived from the canonical JSON of the
+shard list (or pinned explicitly), so the same matrix always maps to
+the same journal directory and ``python -m repro campaign resume <id>``
+can find it after the scheduling process died.
+
+Determinism contract: shard ids are total-ordered strings, the matrix
+is stored sorted, and nothing in a spec depends on wall-clock state —
+the final campaign report is assembled purely from
+``(spec, result document)`` pairs, which is what makes a resumed
+campaign byte-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Sequence
+
+__all__ = ["CampaignTool", "ShardSpec", "CampaignSpec", "PLAN_TOOLS",
+           "DEFAULT_DURATION", "STATIC_PLAN"]
+
+#: Campaign length in virtual-clock ticks for plan-driven tools.
+DEFAULT_DURATION = 30
+
+#: The plan slot recorded for tools that do not consume a fault plan.
+STATIC_PLAN = "-"
+
+
+class CampaignTool(str, Enum):
+    """The analysis/operations tools a campaign shard can run."""
+
+    CHAOS = "chaos"
+    SENTINEL = "sentinel"
+    REDTEAM = "redteam"
+    FLOW = "flow"
+    LINT = "lint"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Tools whose shards consume a fault plan + virtual-clock duration.
+PLAN_TOOLS = frozenset({CampaignTool.CHAOS, CampaignTool.SENTINEL})
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One campaign matrix cell: what to run, against what, how seeded.
+
+    Attributes:
+        tool: which analyzer/campaign tool the shard runs.
+        scenario: the shipped scenario name the tool targets.
+        plan: fault-plan name for plan-driven tools (:data:`PLAN_TOOLS`);
+            pinned to :data:`STATIC_PLAN` for the static analyzers.
+        seed: the shard's base seed (threaded into every rng stream the
+            tool derives).
+        duration: campaign length in virtual-clock ticks for plan-driven
+            tools; pinned to 0 for the static analyzers.
+    """
+
+    tool: CampaignTool
+    scenario: str
+    plan: str = STATIC_PLAN
+    seed: int = 0
+    duration: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.scenario:
+            raise ValueError("a shard needs a scenario name")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        if self.tool in PLAN_TOOLS:
+            if self.plan == STATIC_PLAN or not self.plan:
+                raise ValueError(
+                    f"{self.tool.value} shards need a fault plan name")
+            if self.duration < 1:
+                raise ValueError(
+                    f"{self.tool.value} shards need a duration >= 1 tick")
+        else:
+            if self.plan != STATIC_PLAN:
+                raise ValueError(
+                    f"{self.tool.value} is static; plan must be "
+                    f"{STATIC_PLAN!r}")
+            if self.duration != 0:
+                raise ValueError(
+                    f"{self.tool.value} is static; duration must be 0")
+
+    @property
+    def shard_id(self) -> str:
+        """The total-ordered, human-readable shard identity."""
+        return (f"{self.tool.value}/{self.scenario}/{self.plan}"
+                f"/s{self.seed}")
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (stable key order)."""
+        return {
+            "id": self.shard_id,
+            "tool": self.tool.value,
+            "scenario": self.scenario,
+            "plan": self.plan,
+            "seed": self.seed,
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_dict(cls, entry: dict) -> "ShardSpec":
+        """Rebuild a spec from :meth:`to_dict` output (journal replay)."""
+        try:
+            tool = CampaignTool(entry["tool"])
+        except (KeyError, ValueError):
+            raise ValueError(f"bad shard tool in {entry!r}") from None
+        spec = cls(tool=tool, scenario=str(entry["scenario"]),
+                   plan=str(entry["plan"]), seed=int(entry["seed"]),
+                   duration=int(entry["duration"]))
+        recorded = entry.get("id")
+        if recorded is not None and recorded != spec.shard_id:
+            raise ValueError(f"shard id {recorded!r} does not match its "
+                             f"fields ({spec.shard_id!r})")
+        return spec
+
+
+def _canonical(payload: object) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, ordered shard matrix with a content-derived identity."""
+
+    shards: tuple[ShardSpec, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError("a campaign needs at least one shard")
+        ids = [shard.shard_id for shard in self.shards]
+        if len(set(ids)) != len(ids):
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            raise ValueError(f"duplicate shard id(s): {', '.join(dupes)}")
+        if ids != sorted(ids):
+            raise ValueError("shards must be sorted by shard id "
+                             "(use CampaignSpec.matrix)")
+
+    @property
+    def campaign_id(self) -> str:
+        """The explicit name, or a digest of the canonical shard list."""
+        if self.name:
+            return self.name
+        material = _canonical([shard.to_dict() for shard in self.shards])
+        return hashlib.sha256(material.encode()).hexdigest()[:12]
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def shard(self, shard_id: str) -> ShardSpec:
+        """Look up a shard by id; raises ``KeyError`` when unknown."""
+        for shard in self.shards:
+            if shard.shard_id == shard_id:
+                return shard
+        raise KeyError(f"unknown shard {shard_id!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.campaign_id,
+            "name": self.name,
+            "shards": [shard.to_dict() for shard in self.shards],
+        }
+
+    @classmethod
+    def from_dict(cls, entry: dict) -> "CampaignSpec":
+        """Rebuild a campaign from :meth:`to_dict` output."""
+        shards = tuple(ShardSpec.from_dict(s) for s in entry["shards"])
+        spec = cls(shards=shards, name=str(entry.get("name", "")))
+        recorded = entry.get("id")
+        if recorded is not None and recorded != spec.campaign_id:
+            raise ValueError(f"campaign id {recorded!r} does not match its "
+                             f"shard list ({spec.campaign_id!r})")
+        return spec
+
+    @classmethod
+    def matrix(cls, *, tools: Iterable[CampaignTool | str],
+               scenarios: Sequence[str],
+               plans: Sequence[str] = ("baseline",),
+               seeds: Sequence[int] = (0,),
+               duration: int = DEFAULT_DURATION,
+               name: str = "") -> "CampaignSpec":
+        """Build the sorted cross product of a campaign matrix.
+
+        Plan-driven tools get one shard per ``(scenario, plan, seed)``;
+        static analyzers collapse the plan axis (one shard per
+        ``(scenario, seed)``).
+        """
+        if not scenarios:
+            raise ValueError("a campaign matrix needs at least one scenario")
+        if not plans:
+            raise ValueError("a campaign matrix needs at least one plan")
+        if not seeds:
+            raise ValueError("a campaign matrix needs at least one seed")
+        shards: list[ShardSpec] = []
+        for raw in tools:
+            tool = CampaignTool(raw)
+            for scenario in scenarios:
+                for seed in seeds:
+                    if tool in PLAN_TOOLS:
+                        for plan in plans:
+                            shards.append(ShardSpec(
+                                tool=tool, scenario=scenario, plan=plan,
+                                seed=seed, duration=duration))
+                    else:
+                        shards.append(ShardSpec(
+                            tool=tool, scenario=scenario, seed=seed))
+        if not shards:
+            raise ValueError("a campaign matrix needs at least one tool")
+        shards.sort(key=lambda shard: shard.shard_id)
+        return cls(shards=tuple(shards), name=name)

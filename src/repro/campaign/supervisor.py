@@ -1,0 +1,379 @@
+"""Supervised worker pool: heartbeats, hang detection, poison quarantine.
+
+The campaign engine cannot trust its workers: a shard can crash its
+process outright, wedge it without exiting (the failure mode a timeout
+alone never distinguishes from "slow"), or poison every worker that
+touches it.  This supervisor owns that distrust so the engine can stay
+a simple journal-driven scheduler:
+
+* every worker runs a **heartbeat thread** beating over its pipe at a
+  fixed interval; a worker whose beats stop for ``hang_timeout_s`` is
+  declared *hung* — killed and replaced even though its process is
+  still technically alive and its timeout has not expired;
+* a worker **death** (exit, signal, torn pipe) is a *crash*; crashes
+  and hangs requeue the shard on a fresh worker with only the
+  **remaining** time budget (a shard that burned most of its budget
+  before killing its worker must not win a fresh full allowance);
+* a shard that kills ``quarantine_after`` workers in a row is **poison**
+  and is quarantined — surfaced as a terminal outcome, never silently
+  dropped and never retried again (not even by a resumed campaign);
+* a shard that exhausts its budget is a *timeout* — also terminal.
+
+Worker deaths are infrastructure verdicts; tool-level failures come
+back as ordinary ``error`` payloads from
+:func:`~repro.campaign.shard.execute_shard` and are never retried
+(they are deterministic, so a retry would only burn budget).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import Callable
+
+from repro.campaign.shard import execute_shard
+
+__all__ = ["Supervisor", "ShardOutcome", "WORKER_CRASH_EXIT",
+           "DEFAULT_HEARTBEAT_INTERVAL_S", "DEFAULT_HANG_TIMEOUT_S",
+           "DEFAULT_SHARD_TIMEOUT_S", "DEFAULT_QUARANTINE_AFTER",
+           "FAULT_WORKER_CRASH", "FAULT_WORKER_HANG"]
+
+DEFAULT_HEARTBEAT_INTERVAL_S = 0.05
+DEFAULT_HANG_TIMEOUT_S = 2.0
+DEFAULT_SHARD_TIMEOUT_S = 120.0
+DEFAULT_QUARANTINE_AFTER = 3
+
+#: Exit code a self-chaos crash fault dies with (distinctive in ps).
+WORKER_CRASH_EXIT = 73
+
+#: Minimum leftover budget (seconds) worth restarting a shard with.
+RESTART_BUDGET_FLOOR_S = 0.05
+
+#: Self-chaos fault vocabulary understood by the worker loop.  The
+#: values reuse the :mod:`repro.faults` worker-fault kinds so chaos
+#: plans can drive the engine's own workers.
+FAULT_WORKER_CRASH = "runner-worker-crash"
+FAULT_WORKER_HANG = "runner-worker-hang"
+
+#: How long a hang fault sleeps — far past any hang timeout; the
+#: supervisor kills the worker long before this expires.
+_HANG_SLEEP_S = 3600.0
+
+
+def _worker_main(parent_conn: Connection, conn: Connection) -> None:
+    """The worker loop: receive a shard envelope, beat, execute, reply.
+
+    Runs in a child process.  Closes the inherited parent-side pipe end
+    immediately so that if the scheduling process dies (even SIGKILL),
+    this worker's blocking ``recv`` sees EOF and exits instead of
+    leaking as an orphan.
+    """
+    parent_conn.close()
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main-thread guard
+        pass
+    send_lock = threading.Lock()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if not isinstance(message, dict) or message.get("type") != "run":
+            return
+        fault = message.get("fault")
+        if fault == FAULT_WORKER_CRASH:
+            os._exit(WORKER_CRASH_EXIT)
+        if fault == FAULT_WORKER_HANG:
+            # Wedge without exiting: no heartbeats, no result, process
+            # alive — exactly what hang detection must catch.
+            time.sleep(_HANG_SLEEP_S)
+            return
+        stop = threading.Event()
+        interval = float(message["heartbeatIntervalS"])
+
+        def beat() -> None:
+            while not stop.wait(interval):
+                try:
+                    with send_lock:
+                        conn.send({"type": "beat"})
+                except OSError:
+                    return
+
+        beater = threading.Thread(target=beat, daemon=True)
+        beater.start()
+        payload = execute_shard(message["shard"])
+        stop.set()
+        beater.join()
+        try:
+            with send_lock:
+                conn.send({"type": "result", "payload": payload})
+        except OSError:
+            return
+
+
+@dataclass
+class ShardOutcome:
+    """The supervisor's terminal verdict for one shard."""
+
+    shard_id: str
+    status: str                    # ok | error | timeout | quarantined
+    payload: dict | None = None    # worker payload for ok/error
+    attempts: int = 1
+    duration_s: float = 0.0
+    error: str = ""
+    failures: list[str] = field(default_factory=list)
+
+
+@dataclass
+class _WorkItem:
+    shard_id: str
+    shard: dict
+    budget_s: float
+    attempt: int = 0
+    failures: list[str] = field(default_factory=list)
+
+
+class _Worker:
+    """One supervised child process and its scheduling state."""
+
+    def __init__(self, context: multiprocessing.context.BaseContext) -> None:
+        self.conn: Connection
+        child_conn: Connection
+        self.conn, child_conn = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_worker_main, args=(self.conn, child_conn), daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.item: _WorkItem | None = None
+        self.started_at = 0.0
+        self.last_beat = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.item is not None
+
+    def assign(self, item: _WorkItem, *, fault: str | None,
+               heartbeat_interval_s: float) -> None:
+        now = time.monotonic()
+        self.item = item
+        self.started_at = now
+        self.last_beat = now
+        self.conn.send({"type": "run", "shard": item.shard, "fault": fault,
+                        "heartbeatIntervalS": heartbeat_interval_s})
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+            if self.process.is_alive():  # pragma: no cover - stuck worker
+                self.process.kill()
+                self.process.join(timeout=2.0)
+        self.conn.close()
+
+    def stop(self) -> None:
+        """Graceful shutdown for an idle worker."""
+        try:
+            self.conn.send({"type": "stop"})
+        except OSError:
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            self.conn.close()
+
+
+class Supervisor:
+    """Schedule shards across supervised workers; never trust a worker.
+
+    ``worker_faults`` maps ``shard_id -> {attempt_index: fault_kind}``
+    (:data:`FAULT_WORKER_CRASH` / :data:`FAULT_WORKER_HANG`) and is the
+    self-chaos injection point: the fault ships to the worker with the
+    envelope and fires *inside* it, so the supervision machinery under
+    test is exactly the machinery in production.
+    """
+
+    def __init__(self, *, jobs: int = 1,
+                 heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+                 hang_timeout_s: float = DEFAULT_HANG_TIMEOUT_S,
+                 shard_timeout_s: float = DEFAULT_SHARD_TIMEOUT_S,
+                 quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
+                 worker_faults: dict[str, dict[int, str]] | None = None,
+                 on_start: Callable[[str, int], None] | None = None,
+                 on_outcome: Callable[[ShardOutcome], None] | None = None,
+                 should_stop: Callable[[], bool] | None = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if heartbeat_interval_s <= 0 or hang_timeout_s <= 0:
+            raise ValueError("heartbeat/hang intervals must be positive")
+        if hang_timeout_s <= heartbeat_interval_s:
+            raise ValueError("hang_timeout_s must exceed the heartbeat "
+                             "interval or every shard looks hung")
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        self.jobs = jobs
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.hang_timeout_s = hang_timeout_s
+        self.shard_timeout_s = shard_timeout_s
+        self.quarantine_after = quarantine_after
+        self.worker_faults = worker_faults or {}
+        self.on_start = on_start
+        self.on_outcome = on_outcome
+        self.should_stop = should_stop
+
+    # -- helpers -------------------------------------------------------------
+
+    def _fault_for(self, item: _WorkItem) -> str | None:
+        return self.worker_faults.get(item.shard_id, {}).get(item.attempt)
+
+    def _settle(self, outcomes: dict[str, ShardOutcome],
+                outcome: ShardOutcome) -> None:
+        outcomes[outcome.shard_id] = outcome
+        if self.on_outcome is not None:
+            self.on_outcome(outcome)
+
+    def _worker_failed(self, worker: _Worker, reason: str,
+                       queue: deque[_WorkItem],
+                       outcomes: dict[str, ShardOutcome]) -> None:
+        """A busy worker died or hung: kill, account, requeue or retire."""
+        item = worker.item
+        assert item is not None
+        consumed = time.monotonic() - worker.started_at
+        worker.kill()
+        worker.item = None
+        item.failures.append(reason)
+        item.attempt += 1
+        remaining = item.budget_s - consumed
+        if len(item.failures) >= self.quarantine_after:
+            self._settle(outcomes, ShardOutcome(
+                shard_id=item.shard_id, status="quarantined",
+                attempts=item.attempt, duration_s=consumed,
+                error=(f"quarantined after {len(item.failures)} worker "
+                       f"failure(s): {item.failures[-1]}"),
+                failures=list(item.failures)))
+        elif remaining <= RESTART_BUDGET_FLOOR_S:
+            self._settle(outcomes, ShardOutcome(
+                shard_id=item.shard_id, status="timeout",
+                attempts=item.attempt, duration_s=consumed,
+                error=f"budget exhausted after {reason}",
+                failures=list(item.failures)))
+        else:
+            item.budget_s = remaining
+            queue.append(item)
+
+    # -- the scheduling loop -------------------------------------------------
+
+    def run(self, shards: list[dict]) -> tuple[dict[str, ShardOutcome], bool]:
+        """Execute every shard dict; returns ``(outcomes, interrupted)``.
+
+        ``outcomes`` maps shard id to its terminal verdict; on interrupt
+        the map holds only the shards that settled before the stop
+        request — in-flight and queued shards are simply absent (their
+        journal trail is a ``shard-start`` without a ``shard-done``,
+        which is exactly what the resume path re-executes).
+        """
+        queue: deque[_WorkItem] = deque(
+            _WorkItem(shard_id=str(shard["id"]), shard=dict(shard),
+                      budget_s=self.shard_timeout_s)
+            for shard in shards)
+        outcomes: dict[str, ShardOutcome] = {}
+        if not queue:
+            return outcomes, False
+        context = multiprocessing.get_context()
+        workers = [_Worker(context)
+                   for _ in range(min(self.jobs, len(queue)))]
+        interrupted = False
+        try:
+            while queue or any(w.busy for w in workers):
+                if self.should_stop is not None and self.should_stop():
+                    interrupted = True
+                    break
+                for worker in workers:
+                    if not worker.busy and queue:
+                        item = queue.popleft()
+                        if self.on_start is not None:
+                            self.on_start(item.shard_id, item.attempt)
+                        worker.assign(
+                            item, fault=self._fault_for(item),
+                            heartbeat_interval_s=self.heartbeat_interval_s)
+                busy = [w for w in workers if w.busy]
+                if not busy:
+                    continue
+                ready = connection_wait(
+                    [w.conn for w in busy],
+                    timeout=min(self.heartbeat_interval_s, 0.05))
+                for worker in busy:
+                    if worker.conn in ready:
+                        self._drain(worker, queue, outcomes)
+                now = time.monotonic()
+                for worker in workers:
+                    item = worker.item
+                    if item is None:
+                        continue
+                    if not worker.process.is_alive():
+                        code = worker.process.exitcode
+                        self._worker_failed(
+                            worker, f"worker crashed (exit {code})",
+                            queue, outcomes)
+                    elif now - worker.started_at > item.budget_s:
+                        worker.kill()
+                        worker.item = None
+                        self._settle(outcomes, ShardOutcome(
+                            shard_id=item.shard_id, status="timeout",
+                            attempts=item.attempt + 1,
+                            duration_s=now - worker.started_at,
+                            error=(f"timed out after "
+                                   f"{item.budget_s:g}s budget"),
+                            failures=list(item.failures)))
+                    elif now - worker.last_beat > self.hang_timeout_s:
+                        self._worker_failed(
+                            worker, "worker hung (heartbeats stopped)",
+                            queue, outcomes)
+                # replace killed workers while work remains
+                workers = [w for w in workers
+                           if w.busy or w.process.is_alive()]
+                needed = min(self.jobs,
+                             len(queue) + sum(1 for w in workers if w.busy))
+                while len(workers) < needed:
+                    workers.append(_Worker(context))
+        finally:
+            for worker in workers:
+                if worker.busy or not worker.process.is_alive():
+                    worker.kill()
+                else:
+                    worker.stop()
+        return outcomes, interrupted
+
+    def _drain(self, worker: _Worker, queue: deque[_WorkItem],
+               outcomes: dict[str, ShardOutcome]) -> None:
+        """Consume every pending message from one worker's pipe."""
+        while True:
+            try:
+                if not worker.conn.poll(0):
+                    return
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                # death is handled by the liveness check; the pipe EOF
+                # alone must not double-account the failure
+                return
+            if message.get("type") == "beat":
+                worker.last_beat = time.monotonic()
+            elif message.get("type") == "result" and worker.item is not None:
+                item = worker.item
+                worker.item = None
+                payload = message["payload"]
+                self._settle(outcomes, ShardOutcome(
+                    shard_id=item.shard_id,
+                    status=str(payload.get("status", "error")),
+                    payload=payload,
+                    attempts=item.attempt + 1,
+                    duration_s=float(payload.get("durationS", 0.0)),
+                    error=str(payload.get("error", "")),
+                    failures=list(item.failures)))

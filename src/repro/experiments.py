@@ -89,6 +89,8 @@ EXPERIMENTS: tuple[Experiment, ...] = (
                "bench_kernels.py"),
     Experiment("BENCH-AUDIT", "§VIII", "self-audit engine cost + output stability",
                "bench_audit.py"),
+    Experiment("BENCH-CAMPAIGN", "§VIII", "campaign journal overhead + resume skip ratio",
+               "bench_campaign.py"),
 )
 
 

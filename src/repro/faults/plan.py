@@ -46,8 +46,9 @@ class FaultKind(str, Enum):
     CLOUD_OUTAGE = "cloud-outage-5xx"
     # identity plane (repro.ssi)
     SSI_REGISTRY_DOWN = "ssi-registry-unavailable"
-    # experiment sweeps (repro.runner)
+    # experiment sweeps / campaigns (repro.runner, repro.campaign)
     RUNNER_WORKER_CRASH = "runner-worker-crash"
+    RUNNER_WORKER_HANG = "runner-worker-hang"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -65,6 +66,7 @@ KIND_LAYER: dict[FaultKind, Layer] = {
     FaultKind.CLOUD_OUTAGE: Layer.DATA,
     FaultKind.SSI_REGISTRY_DOWN: Layer.SOFTWARE_PLATFORM,
     FaultKind.RUNNER_WORKER_CRASH: Layer.SYSTEM_OF_SYSTEMS,
+    FaultKind.RUNNER_WORKER_HANG: Layer.SYSTEM_OF_SYSTEMS,
 }
 
 

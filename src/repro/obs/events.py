@@ -59,6 +59,10 @@ class EventKind(str, Enum):
     # streaming detection (repro.sentinel)
     ALARM_TRANSITION = "alarm-transition"
     INCIDENT = "incident"
+    # resumable campaigns (repro.campaign)
+    SHARD_START = "shard-start"
+    SHARD_DONE = "shard-done"
+    CAMPAIGN_RESUMED = "campaign-resumed"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

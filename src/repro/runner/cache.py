@@ -85,21 +85,39 @@ def experiment_key(exp_id: str, bench_path: Path, *, tree: str,
 
 
 class ResultCache:
-    """On-disk key → JSON-document store with atomic writes."""
+    """On-disk key → JSON-document store with atomic writes.
 
-    def __init__(self, directory: str | Path | None = None) -> None:
+    ``max_entries`` bounds the store: every :meth:`put` prunes the
+    least-recently-used entries (by mtime — :meth:`get` refreshes it on
+    hit, so a warm entry survives a cold one) down to the cap.  ``None``
+    keeps the historical unbounded behaviour; the CLI default caps the
+    shared ``.repro-cache/runner/`` so sweeps can't grow it forever.
+    """
+
+    def __init__(self, directory: str | Path | None = None, *,
+                 max_entries: int | None = None) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
+        self.max_entries = max_entries
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
     def get(self, key: str) -> dict | None:
         """The cached document, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
         try:
-            document = json.loads(self.path_for(key).read_text())
+            document = json.loads(path.read_text())
         except (OSError, ValueError):
             return None
-        return document if isinstance(document, dict) else None
+        if not isinstance(document, dict):
+            return None
+        try:
+            os.utime(path)  # refresh LRU recency on hit
+        except OSError:  # pragma: no cover - raced with prune/clear
+            pass
+        return document
 
     def put(self, key: str, document: dict) -> Path:
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -107,7 +125,39 @@ class ResultCache:
         tmp = path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
         os.replace(tmp, path)
+        if self.max_entries is not None:
+            self.prune(self.max_entries, keep=path)
         return path
+
+    def prune(self, max_entries: int, *, keep: Path | None = None) -> int:
+        """Evict least-recently-used entries beyond ``max_entries``.
+
+        ``keep`` protects one path (the entry just written) even if a
+        coarse mtime clock makes it look no fresher than its siblings.
+        Returns the number of entries removed.
+        """
+        if not self.directory.is_dir():
+            return 0
+        entries = []
+        for file in self.directory.glob("*.json"):
+            try:
+                mtime = file.stat().st_mtime
+            except OSError:  # pragma: no cover - raced with clear
+                continue
+            entries.append((mtime, str(file), file))
+        if len(entries) <= max_entries:
+            return 0
+        entries.sort()  # oldest first; path breaks mtime ties stably
+        removed = 0
+        excess = len(entries) - max_entries
+        for _, _, file in entries:
+            if removed >= excess:
+                break
+            if keep is not None and file == keep:
+                continue
+            file.unlink(missing_ok=True)
+            removed += 1
+        return removed
 
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed."""

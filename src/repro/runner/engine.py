@@ -106,6 +106,7 @@ class SweepRunner:
                  use_cache: bool = True,
                  cache: ResultCache | None = None,
                  cache_dir: str | Path | None = None,
+                 cache_max_entries: int | None = None,
                  base_seed: int = 0,
                  timeout_s: float = DEFAULT_TIMEOUT_S,
                  retry: bool = True,
@@ -121,7 +122,8 @@ class SweepRunner:
         self.jobs = jobs
         self.use_cache = use_cache
         # NB: not `cache or ...` — an *empty* ResultCache is falsy (len 0)
-        self.cache = cache if cache is not None else ResultCache(cache_dir)
+        self.cache = cache if cache is not None else ResultCache(
+            cache_dir, max_entries=cache_max_entries)
         self.base_seed = base_seed
         self.timeout_s = timeout_s
         self.retry = retry
@@ -240,9 +242,16 @@ class SweepRunner:
                 else:
                     pending.append((experiment, key))
 
+            interrupted = False
             if pending:
                 workers = max(1, min(self.jobs, len(pending)))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
+                # The pool is managed by hand rather than as a context
+                # manager: ProcessPoolExecutor.__exit__ is a blocking
+                # shutdown(wait=True), which would hang a Ctrl-C right
+                # back on the in-flight experiments the user is trying
+                # to abandon.
+                pool = ProcessPoolExecutor(max_workers=workers)
+                try:
                     future_map: dict = {}
                     # Fault-hook outcomes complete without a worker; they
                     # queue here and drain through the same handling path.
@@ -317,10 +326,22 @@ class SweepRunner:
                             self.cache.put(key, document)
                         results[experiment.exp_id] = result
                         self._record(result, root)
+                except KeyboardInterrupt:
+                    # Keep every completed result: cancel what never
+                    # started, abandon what is running, and fall through
+                    # to emit a partial, schema-valid report.
+                    interrupted = True
+                    if OBS.enabled:
+                        OBS.count("runner.interrupted")
+                finally:
+                    pool.shutdown(wait=not interrupted,
+                                  cancel_futures=interrupted)
 
         wall_s = time.perf_counter() - self._t0
-        ordered = [results[e.exp_id] for e in self.experiments]
+        ordered = [results[e.exp_id] for e in self.experiments
+                   if e.exp_id in results]
         return SweepReport(ordered, jobs=self.jobs,
                            cache_enabled=self.use_cache,
                            base_seed=self.base_seed, wall_s=wall_s,
-                           tree=tree, events=list(self.events))
+                           tree=tree, events=list(self.events),
+                           interrupted=interrupted)

@@ -6,7 +6,8 @@ The JSON schema (version ``1.0``) mirrors the ``repro.lint`` and
     {
       "version": "1.0",
       "tool": {"name": "repro-runner", "version": "<package version>"},
-      "sweep": {"jobs", "cache", "baseSeed", "wallS", "treeDigest"},
+      "sweep": {"jobs", "cache", "baseSeed", "wallS", "treeDigest",
+                "interrupted"},
       "experiments": [
         {"id", "status", "exitCode", "durationS", "seed", "retries",
          "cached", "cacheKey", "artifacts": [{"title", "rows"}], "error"}
@@ -47,7 +48,8 @@ class SweepReport:
 
     def __init__(self, results: list[ExperimentResult], *, jobs: int,
                  cache_enabled: bool, base_seed: int, wall_s: float,
-                 tree: str, events: list[SimEvent] | None = None) -> None:
+                 tree: str, events: list[SimEvent] | None = None,
+                 interrupted: bool = False) -> None:
         self.results = list(results)
         self.jobs = jobs
         self.cache_enabled = cache_enabled
@@ -55,6 +57,9 @@ class SweepReport:
         self.wall_s = wall_s
         self.tree = tree
         self.events = list(events or [])
+        #: The sweep stopped early on KeyboardInterrupt; ``results``
+        #: holds only the experiments that completed before the signal.
+        self.interrupted = interrupted
 
     # -- verdicts ------------------------------------------------------------
 
@@ -63,6 +68,9 @@ class SweepReport:
         return all(result.ok for result in self.results)
 
     def exit_code(self) -> int:
+        """130 for an interrupted sweep (signal convention), else 0/1."""
+        if self.interrupted:
+            return 130
         return 0 if self.ok else 1
 
     def counts(self) -> dict[str, int]:
@@ -100,7 +108,9 @@ class SweepReport:
             f"sweep: {len(self.results)} experiment(s) in {self.wall_s:.2f}s "
             f"with {self.jobs} job(s) — {counts['passed']} passed, "
             f"{counts['cached']} cached, {counts['failed']} failed, "
-            f"{counts['errors']} error(s), {counts['timeouts']} timeout(s)")
+            f"{counts['errors']} error(s), {counts['timeouts']} timeout(s)"
+            + (" [interrupted — partial results]" if self.interrupted
+               else ""))
         return "\n".join(lines)
 
     # -- export --------------------------------------------------------------
@@ -119,6 +129,7 @@ class SweepReport:
                 "baseSeed": self.base_seed,
                 "wallS": self.wall_s,
                 "treeDigest": self.tree,
+                "interrupted": self.interrupted,
             },
             "experiments": [result.to_dict() for result in self.results],
             "summary": {"total": len(self.results), **counts, "ok": self.ok},
@@ -133,7 +144,8 @@ _EXPERIMENT_KEYS = {"id", "status", "exitCode", "durationS", "seed",
                     "retries", "cached", "cacheKey", "artifacts", "error"}
 _SUMMARY_KEYS = {"total", "passed", "failed", "errors", "timeouts",
                  "cached", "ok"}
-_SWEEP_KEYS = {"jobs", "cache", "baseSeed", "wallS", "treeDigest"}
+_SWEEP_KEYS = {"jobs", "cache", "baseSeed", "wallS", "treeDigest",
+               "interrupted"}
 
 
 def _require(condition: bool, message: str) -> None:
@@ -214,6 +226,8 @@ def validate_sweep_dict(document: dict) -> None:
              "sweep.wallS must be a non-negative number")
     _require(isinstance(sweep["treeDigest"], str) and sweep["treeDigest"],
              "sweep.treeDigest must be a non-empty string")
+    _require(isinstance(sweep["interrupted"], bool),
+             "sweep.interrupted must be a bool")
 
     _require(isinstance(document["experiments"], list),
              "experiments must be a list")

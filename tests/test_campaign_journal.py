@@ -1,0 +1,174 @@
+"""The write-ahead journal: durability protocol, torn tails, replay."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    CampaignTool,
+    Journal,
+    JournalCorrupt,
+    read_records,
+    replay,
+)
+
+
+def spec():
+    return CampaignSpec.matrix(tools=[CampaignTool.LINT],
+                               scenarios=["pkes-legacy", "maas-platform"],
+                               name="j")
+
+
+def write_records(path, records, *, fsync=False):
+    with Journal(path, fsync=fsync) as journal:
+        for record in records:
+            journal.append(record)
+
+
+class TestJournalAppend:
+    def test_records_round_trip_with_seq_and_checksum(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_records(path, [
+            {"type": "campaign-start", "campaign": spec().to_dict()},
+            {"type": "shard-start", "shardId": "lint/pkes-legacy/-/s0",
+             "attempt": 0},
+        ])
+        records = read_records(path)
+        assert [r["seq"] for r in records] == [0, 1]
+        assert [r["type"] for r in records] == ["campaign-start",
+                                                "shard-start"]
+
+    def test_append_continues_sequence_across_reopen(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_records(path, [{"type": "campaign-start",
+                              "campaign": spec().to_dict()}])
+        write_records(path, [{"type": "interrupt", "settled": 0}])
+        assert [r["seq"] for r in read_records(path)] == [0, 1]
+
+    def test_unknown_record_type_rejected_at_write(self, tmp_path):
+        with Journal(tmp_path / "j.jsonl", fsync=False) as journal:
+            with pytest.raises(ValueError, match="unknown journal record"):
+                journal.append({"type": "mystery"})
+
+    def test_append_requires_open(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        with pytest.raises(ValueError, match="not open"):
+            journal.append({"type": "interrupt"})
+
+    def test_write_accounting(self, tmp_path):
+        with Journal(tmp_path / "j.jsonl", fsync=False) as journal:
+            journal.append({"type": "campaign-start",
+                            "campaign": spec().to_dict()})
+            journal.append({"type": "interrupt", "settled": 0})
+            assert journal.records_written == 2
+            assert journal.write_s >= 0.0
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_records(tmp_path / "nope.jsonl") == []
+
+
+class TestCorruption:
+    def good(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_records(path, [
+            {"type": "campaign-start", "campaign": spec().to_dict()},
+            {"type": "shard-start", "shardId": "lint/pkes-legacy/-/s0",
+             "attempt": 0},
+            {"type": "shard-done", "shardId": "lint/pkes-legacy/-/s0",
+             "status": "ok", "result": {"x": 1}, "digest": "d", "error": "",
+             "attempts": 1, "durationS": 0.1},
+        ])
+        return path
+
+    def test_torn_trailing_record_is_dropped(self, tmp_path):
+        path = self.good(tmp_path)
+        with open(path, "a") as handle:
+            handle.write('{"type": "shard-done", "shardId": "lint/maas')
+        records = read_records(path)
+        assert len(records) == 3  # the torn tail is simply gone
+
+    def test_trailing_checksum_mismatch_is_dropped(self, tmp_path):
+        path = self.good(tmp_path)
+        lines = path.read_text().splitlines()
+        tampered = json.loads(lines[-1])
+        tampered["status"] = "error"  # tamper after checksum stamping
+        lines[-1] = json.dumps(tampered)
+        path.write_text("\n".join(lines) + "\n")
+        assert len(read_records(path)) == 2
+
+    def test_mid_file_corruption_refuses_to_replay(self, tmp_path):
+        path = self.good(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace("shard-start", "shard-sta rt")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorrupt):
+            read_records(path)
+
+    def test_sequence_gap_refuses_to_replay(self, tmp_path):
+        path = self.good(tmp_path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join([lines[0], lines[2]]) + "\n" + lines[1]
+                        + "\n")
+        with pytest.raises(JournalCorrupt, match="sequence|checksum"):
+            read_records(path)
+
+
+class TestReplay:
+    def test_replay_folds_progress(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_records(path, [
+            {"type": "campaign-start", "campaign": spec().to_dict()},
+            {"type": "shard-start", "shardId": "a", "attempt": 0},
+            {"type": "shard-start", "shardId": "b", "attempt": 0},
+            {"type": "shard-done", "shardId": "a", "status": "ok",
+             "result": {}, "digest": "d", "error": "", "attempts": 1,
+             "durationS": 0.1},
+            {"type": "shard-start", "shardId": "c", "attempt": 0},
+            {"type": "shard-quarantined", "shardId": "c",
+             "error": "poison", "attempts": 3, "durationS": 0.2,
+             "failures": ["worker crashed"] * 3},
+            {"type": "interrupt", "settled": 2},
+        ])
+        state = replay(path)
+        assert set(state.done) == {"a"}
+        assert set(state.quarantined) == {"c"}
+        assert state.in_flight == ["b"]
+        assert state.settled("a") and state.settled("c")
+        assert not state.settled("b")
+        assert state.interrupts == 1 and not state.ended
+        assert state.starts == {"a": 1, "b": 1, "c": 1}
+
+    def test_replay_requires_campaign_start_first(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_records(path, [{"type": "shard-start", "shardId": "a",
+                              "attempt": 0},
+                             {"type": "interrupt", "settled": 0}])
+        with pytest.raises(JournalCorrupt, match="campaign-start"):
+            replay(path)
+
+    def test_replay_rejects_duplicate_campaign_start(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        document = spec().to_dict()
+        write_records(path, [
+            {"type": "campaign-start", "campaign": document},
+            {"type": "campaign-start", "campaign": document},
+        ])
+        with pytest.raises(JournalCorrupt, match="duplicate"):
+            replay(path)
+
+    def test_replay_rejects_bad_done_status(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_records(path, [
+            {"type": "campaign-start", "campaign": spec().to_dict()},
+            {"type": "shard-done", "shardId": "a", "status": "exploded",
+             "result": None, "digest": "", "error": "x", "attempts": 1,
+             "durationS": 0.0},
+        ])
+        with pytest.raises(JournalCorrupt, match="status"):
+            replay(path)
+
+    def test_empty_journal_replays_to_empty_state(self, tmp_path):
+        state = replay(tmp_path / "missing.jsonl")
+        assert state.spec is None and state.records == 0
+        assert not state.ended and state.in_flight == []

@@ -1,0 +1,149 @@
+"""Self-chaos: kill the campaign process itself, then resume.
+
+The acceptance bar for the campaign engine is survival of its *own*
+failure modes, not just its workers': these tests SIGKILL the whole
+CLI process at several distinct shard boundaries (and SIGTERM it once
+for the graceful path) and assert the resumed run reaches a final
+report byte-identical to an uninterrupted reference — with the shards
+that had already settled never re-executed.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import replay
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+MATRIX = ["--tools", "chaos", "--scenarios", "all",
+          "--plans", "baseline,severe", "--seeds", "0",
+          "--duration", "40", "--name", "sc"]
+TOTAL_SHARDS = 10  # 5 scenarios x 2 plans
+LAUNCH_TIMEOUT_S = 120.0
+
+
+def spawn(args, root, report=None):
+    argv = [sys.executable, "-m", "repro", "campaign", *args,
+            "--journal-root", str(root)]
+    if report is not None:
+        argv += ["--report", str(report)]
+    env = {**os.environ, "PYTHONPATH": SRC}
+    return subprocess.Popen(argv, env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+
+
+def finish(process):
+    out, err = process.communicate(timeout=LAUNCH_TIMEOUT_S)
+    return process.returncode, out, err
+
+
+def shard_done_count(journal):
+    try:
+        return journal.read_text().count('"type":"shard-done"')
+    except OSError:
+        return 0
+
+
+def wait_for_settled(process, journal, n):
+    """Poll the journal until n shards have settled (or the run ends)."""
+    deadline = time.monotonic() + LAUNCH_TIMEOUT_S
+    while time.monotonic() < deadline:
+        if shard_done_count(journal) >= n:
+            return True
+        if process.poll() is not None:
+            return False  # finished before reaching the kill point
+        time.sleep(0.002)
+    raise AssertionError(f"never saw {n} settled shards")
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """The uninterrupted run's report bytes."""
+    root = tmp_path_factory.mktemp("ref")
+    report = root / "report.json"
+    code, _, err = finish(spawn(["run", *MATRIX], root / "j", report))
+    assert code == 0, err
+    return report.read_bytes()
+
+
+class TestSigkillAtShardBoundaries:
+    @pytest.mark.parametrize("kill_after", [1, 4, 8])
+    def test_resume_is_byte_identical_after_sigkill(self, tmp_path,
+                                                    reference, kill_after):
+        root = tmp_path / "j"
+        journal = root / "sc" / "journal.jsonl"
+        process = spawn(["run", *MATRIX], root)
+        reached = wait_for_settled(process, journal, kill_after)
+        if reached:
+            process.kill()  # SIGKILL: no handler, no flush, no goodbye
+        finish(process)
+        if not reached:
+            pytest.skip("campaign outran the kill point on this machine")
+
+        settled_before = shard_done_count(journal)
+        assert settled_before < TOTAL_SHARDS  # the kill left real work
+
+        report = tmp_path / "resumed.json"
+        code, _, err = finish(spawn(["resume", "sc"], root, report))
+        assert code == 0, err
+        assert report.read_bytes() == reference
+
+        # shards settled before the kill were replayed, not re-executed:
+        # exactly one shard-start each across both processes' records
+        state = replay(journal)
+        assert state.ended
+        single_start = sum(1 for n in state.starts.values() if n == 1)
+        assert single_start >= settled_before
+
+    def test_sigkill_then_status_reports_incomplete(self, tmp_path):
+        root = tmp_path / "j"
+        journal = root / "sc" / "journal.jsonl"
+        process = spawn(["run", *MATRIX], root)
+        if not wait_for_settled(process, journal, 2):
+            finish(process)
+            pytest.skip("campaign outran the kill point on this machine")
+        process.kill()
+        finish(process)
+        code, out, _ = finish(spawn(["status", "sc"], root))
+        assert code == 0
+        assert "incomplete" in out
+        assert "resume with: python -m repro campaign resume sc" in out
+
+
+class TestSigtermGraceful:
+    def test_sigterm_checkpoints_and_prints_resume_command(self, tmp_path,
+                                                           reference):
+        root = tmp_path / "j"
+        journal = root / "sc" / "journal.jsonl"
+        partial = tmp_path / "partial.json"
+        process = spawn(["run", *MATRIX], root, partial)
+        if not wait_for_settled(process, journal, 1):
+            finish(process)
+            pytest.skip("campaign outran the signal on this machine")
+        process.send_signal(signal.SIGTERM)
+        code, _, err = finish(process)
+        if code == 0:
+            pytest.skip("signal landed after the final shard")
+        assert code == 130
+        assert "resume with: python -m repro campaign resume sc" in err
+
+        # the interrupt checkpoint is durable and explicit
+        state = replay(journal)
+        assert state.interrupts == 1 and not state.ended
+
+        # the partial report is schema-valid and flagged
+        document = json.loads(partial.read_text())
+        assert document["summary"]["interrupted"] is True
+        assert document["summary"]["pending"] >= 1
+
+        report = tmp_path / "resumed.json"
+        resume_code, _, resume_err = finish(spawn(["resume", "sc"], root,
+                                                  report))
+        assert resume_code == 0, resume_err
+        assert report.read_bytes() == reference

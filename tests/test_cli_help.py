@@ -43,7 +43,8 @@ def test_descriptions_are_one_line_and_non_empty():
 
 def test_expected_subcommand_set():
     assert set(SUBCOMMANDS) == {"list", "run", "lint", "flow", "trace",
-                                "chaos", "redteam", "sentinel", "audit"}
+                                "chaos", "redteam", "sentinel", "audit",
+                                "campaign"}
 
 
 def test_module_docstring_mentions_every_subcommand():

@@ -232,3 +232,129 @@ class TestWatchdogAndHealth:
         assert monitor.failure_fraction("phy") == pytest.approx(0.5)
         assert monitor.latest("phy") is True
         assert monitor.components() == ["phy"]
+
+
+class TestRetryJitterResumeDeterminism:
+    """Jittered delays must be a pure function of the rng stream, so a
+    resumed process (fresh clock, fresh breaker state, mid-campaign
+    wall time) replays exactly the backoff schedule the original run
+    would have produced."""
+
+    POLICY = RetryPolicy(max_attempts=5, base_delay_s=0.5, factor=2.0,
+                         max_delay_s=6.0, jitter=0.25)
+
+    def delays(self, seed):
+        rng = python_rng("retry/backoff", seed)
+        return [self.POLICY.delay_s(i, rng) for i in range(4)]
+
+    def test_same_seed_same_schedule(self):
+        assert self.delays(11) == self.delays(11)
+
+    def test_different_seed_different_schedule(self):
+        assert self.delays(11) != self.delays(12)
+
+    def test_schedule_is_independent_of_clock_state(self):
+        """A clock resumed at t=1234.5 sees the same delays as t=0."""
+        schedules = []
+        for start in (0.0, 1234.5):
+            clock = VirtualClock()
+            if start:
+                clock.advance(start)
+            seen = []
+            op, _ = flaky(3)
+            retry_with_backoff(
+                op, policy=self.POLICY, rng=python_rng("retry/backoff", 11),
+                clock=clock,
+                on_retry=lambda i, exc, c=clock, s=start, seen=seen:
+                    seen.append(round(c.now - s, 9)))
+            schedules.append(seen)
+        assert schedules[0] == schedules[1]
+        # and the waits really are the seeded jittered delays
+        # (on_retry fires before the delay, so entry i has slept the
+        # first i delays)
+        expected = self.delays(11)[:3]
+        cumulative = [sum(expected[:i]) for i in range(3)]
+        assert schedules[0] == pytest.approx(cumulative)
+
+    def test_interleaved_call_sites_do_not_share_jitter(self):
+        """Two call sites with their own streams keep their own
+        schedules even when their retries interleave on one clock."""
+        clock = VirtualClock()
+        rng_a = python_rng("retry/site-a", 3)
+        rng_b = python_rng("retry/site-b", 3)
+        seq_a = [self.POLICY.delay_s(i, rng_a) for i in range(2)]
+        seq_b = [self.POLICY.delay_s(i, rng_b) for i in range(2)]
+        # replay both with fresh streams, interleaved draw order
+        rng_a2 = python_rng("retry/site-a", 3)
+        rng_b2 = python_rng("retry/site-b", 3)
+        inter_a = [self.POLICY.delay_s(0, rng_a2)]
+        inter_b = [self.POLICY.delay_s(0, rng_b2)]
+        inter_a.append(self.POLICY.delay_s(1, rng_a2))
+        inter_b.append(self.POLICY.delay_s(1, rng_b2))
+        assert (inter_a, inter_b) == (seq_a, seq_b)
+
+
+class TestBreakerHalfOpenDiscipline:
+    """HALF_OPEN is a probation window, not an amnesty: probe failures
+    reopen immediately, and probe credit never survives a reopen."""
+
+    def make(self, **kwargs):
+        clock = VirtualClock()
+        kwargs.setdefault("failure_threshold", 2)
+        kwargs.setdefault("recovery_time_s", 5.0)
+        breaker = CircuitBreaker("dep", clock=clock, **kwargs)
+        return breaker, clock
+
+    def trip(self, breaker):
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+
+    def test_probe_failure_reopens_and_restarts_recovery(self):
+        breaker, clock = self.make()
+        self.trip(breaker)
+        clock.advance(5.0)
+        assert breaker.allow()                       # OPEN -> HALF_OPEN
+        breaker.record_failure()                     # probe fails
+        assert breaker.state is BreakerState.OPEN and breaker.opens == 2
+        # the recovery window restarts from the reopen, not the first open
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+
+    def test_probe_credit_resets_across_reopens(self):
+        breaker, clock = self.make(half_open_successes=2)
+        self.trip(breaker)
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()                     # 1 of 2 probes
+        breaker.record_failure()                     # interleaved failure
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()                     # 1 of 2 again —
+        assert breaker.state is BreakerState.HALF_OPEN   # old credit gone
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_single_failure_in_half_open_beats_many_successes(self):
+        breaker, clock = self.make(half_open_successes=3)
+        self.trip(breaker)
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        breaker.record_success()                     # 2 of 3
+        breaker.record_failure()                     # still fatal
+        assert breaker.state is BreakerState.OPEN and breaker.opens == 2
+
+    def test_open_window_rejects_while_half_open_admits(self):
+        breaker, clock = self.make()
+        self.trip(breaker)
+        assert not breaker.allow() and not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()                       # the probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        # closed-loop: a successful probe closes; traffic resumes
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED and breaker.allow()

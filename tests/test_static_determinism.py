@@ -43,6 +43,10 @@ def test_src_tree_is_free_of_ambient_nondeterminism():
     # nondeterminism there breaks BENCH-KERNELS and the equivalence CI
     assert packages.get("ivn", 0) >= 15
     assert packages.get("phy", 0) >= 12
+    # the campaign engine promises byte-identical reports across crash,
+    # kill, and resume; ambient nondeterminism there breaks the WAL
+    # replay contract and BENCH-CAMPAIGN
+    assert packages.get("campaign", 0) >= 6
 
     violations = [f"{f.subject}: {f.message}" for f in report.findings]
     assert not violations, "\n".join(violations)
